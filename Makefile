@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all test race bench experiments examples vet clean
+
+all: vet test
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/experiments -all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/ares
+	go run ./examples/pythonstack
+	go run ./examples/sitepolicies
+	go run ./examples/toolstack
+
+clean:
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt

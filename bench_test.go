@@ -1,0 +1,353 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (run `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable1NamingSchemes   — rendering the four site layouts
+//	BenchmarkTable2SpecParsing     — parsing the Table 2 spec corpus
+//	BenchmarkTable3ARESMatrix      — concretizing all 36 ARES configurations
+//	BenchmarkFig2ConstraintMerge   — abstract-spec constraint intersection
+//	BenchmarkFig5VirtualProviders  — versioned provider resolution
+//	BenchmarkFig7ConcretizeMpileaks— the canonical mpileaks concretization
+//	BenchmarkFig8ConcretizeAll     — concretizing a 245-package repository
+//	BenchmarkFig8LargestDAG        — the worst-case (tail) DAG of Fig. 8
+//	BenchmarkFig9SharedSubDAG      — two mpileaks installs with store reuse
+//	BenchmarkFig10Build/*          — the seven builds under each condition
+//	BenchmarkFig13ARESConcretize   — the 47-package ARES DAG
+//	BenchmarkAblation*             — greedy vs. backtracking concretization
+//
+// Each benchmark reports the relevant domain metric (virtual build time,
+// DAG sizes) via b.ReportMetric where wall time alone would be misleading.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ares"
+	"repro/internal/compiler"
+	"repro/internal/concretize"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/syntax"
+)
+
+// BenchmarkTable1NamingSchemes renders a concretized spec under each of
+// Table 1's conventions.
+func BenchmarkTable1NamingSchemes(b *testing.B) {
+	s := core.MustNew()
+	concrete, err := s.Spec("mpileaks ^mvapich2@2.0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	layouts := []store.Layout{
+		store.LLNLLayout{}, store.ORNLLayout{},
+		store.TACCLayout{IsMPI: s.IsMPI}, store.SpackLayout{},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range layouts {
+			if l.RelPath(concrete) == "" {
+				b.Fatal("empty path")
+			}
+		}
+	}
+}
+
+var table2Corpus = []string{
+	"mpileaks",
+	"mpileaks@1.1.2",
+	"mpileaks@1.1.2 %gcc",
+	"mpileaks@1.1.2 %intel@14.1 +debug",
+	"mpileaks@1.1.2 =bgq",
+	"mpileaks@1.1.2 ^mvapich2@1.9",
+	"mpileaks @1.2:1.4 %gcc@4.7.5 -debug =bgq ^callpath @1.1 %gcc@4.7.2 ^openmpi @1.4.7",
+}
+
+// BenchmarkTable2SpecParsing parses the Table 2 corpus.
+func BenchmarkTable2SpecParsing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, expr := range table2Corpus {
+			if _, err := syntax.Parse(expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig2ConstraintMerge intersects user constraints into a package
+// DAG (the first stage of Fig. 6).
+func BenchmarkFig2ConstraintMerge(b *testing.B) {
+	base := syntax.MustParse("mpileaks ^callpath ^dyninst ^libdwarf ^libelf")
+	extra := syntax.MustParse("mpileaks@2.3 ^callpath@1.0+debug ^libelf@0.8.12")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := base.Clone()
+		if err := c.Constrain(extra); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5VirtualProviders resolves versioned virtual constraints
+// against the provider index.
+func BenchmarkFig5VirtualProviders(b *testing.B) {
+	path := repo.NewPath(repo.Builtin())
+	queries := []*spec.Spec{
+		syntax.MustParse("mpi"),
+		syntax.MustParse("mpi@2:"),
+		syntax.MustParse("mpi@:1"),
+		syntax.MustParse("blas"),
+		syntax.MustParse("lapack"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if len(path.ProvidersFor(q)) == 0 {
+				b.Fatal("no providers")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7ConcretizeMpileaks is the paper's canonical concretization.
+func BenchmarkFig7ConcretizeMpileaks(b *testing.B) {
+	c := concretize.New(repo.NewPath(repo.Builtin()), config.New(), compiler.LLNLRegistry())
+	abstract := syntax.MustParse("mpileaks ^mvapich2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Concretize(abstract); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig8Path builds the 245-package repository of Fig. 8.
+func fig8Path() *repo.Path {
+	synth := repo.NewRepo("synthetic")
+	base := repo.Builtin().Len() + ares.Repo().Len()
+	repo.Synthesize(synth, 245-base, 2015)
+	return repo.NewPath(ares.Repo(), synth, repo.Builtin())
+}
+
+// BenchmarkFig8ConcretizeAll concretizes every package of the 245-package
+// repository once per iteration — the full Fig. 8 workload.
+func BenchmarkFig8ConcretizeAll(b *testing.B) {
+	path := fig8Path()
+	c := concretize.New(path, config.New(), compiler.LLNLRegistry())
+	names := path.Names()
+	var nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes = 0
+		for _, name := range names {
+			out, err := c.Concretize(spec.New(name))
+			if err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+			nodes += out.Size()
+		}
+	}
+	b.ReportMetric(float64(len(names)), "packages")
+	b.ReportMetric(float64(nodes), "dag-nodes")
+}
+
+// BenchmarkFig8LargestDAG concretizes only the largest DAG in the
+// repository (the tail of Fig. 8's curve).
+func BenchmarkFig8LargestDAG(b *testing.B) {
+	path := fig8Path()
+	c := concretize.New(path, config.New(), compiler.LLNLRegistry())
+	// Find the largest once.
+	largest, size := "", 0
+	for _, name := range path.Names() {
+		out, err := c.Concretize(spec.New(name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Size() > size {
+			size = out.Size()
+			largest = name
+		}
+	}
+	b.ReportMetric(float64(size), "dag-nodes")
+	abstract := spec.New(largest)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Concretize(abstract); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9SharedSubDAG measures the two-install reuse scenario: the
+// second build must only rebuild the MPI-dependent part.
+func BenchmarkFig9SharedSubDAG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.MustNew()
+		if _, err := s.Install("mpileaks ^mpich"); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Install("mpileaks ^openmpi")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reused := 0
+		for _, rep := range res.Reports {
+			if rep.Reused {
+				reused++
+			}
+		}
+		if reused == 0 {
+			b.Fatal("no sub-DAG sharing")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(reused), "reused-prefixes")
+		}
+	}
+}
+
+// BenchmarkFig10Build runs the paper's seven builds under each condition;
+// virtual build seconds are reported as the domain metric.
+func BenchmarkFig10Build(b *testing.B) {
+	packages := []string{"libelf", "libpng", "mpileaks", "libdwarf", "python", "dyninst", "netlib-lapack"}
+	conditions := []struct {
+		name string
+		opts []core.Option
+	}{
+		{"WrappersNFS", []core.Option{core.WithNFSStage()}},
+		{"WrappersTemp", nil},
+		{"NoWrappersTemp", []core.Option{core.WithoutWrappers()}},
+	}
+	for _, pkgName := range packages {
+		for _, cond := range conditions {
+			b.Run(fmt.Sprintf("%s/%s", pkgName, cond.name), func(b *testing.B) {
+				var virtual float64
+				for i := 0; i < b.N; i++ {
+					s := core.MustNew(cond.opts...)
+					res, err := s.Install(pkgName)
+					if err != nil {
+						b.Fatal(err)
+					}
+					virtual = res.Report(pkgName).Time.Seconds()
+				}
+				b.ReportMetric(virtual, "virtual-sec")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13ARESConcretize concretizes the 47-package ARES DAG.
+func BenchmarkFig13ARESConcretize(b *testing.B) {
+	c := concretize.New(repo.NewPath(ares.Repo(), repo.Builtin()), config.New(), compiler.LLNLRegistry())
+	abstract := syntax.MustParse(ares.Current.Spec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := c.Concretize(abstract)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(out.Size()), "dag-nodes")
+		}
+	}
+}
+
+// BenchmarkTable3ARESMatrix concretizes all 36 nightly configurations.
+func BenchmarkTable3ARESMatrix(b *testing.B) {
+	c := concretize.New(repo.NewPath(ares.Repo(), repo.Builtin()), config.New(), compiler.LLNLRegistry())
+	var exprs []*spec.Spec
+	for _, cell := range ares.Matrix() {
+		for _, cfg := range cell.Configs {
+			exprs = append(exprs, syntax.MustParse(ares.SpecFor(cell, cfg)))
+		}
+	}
+	b.ReportMetric(float64(len(exprs)), "configurations")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exprs {
+			if _, err := c.Concretize(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ablationEnv reproduces the §4.5 conflict scenario at benchmark scale.
+func ablationEnv() *concretize.Concretizer {
+	r := repo.NewRepo("ablation")
+	hw := pkg.New("hwloc2").Describe("hw").WithVersion("1.9", "x").WithVersion("1.11", "x")
+	r.MustAdd(hw)
+	a := pkg.New("aaanet").Describe("A").WithVersion("1.0", "x").
+		ProvidesVirtual("net", "").DependsOn("hwloc2@1.11")
+	r.MustAdd(a)
+	bb := pkg.New("bbbnet").Describe("B").WithVersion("1.0", "x").
+		ProvidesVirtual("net", "").DependsOn("hwloc2@1.9")
+	r.MustAdd(bb)
+	p := pkg.New("ptool").Describe("tool").WithVersion("1.0", "x").
+		DependsOn("hwloc2@1.9").DependsOn("net")
+	r.MustAdd(p)
+	return concretize.New(repo.NewPath(r), config.New(), compiler.LLNLRegistry())
+}
+
+// BenchmarkAblationGreedy measures the paper's greedy algorithm hitting
+// the §4.5 conflict (error path).
+func BenchmarkAblationGreedy(b *testing.B) {
+	c := ablationEnv()
+	abstract := syntax.MustParse("ptool")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Concretize(abstract); err == nil {
+			b.Fatal("greedy should conflict")
+		}
+	}
+}
+
+// BenchmarkAblationBacktracking measures the future-work extension
+// resolving the same conflict by provider search.
+func BenchmarkAblationBacktracking(b *testing.B) {
+	c := ablationEnv()
+	c.Backtracking = true
+	abstract := syntax.MustParse("ptool")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Concretize(abstract); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecDAGHash measures the configuration-hash of §3.4.2.
+func BenchmarkSpecDAGHash(b *testing.B) {
+	c := concretize.New(repo.NewPath(repo.Builtin()), config.New(), compiler.LLNLRegistry())
+	concrete, err := c.Concretize(syntax.MustParse("mpileaks"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if concrete.DAGHash() == "" {
+			b.Fatal("empty hash")
+		}
+	}
+}
+
+// BenchmarkSatisfies measures the constraint-entailment operator behind
+// when= clauses and find queries.
+func BenchmarkSatisfies(b *testing.B) {
+	c := concretize.New(repo.NewPath(repo.Builtin()), config.New(), compiler.LLNLRegistry())
+	concrete, err := c.Concretize(syntax.MustParse("mpileaks ^mvapich2"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := syntax.MustParse("mpileaks@2: %gcc ^mvapich2@2.0:")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !concrete.Satisfies(query) {
+			b.Fatal("should satisfy")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (SC'15): Table 1 (site naming conventions), Table 2 (spec
+// syntax examples), Table 3 (the ARES nightly matrix), Fig. 2 (constraint
+// DAGs), Fig. 5 (versioned virtual dependencies), Fig. 7 (a concretized
+// spec), Fig. 8 (concretization time vs. DAG size over a 245-package
+// repository), Fig. 9 (shared sub-DAGs), and Figs. 10–11 (build time and
+// overhead with compiler wrappers and NFS). Absolute numbers come from the
+// simulator's virtual clock or the host machine; the shapes are the
+// reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func() error
+}{
+	{"table1", "site naming conventions", runTable1},
+	{"table2", "spec syntax examples and their meaning", runTable2},
+	{"fig2", "constraints applied to mpileaks specs", runFig2},
+	{"fig5", "versioned virtual dependencies", runFig5},
+	{"fig7", "concretized mpileaks spec", runFig7},
+	{"fig8", "concretization time vs. package DAG size (245 packages)", runFig8},
+	{"fig9", "shared sub-DAGs across mpich/openmpi builds", runFig9},
+	{"fig10", "build time with wrappers and NFS (7 packages)", runFig10},
+	{"fig11", "build overhead percentages", runFig11},
+	{"fig13", "the ARES dependency DAG", runFig13},
+	{"table3", "ARES configurations built across arch/compiler/MPI", runTable3},
+	{"table3build", "build all 36 ARES configurations into one store", runTable3Build},
+}
+
+func main() {
+	selected := make(map[string]*bool, len(experiments))
+	for _, e := range experiments {
+		selected[e.name] = flag.Bool(e.name, false, e.desc)
+	}
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	any := *all
+	for _, on := range selected {
+		any = any || *on
+	}
+	if !any {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-all] [-table1 -table2 -table3 -fig2 -fig5 -fig7 -fig8 -fig9 -fig10 -fig11 -fig13]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	for _, e := range experiments {
+		if !*all && !*selected[e.name] {
+			continue
+		}
+		fmt.Printf("\n============================================================\n")
+		fmt.Printf("%s: %s\n", e.name, e.desc)
+		fmt.Printf("============================================================\n")
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsRun smoke-tests every table/figure generator: each must
+// complete without error (their assertions live in the internal packages;
+// here we guard the harness wiring itself).
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			if e.name == "fig8" && testing.Short() {
+				t.Skip("short mode")
+			}
+			if err := e.run(); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+		})
+	}
+}

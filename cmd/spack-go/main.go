@@ -1,0 +1,493 @@
+// Command spack-go is the command-line front end of the package manager,
+// mirroring the commands the paper demonstrates: spec (concretize and
+// show), install, find, uninstall, providers, list, info, compilers,
+// activate/deactivate, and view. It operates on a fresh simulated machine
+// per invocation (the library is the real artifact; the CLI demonstrates
+// the full workflow end to end, including the ARES site repository).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ares"
+	"repro/internal/core"
+	"repro/internal/modules"
+	"repro/internal/repo"
+	"repro/internal/store"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `spack-go: a Go reproduction of the Spack package manager (SC'15)
+
+usage: spack-go [flags] <command> [args]
+
+commands:
+  spec <spec>            concretize a spec and print the full DAG
+  install <spec>...      concretize and build specs into the store
+  find [spec]            list installed packages matching a query
+  uninstall <spec>       remove an installed package
+  providers <virtual>    list providers of a virtual interface
+  list [substring]       list known packages
+  info <package>         show a package's directives
+  compilers              list registered compiler toolchains
+  activate <spec>        link an extension into its extendee
+  deactivate <spec>      unlink an extension
+  view <rule> <spec>...  install specs and project them through a link rule
+  graph <spec>           concretize and emit a Graphviz DOT graph
+  versions <package>     list known and mirror-available versions
+  checksum <package>     fetch and checksum new mirror releases
+  diff <specA> <specB>   compare two concretized configurations
+  lmod <spec>...         install specs and generate an Lmod hierarchy
+  table1 <spec>          render a concretized spec under each site layout
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	var (
+		flagNFS      = flag.Bool("nfs-stage", false, "stage builds on the NFS latency profile")
+		flagNoWrap   = flag.Bool("no-wrappers", false, "disable compiler wrappers")
+		flagJobs     = flag.Int("jobs", 4, "parallel build jobs")
+		flagAres     = flag.Bool("ares", true, "include the llnl.ares site repository")
+		flagSynth    = flag.Int("synthesize", 0, "add N synthetic packages to the repository")
+		flagProvider = flag.String("mpi-provider", "", "preferred MPI provider (site policy)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	var opts []core.Option
+	if *flagNFS {
+		opts = append(opts, core.WithNFSStage())
+	}
+	if *flagNoWrap {
+		opts = append(opts, core.WithoutWrappers())
+	}
+	opts = append(opts, core.WithJobs(*flagJobs))
+	if *flagAres {
+		opts = append(opts, core.WithRepos(ares.Repo()))
+	}
+	if *flagSynth > 0 {
+		r := repo.NewRepo("synthetic")
+		repo.Synthesize(r, *flagSynth, 2015)
+		opts = append(opts, core.WithRepos(r))
+	}
+
+	s, err := core.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *flagProvider != "" {
+		s.Config.Site.SetProviderOrder("mpi", *flagProvider)
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := run(os.Stdout, s, cmd, args); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+func run(w io.Writer, s *core.Spack, cmd string, args []string) error {
+	switch cmd {
+	case "spec":
+		return cmdSpec(w, s, args)
+	case "install":
+		return cmdInstall(w, s, args)
+	case "find":
+		return cmdFind(w, s, args)
+	case "uninstall":
+		return cmdUninstall(w, s, args)
+	case "providers":
+		return cmdProviders(w, s, args)
+	case "list":
+		return cmdList(w, s, args)
+	case "info":
+		return cmdInfo(w, s, args)
+	case "compilers":
+		return cmdCompilers(w, s)
+	case "activate":
+		return cmdActivate(w, s, args, true)
+	case "deactivate":
+		return cmdActivate(w, s, args, false)
+	case "view":
+		return cmdView(w, s, args)
+	case "graph":
+		return cmdGraph(w, s, args)
+	case "versions":
+		return cmdVersions(w, s, args)
+	case "checksum":
+		return cmdChecksum(w, s, args)
+	case "diff":
+		return cmdDiff(w, s, args)
+	case "lmod":
+		return cmdLmod(w, s, args)
+	case "table1":
+		return cmdTable1(w, s, args)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func one(args []string, what string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("expected exactly one %s argument", what)
+	}
+	return args[0], nil
+}
+
+func cmdSpec(w io.Writer, s *core.Spack, args []string) error {
+	expr, err := one(args, "spec")
+	if err != nil {
+		return err
+	}
+	concrete, err := s.Spec(expr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Input spec\n------------------\n%s\n\n", expr)
+	fmt.Fprintf(w, "Concretized (%d packages, hash %s)\n------------------\n%s",
+		concrete.Size(), concrete.DAGHash(), concrete.TreeString())
+	return nil
+}
+
+func cmdInstall(w io.Writer, s *core.Spack, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("install needs at least one spec")
+	}
+	for _, expr := range args {
+		res, err := s.Install(expr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "==> %s: %d packages, virtual wall time %v (serial %v)\n",
+			expr, len(res.Reports), res.WallTime.Round(1e6), res.TotalTime.Round(1e6))
+		for _, n := range res.Root.TopoOrder() {
+			rep := res.Report(n.Name)
+			status := "built"
+			if rep.Reused {
+				status = "reused"
+			} else if n.External {
+				status = "external"
+			}
+			fmt.Fprintf(w, "    %-8s %-14s %s\n", status, n.Name, rep.Prefix)
+		}
+	}
+	return nil
+}
+
+func cmdFind(w io.Writer, s *core.Spack, args []string) error {
+	query := ""
+	if len(args) > 0 {
+		query = args[0]
+	}
+	var recs []*store.Record
+	var err error
+	if query == "" {
+		recs = s.Store.All()
+	} else {
+		recs, err = s.Find(query)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "==> %d installed packages\n", len(recs))
+	for _, r := range recs {
+		fmt.Fprintf(w, "    %s\n        %s\n", r.Spec.String(), r.Prefix)
+	}
+	return nil
+}
+
+func cmdUninstall(w io.Writer, s *core.Spack, args []string) error {
+	expr, err := one(args, "spec")
+	if err != nil {
+		return err
+	}
+	return s.Uninstall(expr, false)
+}
+
+func cmdProviders(w io.Writer, s *core.Spack, args []string) error {
+	expr, err := one(args, "virtual")
+	if err != nil {
+		return err
+	}
+	names, err := s.Providers(expr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s:\n", expr)
+	for _, n := range names {
+		fmt.Fprintf(w, "    %s\n", n)
+	}
+	return nil
+}
+
+func cmdList(w io.Writer, s *core.Spack, args []string) error {
+	sub := ""
+	if len(args) > 0 {
+		sub = args[0]
+	}
+	names := s.Repos.Names()
+	n := 0
+	for _, name := range names {
+		if sub == "" || strings.Contains(name, sub) {
+			fmt.Fprintln(w, name)
+			n++
+		}
+	}
+	fmt.Fprintf(w, "==> %d packages\n", n)
+	return nil
+}
+
+func cmdInfo(w io.Writer, s *core.Spack, args []string) error {
+	name, err := one(args, "package")
+	if err != nil {
+		return err
+	}
+	def, ns, ok := s.Repos.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown package %q", name)
+	}
+	fmt.Fprintf(w, "Package:     %s (namespace %s)\n", def.Name, ns)
+	fmt.Fprintf(w, "Description: %s\n", def.Description)
+	if def.Homepage != "" {
+		fmt.Fprintf(w, "Homepage:    %s\n", def.Homepage)
+	}
+	fmt.Fprintf(w, "Safe versions:\n")
+	for _, vi := range def.VersionInfos {
+		fmt.Fprintf(w, "    %-12s %s\n", vi.Version, vi.MD5)
+	}
+	if len(def.Variants) > 0 {
+		fmt.Fprintf(w, "Variants:\n")
+		for _, v := range def.Variants {
+			fmt.Fprintf(w, "    %-12s default %-5v %s\n", v.Name, v.Default, v.Description)
+		}
+	}
+	if len(def.Dependencies) > 0 {
+		fmt.Fprintf(w, "Dependencies:\n")
+		for _, d := range def.Dependencies {
+			when := ""
+			if d.When != nil {
+				when = "  when=" + d.When.String()
+			}
+			fmt.Fprintf(w, "    %s%s\n", d.Constraint, when)
+		}
+	}
+	if len(def.Provides) > 0 {
+		fmt.Fprintf(w, "Provides:\n")
+		for _, p := range def.Provides {
+			when := ""
+			if p.When != nil {
+				when = "  when=" + p.When.String()
+			}
+			fmt.Fprintf(w, "    %s%s\n", p.Virtual, when)
+		}
+	}
+	return nil
+}
+
+func cmdCompilers(w io.Writer, s *core.Spack) error {
+	fmt.Fprintln(w, "==> Available compilers")
+	for _, tc := range s.Compilers.All() {
+		targets := strings.Join(tc.Targets, ",")
+		if targets == "" {
+			targets = "host"
+		}
+		fmt.Fprintf(w, "    %-16s cc=%-28s targets=%s\n", tc.String(), tc.CC, targets)
+	}
+	return nil
+}
+
+func cmdActivate(w io.Writer, s *core.Spack, args []string, on bool) error {
+	expr, err := one(args, "extension spec")
+	if err != nil {
+		return err
+	}
+	if on {
+		if err := s.Activate(expr); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "==> activated %s\n", expr)
+		return nil
+	}
+	if err := s.Deactivate(expr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "==> deactivated %s\n", expr)
+	return nil
+}
+
+func cmdView(w io.Writer, s *core.Spack, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("view needs a link template and at least one spec")
+	}
+	rule, specs := args[0], args[1:]
+	if err := s.Config.Site.AddLinkRule("", rule); err != nil {
+		return err
+	}
+	for _, expr := range specs {
+		if _, err := s.Install(expr); err != nil {
+			return err
+		}
+	}
+	links, err := s.Views.Refresh(s.Store)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "==> %d view links\n", len(links))
+	for _, l := range links {
+		fmt.Fprintf(w, "    %s -> %s\n", l.Path, l.Target)
+	}
+	return nil
+}
+
+func cmdGraph(w io.Writer, s *core.Spack, args []string) error {
+	expr, err := one(args, "spec")
+	if err != nil {
+		return err
+	}
+	concrete, err := s.Spec(expr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, concrete.DotString(nil))
+	return nil
+}
+
+func cmdVersions(w io.Writer, s *core.Spack, args []string) error {
+	name, err := one(args, "package")
+	if err != nil {
+		return err
+	}
+	def, _, ok := s.Repos.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown package %q", name)
+	}
+	fmt.Fprintln(w, "==> Safe versions (already checksummed):")
+	for _, v := range def.KnownVersions() {
+		fmt.Fprintf(w, "    %s\n", v)
+	}
+	newer := s.Mirror.Scrape(name, def.KnownVersions())
+	if len(newer) > 0 {
+		fmt.Fprintln(w, "==> Remote versions (not yet checksummed):")
+		for _, v := range newer {
+			fmt.Fprintf(w, "    %s\n", v)
+		}
+	}
+	return nil
+}
+
+func cmdChecksum(w io.Writer, s *core.Spack, args []string) error {
+	name, err := one(args, "package")
+	if err != nil {
+		return err
+	}
+	added, err := s.ChecksumNewVersions(name)
+	if err != nil {
+		return err
+	}
+	if len(added) == 0 {
+		fmt.Fprintf(w, "==> no new versions of %s on the mirror\n", name)
+		return nil
+	}
+	def, _, _ := s.Repos.Get(name)
+	fmt.Fprintf(w, "==> added %d new version directives to %s:\n", len(added), name)
+	for _, v := range added {
+		vi, _ := def.VersionInfo(v)
+		fmt.Fprintf(w, "    version('%s', '%s')\n", v, vi.MD5)
+	}
+	return nil
+}
+
+func cmdDiff(w io.Writer, s *core.Spack, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("diff needs exactly two specs")
+	}
+	diffs, err := s.Diff(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	if len(diffs) == 0 {
+		fmt.Fprintln(w, "==> configurations are identical")
+		return nil
+	}
+	fmt.Fprintf(w, "==> %d packages differ (A = %s, B = %s)\n", len(diffs), args[0], args[1])
+	for _, d := range diffs {
+		switch d.OnlyIn {
+		case "a":
+			fmt.Fprintf(w, "    %-14s only in A\n", d.Name)
+		case "b":
+			fmt.Fprintf(w, "    %-14s only in B\n", d.Name)
+		default:
+			fmt.Fprintf(w, "    %s:\n", d.Name)
+			for _, f := range d.Fields {
+				fmt.Fprintf(w, "        %-12s A=%s  B=%s\n", f.Field, f.A, f.B)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdLmod(w io.Writer, s *core.Spack, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("lmod needs at least one spec")
+	}
+	for _, expr := range args {
+		if _, err := s.Install(expr); err != nil {
+			return err
+		}
+	}
+	g := &modules.LmodGenerator{FS: s.FS, Root: "/spack/share", IsMPI: s.IsMPI}
+	paths, err := g.GenerateAll(s.Store)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "==> generated %d Lmod modules\n", len(paths))
+	for _, p := range paths {
+		fmt.Fprintf(w, "    %s\n", p)
+	}
+	return nil
+}
+
+func cmdTable1(w io.Writer, s *core.Spack, args []string) error {
+	expr, err := one(args, "spec")
+	if err != nil {
+		return err
+	}
+	concrete, err := s.Spec(expr)
+	if err != nil {
+		return err
+	}
+	layouts := []store.Layout{
+		store.LLNLLayout{}, store.ORNLLayout{},
+		store.TACCLayout{IsMPI: s.IsMPI}, store.SpackLayout{},
+	}
+	names := map[string]string{
+		"llnl": "LLNL", "ornl": "ORNL", "tacc": "TACC / Lmod", "spack": "Spack default",
+	}
+	fmt.Fprintf(w, "Software organization of various HPC sites (Table 1) for %s:\n", expr)
+	rows := make([][2]string, 0, len(layouts))
+	for _, l := range layouts {
+		rows = append(rows, [2]string{names[l.Name()], "/" + l.RelPath(concrete)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	for _, r := range rows {
+		fmt.Fprintf(w, "    %-14s %s\n", r[0], r[1])
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ares"
+	"repro/internal/core"
+	"repro/internal/version"
+)
+
+func runCmd(t *testing.T, s *core.Spack, cmd string, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(&b, s, cmd, args); err != nil {
+		t.Fatalf("%s %v: %v", cmd, args, err)
+	}
+	return b.String()
+}
+
+func newCLI(t *testing.T) *core.Spack {
+	t.Helper()
+	return core.MustNew(core.WithRepos(ares.Repo()))
+}
+
+func TestCmdSpec(t *testing.T) {
+	out := runCmd(t, newCLI(t), "spec", "mpileaks ^mvapich2@2.0")
+	for _, want := range []string{"Concretized (", "mpileaks@2.3", "^mvapich2@2.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdInstallFindUninstall(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "install", "libdwarf")
+	if !strings.Contains(out, "built") || !strings.Contains(out, "libelf") {
+		t.Errorf("install output:\n%s", out)
+	}
+	out = runCmd(t, s, "find", "libdwarf")
+	if !strings.Contains(out, "==> 1 installed packages") {
+		t.Errorf("find output:\n%s", out)
+	}
+	// find with no query lists everything.
+	out = runCmd(t, s, "find")
+	if !strings.Contains(out, "==> 2 installed packages") {
+		t.Errorf("find-all output:\n%s", out)
+	}
+	runCmd(t, s, "uninstall", "libdwarf")
+	out = runCmd(t, s, "find")
+	if !strings.Contains(out, "==> 1 installed packages") {
+		t.Errorf("after uninstall:\n%s", out)
+	}
+}
+
+func TestCmdProviders(t *testing.T) {
+	out := runCmd(t, newCLI(t), "providers", "mpi@2:")
+	if !strings.Contains(out, "mvapich2") || strings.Contains(out, "\n    mvapich\n") {
+		t.Errorf("providers output:\n%s", out)
+	}
+}
+
+func TestCmdListAndInfo(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "list", "mpi")
+	if !strings.Contains(out, "mpileaks") || !strings.Contains(out, "openmpi") {
+		t.Errorf("list output:\n%s", out)
+	}
+	out = runCmd(t, s, "info", "gperftools")
+	for _, want := range []string{"Package:     gperftools", "Safe versions:", "2.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, s, "info", "mvapich2")
+	if !strings.Contains(out, "Provides:") || !strings.Contains(out, "mpi@:3.0") {
+		t.Errorf("info provides missing:\n%s", out)
+	}
+}
+
+func TestCmdCompilers(t *testing.T) {
+	out := runCmd(t, newCLI(t), "compilers")
+	for _, want := range []string{"gcc@4.9.2", "xl@12.1", "targets=bgq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compilers output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdActivateDeactivate(t *testing.T) {
+	s := newCLI(t)
+	runCmd(t, s, "install", "py-numpy")
+	out := runCmd(t, s, "activate", "py-numpy")
+	if !strings.Contains(out, "activated py-numpy") {
+		t.Errorf("activate output:\n%s", out)
+	}
+	out = runCmd(t, s, "deactivate", "py-numpy")
+	if !strings.Contains(out, "deactivated") {
+		t.Errorf("deactivate output:\n%s", out)
+	}
+}
+
+func TestCmdView(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "view", "/opt/${PACKAGE}-${VERSION}", "zlib")
+	if !strings.Contains(out, "/opt/zlib-1.2.8 ->") {
+		t.Errorf("view output:\n%s", out)
+	}
+}
+
+func TestCmdGraph(t *testing.T) {
+	out := runCmd(t, newCLI(t), "graph", "libdwarf")
+	if !strings.Contains(out, "digraph G {") || !strings.Contains(out, `"libdwarf" -> "libelf"`) {
+		t.Errorf("graph output:\n%s", out)
+	}
+}
+
+func TestCmdVersions(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "versions", "libelf")
+	if !strings.Contains(out, "0.8.13") {
+		t.Errorf("versions output:\n%s", out)
+	}
+	// Publish a newer release: it appears as a remote version.
+	s.Mirror.Publish("libelf", mustV("0.8.14"))
+	out = runCmd(t, s, "versions", "libelf")
+	if !strings.Contains(out, "Remote versions") || !strings.Contains(out, "0.8.14") {
+		t.Errorf("scraped versions missing:\n%s", out)
+	}
+}
+
+func TestCmdLmod(t *testing.T) {
+	out := runCmd(t, newCLI(t), "lmod", "libdwarf")
+	if !strings.Contains(out, "generated 2 Lmod modules") {
+		t.Errorf("lmod output:\n%s", out)
+	}
+}
+
+func TestCmdTable1(t *testing.T) {
+	out := runCmd(t, newCLI(t), "table1", "mpileaks")
+	for _, want := range []string{"LLNL", "ORNL", "TACC", "Spack default"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	s := newCLI(t)
+	for _, c := range [][]string{
+		{"spec"},                  // missing arg
+		{"spec", "a", "b"},        // too many args
+		{"install"},               // no specs
+		{"info", "no-such"},       // unknown package
+		{"nonsense"},              // unknown command
+		{"uninstall", "zlib"},     // not installed
+		{"view", "/opt/x"},        // missing specs
+		{"versions", "no-such"},   // unknown package
+		{"spec", "no-such-thing"}, // unknown spec
+	} {
+		var b strings.Builder
+		if err := run(&b, s, c[0], c[1:]); err == nil {
+			t.Errorf("command %v should fail", c)
+		}
+	}
+}
+
+func mustV(s string) version.Version { return version.MustParse(s) }
+
+func TestCmdChecksum(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "checksum", "libelf")
+	if !strings.Contains(out, "no new versions") {
+		t.Errorf("checksum with nothing new:\n%s", out)
+	}
+	s.Mirror.Publish("libelf", mustV("0.8.14"))
+	out = runCmd(t, s, "checksum", "libelf")
+	if !strings.Contains(out, "added 1 new version") || !strings.Contains(out, "version('0.8.14'") {
+		t.Errorf("checksum output:\n%s", out)
+	}
+	// The new directive makes the version installable with verification.
+	res, err := s.Install("libelf@0.8.14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report("libelf").Fetched {
+		t.Error("new version not fetched")
+	}
+}
+
+func TestCmdDiff(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "diff", "mpileaks ^mpich", "mpileaks+debug ^openmpi")
+	for _, want := range []string{"mpich", "only in A", "openmpi", "only in B", "variant debug"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, s, "diff", "zlib", "zlib")
+	if !strings.Contains(out, "identical") {
+		t.Errorf("self diff:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run(&b, s, "diff", []string{"zlib"}); err == nil {
+		t.Error("diff with one arg should fail")
+	}
+}

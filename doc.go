@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "The Spack Package
+// Manager: Bringing Order to HPC Software Chaos" (Gamblin et al., SC '15):
+// a multi-configuration HPC package manager with the paper's recursive
+// spec syntax, versioned virtual dependencies, greedy fixed-point
+// concretization, compiler-wrapper build environment with RPATH injection,
+// hashed install prefixes with shared sub-DAGs, environment-module
+// generation, views, and language extensions.
+//
+// The library lives under internal/ (see internal/core for the assembled
+// facade), the CLI under cmd/spack-go, the experiment harness that
+// regenerates every table and figure under cmd/experiments, and runnable
+// examples under examples/. DESIGN.md maps paper sections to modules;
+// EXPERIMENTS.md records paper-vs-measured results.
+package repro

@@ -1,0 +1,79 @@
+// Pythonstack: the interpreted-language use case of §4.2 — Python
+// extensions install into their own prefixes (combinatorial versioning),
+// then activate into the interpreter prefix via symlinks, with conflicting
+// metadata files merged; deactivation restores the pristine installation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	s := core.MustNew()
+
+	// Install the scientific Python stack. py-scipy drags in py-numpy,
+	// python itself, and the BLAS/LAPACK providers.
+	res, err := s.Install("py-scipy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %d packages for py-scipy\n", len(res.Reports))
+
+	pyRecs, _ := s.Find("python")
+	pyPrefix := pyRecs[0].Prefix
+	fmt.Printf("python prefix: %s\n", pyPrefix)
+	fmt.Printf("py-numpy prefix: %s\n", res.Report("py-numpy").Prefix)
+	fmt.Println("(each extension has its own prefix -> many versions can coexist)")
+
+	// Activate numpy, then scipy, into the interpreter.
+	for _, ext := range []string{"py-numpy", "py-scipy"} {
+		if err := s.Activate(ext); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("activated %s\n", ext)
+	}
+	active, _ := s.Extensions.Active(pyPrefix)
+	fmt.Printf("active extensions in %s: %v\n", pyPrefix, active)
+
+	// The interpreter prefix now "contains" the extensions via symlinks.
+	linked := 0
+	s.FS.Walk(pyPrefix, func(p string, isLink bool) error {
+		if isLink {
+			linked++
+		}
+		return nil
+	})
+	fmt.Printf("%d files linked into the python prefix\n", linked)
+
+	// A second numpy version coexists in its own prefix, but activating it
+	// while the first is active fails cleanly.
+	if _, err := s.Install("py-numpy@1.8.2"); err != nil {
+		log.Fatal(err)
+	}
+	all, _ := s.Find("py-numpy")
+	fmt.Printf("\n%d py-numpy configurations installed:\n", len(all))
+	for _, r := range all {
+		fmt.Printf("    %s\n", strings.TrimPrefix(r.Spec.String(), "py-numpy"))
+	}
+
+	// Deactivate everything; the interpreter returns to pristine state.
+	// py-numpy is now ambiguous (two versions installed), so the active
+	// one is named precisely — exactly what a user would have to do.
+	for _, ext := range []string{"py-scipy", "py-numpy@1.9.1"} {
+		if err := s.Deactivate(ext); err != nil {
+			log.Fatal(err)
+		}
+	}
+	remaining := 0
+	s.FS.Walk(pyPrefix, func(p string, isLink bool) error {
+		if isLink {
+			remaining++
+		}
+		return nil
+	})
+	fmt.Printf("\nafter deactivation: %d links remain (pristine python restored)\n", remaining)
+}

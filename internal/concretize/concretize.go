@@ -1,0 +1,971 @@
+// Package concretize implements the paper's central algorithm (SC'15 §3.4,
+// Fig. 6): translating an abstract, partially constrained spec into a fully
+// concrete build specification. The pipeline mirrors the figure —
+//
+//  1. intersect the user's constraints with the constraints encoded by
+//     package-file directives, package by package;
+//  2. iteratively replace virtual nodes with concrete providers, consulting
+//     site and user policies when several providers qualify;
+//  3. concretize the remaining parameters (version, compiler, compiler
+//     version, variants, architecture) from policies and defaults;
+//
+// repeating the cycle because newly pinned parameters can activate
+// conditional dependencies (`when=` clauses), until a fixed point. The
+// default algorithm is greedy, like the paper's: it never revisits a policy
+// choice, and raises a conflict error the user must resolve by being more
+// explicit (§3.4, §4.5). The backtracking search the paper leaves as future
+// work is available via the Backtracking field.
+package concretize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/version"
+)
+
+// Concretizer converts abstract specs to concrete ones against a package
+// repository path, a configuration, and a compiler registry.
+type Concretizer struct {
+	Path     *repo.Path
+	Config   *config.Config
+	Registry *compiler.Registry
+
+	// Backtracking enables the provider search the paper defers to future
+	// work (§4.5): when the greedy pass hits a conflict, alternative
+	// virtual-provider assignments are explored depth-first.
+	Backtracking bool
+
+	// MaxIters bounds the fixed-point loop (safety net; realistic DAGs
+	// converge in a handful of rounds).
+	MaxIters int
+
+	// Stats accumulates counters across Concretize calls, for the
+	// experiment harness.
+	Stats Stats
+}
+
+// Stats counts concretizer work. Counters are atomic so one Concretizer
+// may serve concurrent goroutines (parallel installs share an instance).
+type Stats struct {
+	runs         atomic.Int64
+	iterations   atomic.Int64
+	backtracks   atomic.Int64
+	virtualsSeen atomic.Int64
+}
+
+// Runs reports completed Concretize calls.
+func (s *Stats) Runs() int { return int(s.runs.Load()) }
+
+// Iterations reports fixed-point rounds across all runs.
+func (s *Stats) Iterations() int { return int(s.iterations.Load()) }
+
+// Backtracks reports alternative provider assignments tried.
+func (s *Stats) Backtracks() int { return int(s.backtracks.Load()) }
+
+// VirtualsSeen reports virtual nodes resolved.
+func (s *Stats) VirtualsSeen() int { return int(s.virtualsSeen.Load()) }
+
+// New returns a Concretizer with defaults.
+func New(path *repo.Path, cfg *config.Config, reg *compiler.Registry) *Concretizer {
+	return &Concretizer{Path: path, Config: cfg, Registry: reg, MaxIters: 64}
+}
+
+// Error wraps a concretization failure with the offending spec.
+type Error struct {
+	Spec string
+	Err  error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("concretize %q: %v", e.Spec, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// UnknownPackageError reports a name that is neither a package nor a
+// virtual interface, with close-match suggestions.
+type UnknownPackageError struct {
+	Name        string
+	Suggestions []string
+}
+
+func (e *UnknownPackageError) Error() string {
+	msg := fmt.Sprintf("unknown package %q (not a package or virtual interface)", e.Name)
+	if len(e.Suggestions) > 0 {
+		msg += fmt.Sprintf("; did you mean %s?", strings.Join(e.Suggestions, ", "))
+	}
+	return msg
+}
+
+// NoProviderError reports a virtual constraint no provider can satisfy.
+type NoProviderError struct {
+	Virtual string
+	Detail  string
+}
+
+func (e *NoProviderError) Error() string {
+	return fmt.Sprintf("no provider satisfies virtual dependency %q%s", e.Virtual, e.Detail)
+}
+
+// NoVersionError reports version constraints admitting no known version.
+type NoVersionError struct {
+	Package    string
+	Constraint string
+	Known      []string
+}
+
+func (e *NoVersionError) Error() string {
+	return fmt.Sprintf("package %s has no version satisfying @%s (known: %s)",
+		e.Package, e.Constraint, strings.Join(e.Known, ", "))
+}
+
+// NoCompilerError reports a compiler constraint no registered toolchain
+// meets.
+type NoCompilerError struct {
+	Package    string
+	Constraint string
+	Arch       string
+}
+
+func (e *NoCompilerError) Error() string {
+	return fmt.Sprintf("no registered compiler satisfies %%%s for %s on %s",
+		e.Constraint, e.Package, e.Arch)
+}
+
+// MissingFeatureError reports that no admissible compiler supports a
+// capability the package requires (§4.5's feature-aware selection).
+type MissingFeatureError struct {
+	Package  string
+	Feature  string
+	Compiler string
+	Arch     string
+}
+
+func (e *MissingFeatureError) Error() string {
+	return fmt.Sprintf("package %s requires compiler feature %q, which no admissible %s toolchain on %s provides",
+		e.Package, e.Feature, e.Compiler, e.Arch)
+}
+
+// CycleError reports a circular dependency. Spack disallows cycles
+// (§3.2.1 footnote: "Spack currently disallows circular dependencies").
+type CycleError struct {
+	Cycle []string // package names along the cycle, first == last
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("circular dependency: %s", strings.Join(e.Cycle, " -> "))
+}
+
+// UnknownVariantError reports a variant set on a package that does not
+// declare it.
+type UnknownVariantError struct {
+	Package string
+	Variant string
+}
+
+func (e *UnknownVariantError) Error() string {
+	return fmt.Sprintf("package %s has no variant %q", e.Package, e.Variant)
+}
+
+// Concretize returns a new, fully concrete spec DAG satisfying the abstract
+// input, or an error describing the inconsistency or missing information.
+// The input is not modified.
+func (c *Concretizer) Concretize(abstract *spec.Spec) (*spec.Spec, error) {
+	out, err := c.run(abstract, nil)
+	if err == nil {
+		return out, nil
+	}
+	if !c.Backtracking {
+		return nil, err
+	}
+	return c.backtrack(abstract, err)
+}
+
+// run performs one greedy concretization. forced maps virtual names to the
+// provider package that must be chosen, used by the backtracking search.
+func (c *Concretizer) run(abstract *spec.Spec, forced map[string]string) (*spec.Spec, error) {
+	root := abstract.Clone()
+	if root.Name == "" {
+		return nil, &Error{Spec: abstract.String(), Err: fmt.Errorf("cannot concretize an anonymous spec")}
+	}
+	// Every named node must be a package or virtual.
+	var nameErr error
+	root.Traverse(func(n *spec.Spec) bool {
+		if _, _, ok := c.Path.Get(n.Name); ok {
+			return true
+		}
+		if c.Path.IsVirtual(n.Name) {
+			return true
+		}
+		nameErr = &UnknownPackageError{Name: n.Name, Suggestions: c.suggest(n.Name)}
+		return false
+	})
+	if nameErr != nil {
+		return nil, &Error{Spec: abstract.String(), Err: nameErr}
+	}
+
+	for iter := 0; ; iter++ {
+		if iter >= c.MaxIters {
+			return nil, &Error{Spec: abstract.String(),
+				Err: fmt.Errorf("no fixed point after %d iterations", c.MaxIters)}
+		}
+		c.Stats.iterations.Add(1)
+		changed := false
+
+		ch, err := c.applyPackageConstraints(root)
+		if err != nil {
+			return nil, &Error{Spec: abstract.String(), Err: err}
+		}
+		changed = changed || ch
+
+		// Parameters before virtual resolution: provider choice is greedy
+		// and irrevocable, so it should see the architecture and compiler
+		// context (a vendor MPI conditioned on "=bgq" must not be chosen
+		// for a Linux build).
+		ch, err = c.concretizeParams(root)
+		if err != nil {
+			return nil, &Error{Spec: abstract.String(), Err: err}
+		}
+		changed = changed || ch
+
+		ch, err = c.resolveVirtuals(root, forced)
+		if err != nil {
+			return nil, &Error{Spec: abstract.String(), Err: err}
+		}
+		changed = changed || ch
+
+		if !changed {
+			break
+		}
+	}
+
+	// Circular dependencies are rejected (§3.2.1 footnote).
+	if cyc := findCycle(root); cyc != nil {
+		return nil, &Error{Spec: abstract.String(), Err: &CycleError{Cycle: cyc}}
+	}
+
+	// Final criteria from §3.4: no virtuals, nothing abstract.
+	var finalErr error
+	root.Traverse(func(n *spec.Spec) bool {
+		if c.Path.IsVirtual(n.Name) {
+			finalErr = &NoProviderError{Virtual: n.Name}
+			return false
+		}
+		if !n.NodeConcrete() {
+			finalErr = fmt.Errorf("node %s is still abstract after concretization", n.Name)
+			return false
+		}
+		return true
+	})
+	if finalErr != nil {
+		return nil, &Error{Spec: abstract.String(), Err: finalErr}
+	}
+	c.Stats.runs.Add(1)
+	return root, nil
+}
+
+// backtrack explores alternative provider assignments after a greedy
+// failure — the paper's future-work extension (§4.5). It enumerates, per
+// virtual interface reachable from the spec, each candidate provider in
+// preference order, depth-first.
+func (c *Concretizer) backtrack(abstract *spec.Spec, greedyErr error) (*spec.Spec, error) {
+	virtuals := c.Path.Virtuals()
+	providers := make(map[string][]string)
+	for _, v := range virtuals {
+		providers[v] = c.rankProviderNames(v)
+	}
+	var dfs func(i int, forced map[string]string) (*spec.Spec, error)
+	dfs = func(i int, forced map[string]string) (*spec.Spec, error) {
+		if i == len(virtuals) {
+			c.Stats.backtracks.Add(1)
+			return c.run(abstract, forced)
+		}
+		v := virtuals[i]
+		// First try leaving this virtual to the greedy policy.
+		if out, err := dfs(i+1, forced); err == nil {
+			return out, nil
+		}
+		var lastErr error
+		for _, p := range providers[v] {
+			forced[v] = p
+			out, err := dfs(i+1, forced)
+			delete(forced, v)
+			if err == nil {
+				return out, nil
+			}
+			lastErr = err
+		}
+		if lastErr == nil {
+			lastErr = greedyErr
+		}
+		return nil, lastErr
+	}
+	out, err := dfs(0, map[string]string{})
+	if err != nil {
+		return nil, greedyErr // report the original failure
+	}
+	return out, nil
+}
+
+// rankProviderNames orders the provider packages for a virtual by policy.
+func (c *Concretizer) rankProviderNames(virtual string) []string {
+	names := c.Path.ProviderNames(virtual)
+	sort.SliceStable(names, func(i, j int) bool {
+		ri, rj := c.Config.ProviderRank(virtual, names[i]), c.Config.ProviderRank(virtual, names[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// applyPackageConstraints merges directive constraints from package files
+// into the DAG: for every resolved (non-virtual) node, the dependencies
+// active under its current configuration are intersected in, with new edges
+// attached (Fig. 6's "Intersect Constraints").
+func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
+	changed := false
+	// Snapshot nodes first: attaching deps during traversal would mutate
+	// the structure being walked.
+	nodes := root.Nodes()
+	index := make(map[string]*spec.Spec)
+	for _, n := range nodes {
+		index[n.Name] = n
+	}
+	for _, n := range nodes {
+		def, ns, ok := c.Path.Get(n.Name)
+		if !ok {
+			continue // virtual; resolved separately
+		}
+		if n.Namespace == "" {
+			n.Namespace = ns
+			changed = true
+		}
+		for _, d := range def.DependenciesFor(n) {
+			depName := d.Constraint.Name
+			edgeType := spec.DepDefault
+			if d.BuildOnly {
+				edgeType = spec.DepBuild
+			}
+			// A virtual dependency already satisfied by a provider in the
+			// DAG attaches to that provider rather than re-creating the
+			// virtual node (otherwise resolution would never converge).
+			if prov, found, err := c.dagProviderFor(index, d.Constraint); err != nil {
+				return changed, err
+			} else if found {
+				if n.Deps == nil {
+					n.Deps = make(map[string]*spec.Spec)
+				}
+				if _, has := n.Deps[prov.Name]; !has {
+					n.Deps[prov.Name] = prov
+					n.SetDepType(prov.Name, edgeType)
+					changed = true
+				}
+				continue
+			}
+			if existing, ok := index[depName]; ok {
+				ch, err := existing.ConstrainChanged(d.Constraint)
+				if err != nil {
+					return changed, err
+				}
+				changed = changed || ch
+				if n.Deps == nil {
+					n.Deps = make(map[string]*spec.Spec)
+				}
+				if _, has := n.Deps[depName]; !has {
+					n.Deps[depName] = existing
+					n.SetDepType(depName, edgeType)
+					changed = true
+				}
+			} else {
+				node := d.Constraint.Clone()
+				if n.Deps == nil {
+					n.Deps = make(map[string]*spec.Spec)
+				}
+				n.Deps[depName] = node
+				n.SetDepType(depName, edgeType)
+				index[depName] = node
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}
+
+// dagProviderFor looks for a node already in the DAG that provides a
+// virtual dependency constraint. If nodes provide the interface name but
+// none compatibly, that is a conflict: one DAG must not mix two providers
+// of the same interface (the ABI-consistency guarantee of §3.2.1).
+func (c *Concretizer) dagProviderFor(index map[string]*spec.Spec, dep *spec.Spec) (*spec.Spec, bool, error) {
+	if !c.Path.IsVirtual(dep.Name) {
+		return nil, false, nil
+	}
+	names := make([]string, 0, len(index))
+	for name := range index {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sawProvider := false
+	for _, name := range names {
+		n := index[name]
+		def, _, ok := c.Path.Get(n.Name)
+		if !ok {
+			continue
+		}
+		providesName := false
+		for _, pr := range def.Provides {
+			if pr.Virtual.Name != dep.Name {
+				continue
+			}
+			providesName = true
+			if !pr.Virtual.Compatible(dep) {
+				continue
+			}
+			if pr.When != nil && !n.Compatible(pr.When) {
+				continue
+			}
+			return n, true, nil
+		}
+		sawProvider = sawProvider || providesName
+	}
+	if sawProvider {
+		return nil, false, &NoProviderError{
+			Virtual: dep.String(),
+			Detail:  " (a provider of this interface is already in the DAG but is incompatible)",
+		}
+	}
+	return nil, false, nil
+}
+
+// resolveVirtuals replaces virtual nodes with providers (Fig. 6's "Resolve
+// Virtual Deps"). If a package already in the DAG provides the interface,
+// it is reused (this is how `^mpich` forces the MPI choice); otherwise the
+// best provider by site/user policy is selected greedily.
+func (c *Concretizer) resolveVirtuals(root *spec.Spec, forced map[string]string) (bool, error) {
+	changed := false
+	for {
+		vnode := c.findVirtualNode(root)
+		if vnode == nil {
+			return changed, nil
+		}
+		c.Stats.virtualsSeen.Add(1)
+		provider, err := c.chooseProvider(root, vnode, forced)
+		if err != nil {
+			return changed, err
+		}
+		c.replaceNode(root, vnode, provider)
+		changed = true
+	}
+}
+
+// findVirtualNode returns some virtual node of the DAG, or nil.
+func (c *Concretizer) findVirtualNode(root *spec.Spec) *spec.Spec {
+	var found *spec.Spec
+	root.Traverse(func(n *spec.Spec) bool {
+		if c.Path.IsVirtual(n.Name) {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// chooseProvider selects the provider node for a virtual constraint. The
+// returned node is either an existing DAG node or a fresh one constrained
+// by the provides-when condition.
+func (c *Concretizer) chooseProvider(root, vnode *spec.Spec, forced map[string]string) (*spec.Spec, error) {
+	// 1. A DAG node that provides the interface wins outright.
+	var inDAG *spec.Spec
+	root.Traverse(func(n *spec.Spec) bool {
+		if n == vnode {
+			return true
+		}
+		def, _, ok := c.Path.Get(n.Name)
+		if !ok || !def.ProvidesVirtualName(vnode.Name) {
+			return true
+		}
+		// Check interface-version compatibility for some provides entry.
+		for _, pr := range def.Provides {
+			if pr.Virtual.Name == vnode.Name && pr.Virtual.Compatible(vnode) {
+				inDAG = n
+				return false
+			}
+		}
+		return true
+	})
+	if inDAG != nil {
+		if err := c.constrainProviderForVirtual(inDAG, vnode); err != nil {
+			return nil, err
+		}
+		return inDAG, nil
+	}
+
+	// 2. Otherwise rank the repository's candidates.
+	cands := c.Path.ProvidersFor(vnode)
+	if len(cands) == 0 {
+		return nil, &NoProviderError{Virtual: vnode.String()}
+	}
+	if want, ok := forced[vnode.Name]; ok {
+		var filtered []repo.Provider
+		for _, p := range cands {
+			if p.Package.Name == want {
+				filtered = append(filtered, p)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, &NoProviderError{Virtual: vnode.String(),
+				Detail: fmt.Sprintf(" (forced provider %s does not qualify)", want)}
+		}
+		cands = filtered
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		ri := c.Config.ProviderRank(vnode.Name, cands[i].Package.Name)
+		rj := c.Config.ProviderRank(vnode.Name, cands[j].Package.Name)
+		if ri != rj {
+			return ri < rj
+		}
+		if cands[i].Package.Name != cands[j].Package.Name {
+			return cands[i].Package.Name < cands[j].Package.Name
+		}
+		// Within one package prefer the entry providing the newest
+		// interface (later provides directives list newer interfaces).
+		return false
+	})
+
+	// Greedy: take the first candidate whose when-condition and the
+	// virtual node's non-version constraints are mutually consistent.
+	// Inconsistent candidates (e.g. a vendor MPI conditioned on another
+	// architecture) are skipped at choice time; once a candidate is taken
+	// the algorithm never revisits the decision (§3.4).
+	var lastErr error
+	for _, cand := range cands {
+		node := spec.New(cand.Package.Name)
+		if cand.When != nil {
+			if err := node.Constrain(cand.When); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := c.constrainProviderForVirtual(node, vnode); err != nil {
+			lastErr = err
+			continue
+		}
+		return node, nil
+	}
+	if lastErr == nil {
+		lastErr = &NoProviderError{Virtual: vnode.String()}
+	}
+	return nil, &NoProviderError{Virtual: vnode.String(),
+		Detail: fmt.Sprintf(" (%d candidates, none consistent: %v)", len(cands), lastErr)}
+}
+
+// constrainProviderForVirtual transfers the non-version constraints of the
+// virtual node (compiler, variants, arch) onto the provider; interface
+// version constraints describe the virtual, not the provider, and are
+// checked against provides directives instead.
+func (c *Concretizer) constrainProviderForVirtual(provider, vnode *spec.Spec) error {
+	carrier := spec.New(provider.Name)
+	carrier.Compiler = vnode.Compiler
+	carrier.Arch = vnode.Arch
+	for k, v := range vnode.Variants {
+		carrier.SetVariant(k, bool(v))
+	}
+	return provider.Constrain(carrier)
+}
+
+// replaceNode rewires every edge pointing at old to point at repl. If the
+// DAG already contains a node named repl.Name elsewhere, constraints merge
+// into that node to preserve the one-node-per-name invariant.
+func (c *Concretizer) replaceNode(root, old, repl *spec.Spec) {
+	root.Traverse(func(n *spec.Spec) bool {
+		if n.Deps == nil {
+			return true
+		}
+		if cur, ok := n.Deps[old.Name]; ok && cur == old {
+			t := n.EdgeType(old.Name)
+			delete(n.Deps, old.Name)
+			n.SetDepType(old.Name, spec.DepDefault) // clear old entry
+			n.Deps[repl.Name] = repl
+			n.SetDepType(repl.Name, t)
+		}
+		return true
+	})
+	// The virtual node's own dependencies (rare) migrate to the provider.
+	for name, d := range old.Deps {
+		if repl.Deps == nil {
+			repl.Deps = make(map[string]*spec.Spec)
+		}
+		if _, has := repl.Deps[name]; !has {
+			repl.Deps[name] = d
+		}
+	}
+}
+
+// concretizeParams pins the five parameters of every resolved node
+// (Fig. 6's "Concretize Parameters"): architecture, externals, version,
+// compiler, variants — consulting preferences so sites make "consistent,
+// repeatable choices" (§3.4.4).
+func (c *Concretizer) concretizeParams(root *spec.Spec) (bool, error) {
+	changed := false
+
+	// Architecture: the root adopts the default; dependencies inherit the
+	// root's platform.
+	if root.Arch == "" {
+		root.Arch = c.Config.DefaultArch()
+		changed = true
+	}
+	for _, n := range root.Nodes() {
+		if n.Arch == "" {
+			n.Arch = root.Arch
+			changed = true
+		}
+	}
+
+	// Compiler inheritance: children without a constraint build with their
+	// parent's compiler, so one toolchain is used consistently across a DAG
+	// unless overridden per node.
+	ch := c.inheritCompilers(root)
+	changed = changed || ch
+
+	for _, n := range root.Nodes() {
+		def, _, ok := c.Path.Get(n.Name)
+		if !ok {
+			continue // unresolved virtual: next iteration
+		}
+
+		// Externals: a matching registration satisfies the node without a
+		// store build (§4.4's vendor MPI configuration).
+		if !n.External {
+			if ext, ok := c.Config.ExternalFor(n, n.Arch); ok {
+				if err := n.Constrain(ext.Constraint); err != nil {
+					return changed, err
+				}
+				n.External = true
+				n.Path = ext.Path
+				changed = true
+			}
+		}
+
+		ch, err := c.concretizeVersion(n, def)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || ch
+
+		if !n.External {
+			ch, err = c.concretizeCompiler(n, def.FeaturesFor(n))
+			if err != nil {
+				return changed, err
+			}
+			changed = changed || ch
+		}
+
+		ch, err = c.concretizeVariants(n, def)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || ch
+	}
+	return changed, nil
+}
+
+// inheritCompilers propagates compiler constraints from parents to
+// children that have none. Returns whether anything changed.
+func (c *Concretizer) inheritCompilers(root *spec.Spec) bool {
+	changed := false
+	type inh struct {
+		comp spec.Compiler
+		arch string
+	}
+	var walk func(n *spec.Spec, inherited inh)
+	seen := make(map[string]bool)
+	walk = func(n *spec.Spec, inherited inh) {
+		// A node on a different architecture than its parent (the
+		// front-end/back-end split of §3.2.3) must not inherit the
+		// parent's toolchain: cross toolchains differ per platform, so the
+		// node picks its own arch-appropriate compiler instead.
+		sameArch := inherited.arch == "" || n.Arch == "" || n.Arch == inherited.arch
+		if n.Compiler.IsZero() && !inherited.comp.IsZero() && !n.External && sameArch {
+			n.Compiler = inherited.comp
+			changed = true
+		}
+		if seen[n.Name] {
+			return
+		}
+		seen[n.Name] = true
+		eff := inherited
+		if !n.Compiler.IsZero() {
+			eff = inh{comp: n.Compiler, arch: n.Arch}
+		} else if n.Arch != "" {
+			eff.arch = n.Arch
+		}
+		for _, d := range n.DirectDeps() {
+			walk(d, eff)
+		}
+	}
+	walk(root, inh{})
+	return changed
+}
+
+// concretizeVersion pins a node's version: the highest known version
+// admitted by the constraints, preferring configured site versions; an
+// exact unknown version is adopted for URL extrapolation (§3.2.3).
+func (c *Concretizer) concretizeVersion(n *spec.Spec, def *pkg.Package) (bool, error) {
+	if _, ok := n.Versions.Concrete(); ok {
+		return false, nil
+	}
+	known := def.KnownVersions()
+
+	// Site/user preferred versions first.
+	if pref, ok := c.Config.PreferredVersion(n.Name); ok {
+		if merged, ok := n.Versions.Intersect(pref); ok {
+			if v, found := merged.Highest(known); found {
+				n.Versions = version.ExactList(v)
+				return true, nil
+			}
+		}
+	}
+	if v, found := n.Versions.Highest(known); found {
+		n.Versions = version.ExactList(v)
+		return true, nil
+	}
+	// An exact version we don't know: trust the user and extrapolate.
+	ranges := n.Versions.Ranges()
+	if len(ranges) == 1 && ranges[0].IsSingle() {
+		n.Versions = version.ExactList(ranges[0].Lo)
+		return true, nil
+	}
+	var knownStrs []string
+	for _, v := range known {
+		knownStrs = append(knownStrs, v.String())
+	}
+	return false, &NoVersionError{Package: n.Name, Constraint: n.Versions.String(), Known: knownStrs}
+}
+
+// concretizeCompiler pins a node's compiler to a registered toolchain
+// admitted by the node constraint, the package's required compiler
+// features, and preference order.
+func (c *Concretizer) concretizeCompiler(n *spec.Spec, features []string) (bool, error) {
+	// requireFeatures filters toolchains by the package's needs, naming
+	// the first missing feature on total failure.
+	requireFeatures := func(in []compiler.Toolchain) ([]compiler.Toolchain, string) {
+		if len(features) == 0 {
+			return in, ""
+		}
+		var out []compiler.Toolchain
+		for _, tc := range in {
+			if tc.HasFeatures(features) {
+				out = append(out, tc)
+			}
+		}
+		if len(out) == 0 && len(in) > 0 {
+			for _, f := range features {
+				ok := false
+				for _, tc := range in {
+					if tc.HasFeature(f) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return nil, f
+				}
+			}
+			return nil, features[0]
+		}
+		return out, ""
+	}
+
+	if n.Compiler.Concrete() {
+		// Verify the pinned compiler exists for this arch and has the
+		// required features.
+		found := c.Registry.Find(n.Compiler, n.Arch)
+		if len(found) == 0 {
+			return false, &NoCompilerError{Package: n.Name, Constraint: n.Compiler.String(), Arch: n.Arch}
+		}
+		if ok, missing := requireFeatures(found); len(ok) == 0 {
+			return false, &MissingFeatureError{Package: n.Name, Feature: missing,
+				Compiler: n.Compiler.String(), Arch: n.Arch}
+		}
+		return false, nil
+	}
+	var cands []compiler.Toolchain
+	if !n.Compiler.IsZero() {
+		cands = c.Registry.Find(n.Compiler, n.Arch)
+		if len(cands) == 0 {
+			return false, &NoCompilerError{Package: n.Name, Constraint: n.Compiler.String(), Arch: n.Arch}
+		}
+		filtered, missing := requireFeatures(cands)
+		if len(filtered) == 0 {
+			return false, &MissingFeatureError{Package: n.Name, Feature: missing,
+				Compiler: n.Compiler.String(), Arch: n.Arch}
+		}
+		cands = filtered
+	} else {
+		// No constraint at all: preference order, then registry default —
+		// skipping preferences that cannot provide the needed features.
+		for _, pref := range c.Config.CompilerOrder() {
+			found, _ := requireFeatures(c.Registry.Find(pref, n.Arch))
+			if len(found) > 0 {
+				cands = found
+				break
+			}
+		}
+		if len(cands) == 0 {
+			all, missing := requireFeatures(c.Registry.Find(spec.Compiler{}, n.Arch))
+			if len(all) == 0 {
+				if missing != "" {
+					return false, &MissingFeatureError{Package: n.Name, Feature: missing,
+						Compiler: "<any>", Arch: n.Arch}
+				}
+				return false, &NoCompilerError{Package: n.Name, Constraint: "<any>", Arch: n.Arch}
+			}
+			// Prefer the registry default when it qualifies.
+			if def, ok := c.Registry.Default(n.Arch); ok && def.HasFeatures(features) {
+				cands = []compiler.Toolchain{def}
+			} else {
+				cands = all
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		ri, rj := c.Config.CompilerRank(cands[i].Spec()), c.Config.CompilerRank(cands[j].Spec())
+		if ri != rj {
+			return ri < rj
+		}
+		return cands[i].Version.Compare(cands[j].Version) > 0
+	})
+	n.Compiler = cands[0].Spec()
+	return true, nil
+}
+
+// concretizeVariants fills unset declared variants from configuration or
+// package defaults, and rejects variants the package does not declare.
+func (c *Concretizer) concretizeVariants(n *spec.Spec, def *pkg.Package) (bool, error) {
+	for name := range n.Variants {
+		if _, ok := def.VariantDefault(name); !ok {
+			return false, &UnknownVariantError{Package: n.Name, Variant: name}
+		}
+	}
+	changed := false
+	for _, v := range def.Variants {
+		if _, set := n.Variant(v.Name); set {
+			continue
+		}
+		val := v.Default
+		if override, ok := c.Config.VariantDefault(n.Name, v.Name); ok {
+			val = override
+		}
+		n.SetVariant(v.Name, val)
+		changed = true
+	}
+	return changed, nil
+}
+
+// findCycle returns the package names along a dependency cycle reachable
+// from root (first element repeated at the end), or nil.
+func findCycle(root *spec.Spec) []string {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int)
+	var stack []string
+	var walk func(n *spec.Spec) []string
+	walk = func(n *spec.Spec) []string {
+		switch state[n.Name] {
+		case done:
+			return nil
+		case visiting:
+			// Found a back edge: slice the stack from the repeat.
+			for i, name := range stack {
+				if name == n.Name {
+					return append(append([]string{}, stack[i:]...), n.Name)
+				}
+			}
+			return []string{n.Name, n.Name}
+		}
+		state[n.Name] = visiting
+		stack = append(stack, n.Name)
+		for _, d := range n.DirectDeps() {
+			if cyc := walk(d); cyc != nil {
+				return cyc
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n.Name] = done
+		return nil
+	}
+	return walk(root)
+}
+
+// suggest returns up to three repository names within small edit distance
+// of the unknown name — the "did you mean" hint real package managers give.
+func (c *Concretizer) suggest(name string) []string {
+	type scored struct {
+		name string
+		d    int
+	}
+	var cands []scored
+	maxDist := len(name)/3 + 1
+	for _, known := range c.Path.Names() {
+		if d := editDistance(name, known); d <= maxDist {
+			cands = append(cands, scored{known, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].name < cands[j].name
+	})
+	var out []string
+	for i := 0; i < len(cands) && i < 3; i++ {
+		out = append(out, cands[i].name)
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between two strings.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,53 @@
+package concretize
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/syntax"
+)
+
+// TestCycleRejected: circular dependencies between package files are
+// detected and reported, per the §3.2.1 footnote.
+func TestCycleRejected(t *testing.T) {
+	r := repo.NewRepo("cyc")
+	a := pkg.New("aaa").Describe("a").DependsOn("bbb")
+	a.WithVersion("1.0", "x")
+	r.MustAdd(a)
+	b := pkg.New("bbb").Describe("b").DependsOn("ccc")
+	b.WithVersion("1.0", "x")
+	r.MustAdd(b)
+	cpk := pkg.New("ccc").Describe("c").DependsOn("aaa")
+	cpk.WithVersion("1.0", "x")
+	r.MustAdd(cpk)
+
+	c := New(repo.NewPath(r), config.New(), compiler.LLNLRegistry())
+	_, err := c.Concretize(syntax.MustParse("aaa"))
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CycleError, got %v", err)
+	}
+	if len(ce.Cycle) != 4 || ce.Cycle[0] != ce.Cycle[len(ce.Cycle)-1] {
+		t.Errorf("cycle = %v", ce.Cycle)
+	}
+}
+
+// TestSelfCycleViaIndirection: two-package cycle.
+func TestTwoCycleRejected(t *testing.T) {
+	r := repo.NewRepo("cyc2")
+	a := pkg.New("xaa").Describe("a").DependsOn("xbb")
+	a.WithVersion("1.0", "x")
+	r.MustAdd(a)
+	b := pkg.New("xbb").Describe("b").DependsOn("xaa")
+	b.WithVersion("1.0", "x")
+	r.MustAdd(b)
+	c := New(repo.NewPath(r), config.New(), compiler.LLNLRegistry())
+	var ce *CycleError
+	if _, err := c.Concretize(syntax.MustParse("xbb")); !errors.As(err, &ce) {
+		t.Fatalf("want CycleError, got %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package concretize
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/syntax"
+	"repro/internal/version"
+)
+
+// TestFeatureSelectionUnconstrained: raja requires cxx11; the default
+// compiler (gcc@4.9.2) has it, so nothing changes.
+func TestFeatureSelectionUnconstrained(t *testing.T) {
+	c := testEnv()
+	s := mustConcretize(t, c, "raja")
+	if s.Compiler.String() != "gcc@4.9.2" {
+		t.Errorf("compiler = %s", s.Compiler)
+	}
+}
+
+// TestFeatureFiltersNamedCompiler: %gcc admits three versions, but only
+// 4.7.3 and 4.9.2 have cxx11; with +openmp (needs openmp4) only 4.9.2
+// qualifies.
+func TestFeatureFiltersNamedCompiler(t *testing.T) {
+	c := testEnv()
+	s := mustConcretize(t, c, "raja%gcc")
+	v, _ := s.Compiler.Versions.Concrete()
+	if v.Compare(version.Parse("4.7")) < 0 {
+		t.Errorf("compiler %s lacks cxx11", s.Compiler)
+	}
+	s = mustConcretize(t, c, "raja+openmp%gcc")
+	if s.Compiler.String() != "gcc@4.9.2" {
+		t.Errorf("openmp4 build picked %s", s.Compiler)
+	}
+}
+
+// TestFeatureMissingPinned: pinning a compiler without the feature fails
+// with a MissingFeatureError.
+func TestFeatureMissingPinned(t *testing.T) {
+	c := testEnv()
+	_, err := c.Concretize(syntax.MustParse("raja%gcc@4.4.7"))
+	var mf *MissingFeatureError
+	if !errors.As(err, &mf) {
+		t.Fatalf("want MissingFeatureError, got %v", err)
+	}
+	if mf.Feature != "cxx11" || mf.Package != "raja" {
+		t.Errorf("error detail = %+v", mf)
+	}
+}
+
+// TestFeatureMissingEverywhere: on bgq only clang (cxx11, no openmp4) and
+// xl (no cxx11) exist; raja+openmp cannot build at all.
+func TestFeatureMissingEverywhere(t *testing.T) {
+	c := testEnv()
+	s := mustConcretize(t, c, "raja=bgq") // clang has cxx11
+	if s.Compiler.Name != "clang" {
+		t.Errorf("bgq raja compiler = %s", s.Compiler)
+	}
+	_, err := c.Concretize(syntax.MustParse("raja+openmp=bgq"))
+	var mf *MissingFeatureError
+	if !errors.As(err, &mf) {
+		t.Fatalf("want MissingFeatureError, got %v", err)
+	}
+	if mf.Feature != "openmp4" {
+		t.Errorf("missing feature = %q", mf.Feature)
+	}
+}
+
+// TestFeatureSkipsCompilerOrderPreference: a site preference for a
+// feature-lacking compiler is skipped rather than fatal.
+func TestFeatureSkipsCompilerOrderPreference(t *testing.T) {
+	c := testEnv()
+	if err := c.Config.Site.SetCompilerOrder("pgi,gcc"); err != nil {
+		t.Fatal(err)
+	}
+	// pgi lacks cxx11, so raja falls through to gcc...
+	s := mustConcretize(t, c, "raja")
+	if s.Compiler.Name == "pgi" {
+		t.Errorf("feature-lacking preferred compiler chosen: %s", s.Compiler)
+	}
+	// ...while feature-free packages still honor the preference.
+	z := mustConcretize(t, c, "zlib")
+	if z.Compiler.Name != "pgi" {
+		t.Errorf("zlib compiler = %s, want preferred pgi", z.Compiler)
+	}
+}
+
+// TestConditionalFeatureRequirement: the openmp4 requirement only applies
+// with +openmp.
+func TestConditionalFeatureRequirement(t *testing.T) {
+	c := testEnv()
+	// intel@14 has cxx11 but not openmp4.
+	if _, err := c.Concretize(syntax.MustParse("raja%intel@14.0.1")); err != nil {
+		t.Errorf("~openmp build with intel 14 should work: %v", err)
+	}
+	if _, err := c.Concretize(syntax.MustParse("raja+openmp%intel@14.0.1")); err == nil {
+		t.Error("+openmp with intel 14 should fail (no openmp4)")
+	}
+	if _, err := c.Concretize(syntax.MustParse("raja+openmp%intel@15.0.2")); err != nil {
+		t.Errorf("+openmp with intel 15 should work: %v", err)
+	}
+}
+
+// TestFeatureRequirementInCustomRepo: feature requirements compose with
+// custom toolchain registries.
+func TestFeatureRequirementInCustomRepo(t *testing.T) {
+	r := repo.NewRepo("t")
+	p := mustPkg(t, r, "needsf")
+	p.RequiresCompilerFeature("quantum", "")
+	reg := compiler.NewRegistry()
+	reg.Add(compiler.Toolchain{Name: "gcc", Version: version.Parse("9.0"), CC: "/gcc"})
+	c := New(repo.NewPath(r), config.New(), reg)
+	if _, err := c.Concretize(spec.New("needsf")); err == nil {
+		t.Error("no toolchain has the feature; must fail")
+	}
+	reg.Add(compiler.Toolchain{Name: "qcc", Version: version.Parse("1.0"), CC: "/qcc",
+		Features: []string{"quantum"}})
+	out, err := c.Concretize(spec.New("needsf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Compiler.Name != "qcc" {
+		t.Errorf("compiler = %s, want qcc", out.Compiler)
+	}
+}
+
+func mustPkg(t *testing.T, r *repo.Repo, name string) *pkg.Package {
+	t.Helper()
+	p := pkg.New(name).Describe("test package")
+	p.WithVersion("1.0", "x")
+	r.MustAdd(p)
+	return p
+}

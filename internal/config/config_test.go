@@ -1,0 +1,185 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/syntax"
+	"repro/internal/version"
+)
+
+func TestDefaultArchFallback(t *testing.T) {
+	c := New()
+	if got := c.DefaultArch(); got != "linux-x86_64" {
+		t.Errorf("default arch = %q", got)
+	}
+	c.Site.DefaultArch = "bgq"
+	if got := c.DefaultArch(); got != "bgq" {
+		t.Errorf("site arch = %q", got)
+	}
+	c.User.DefaultArch = "cray-xe6"
+	if got := c.DefaultArch(); got != "cray-xe6" {
+		t.Errorf("user arch should win, got %q", got)
+	}
+}
+
+func TestSetCompilerOrder(t *testing.T) {
+	s := NewScope()
+	// The exact example from §4.3.1.
+	if err := s.SetCompilerOrder("icc,gcc@4.6.1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CompilerOrder) != 2 {
+		t.Fatalf("order = %v", s.CompilerOrder)
+	}
+	if s.CompilerOrder[0].Name != "icc" || !s.CompilerOrder[0].Versions.IsAny() {
+		t.Errorf("first = %v", s.CompilerOrder[0])
+	}
+	if s.CompilerOrder[1].Name != "gcc" || s.CompilerOrder[1].Versions.String() != "4.6.1" {
+		t.Errorf("second = %v", s.CompilerOrder[1])
+	}
+	if err := s.SetCompilerOrder("!!bad"); err == nil {
+		t.Error("bad compiler order should fail")
+	}
+}
+
+func TestCompilerRank(t *testing.T) {
+	c := New()
+	c.Site.SetCompilerOrder("icc,gcc@4.6.1")
+
+	icc := spec.Compiler{Name: "icc", Versions: version.ExactList(version.Parse("14.0"))}
+	gcc461 := spec.Compiler{Name: "gcc", Versions: version.ExactList(version.Parse("4.6.1"))}
+	gcc49 := spec.Compiler{Name: "gcc", Versions: version.ExactList(version.Parse("4.9.2"))}
+	xl := spec.Compiler{Name: "xl", Versions: version.ExactList(version.Parse("12.1"))}
+
+	if !(c.CompilerRank(icc) < c.CompilerRank(gcc461)) {
+		t.Error("icc should outrank gcc@4.6.1")
+	}
+	// gcc@4.9.2 does not match the gcc@4.6.1 entry -> unlisted rank.
+	if !(c.CompilerRank(gcc461) < c.CompilerRank(gcc49)) {
+		t.Error("gcc@4.6.1 should outrank gcc@4.9.2")
+	}
+	if c.CompilerRank(gcc49) != c.CompilerRank(xl) {
+		t.Error("unlisted compilers rank equally")
+	}
+}
+
+func TestCompilerOrderUserOverridesSite(t *testing.T) {
+	c := New()
+	c.Site.SetCompilerOrder("gcc")
+	c.User.SetCompilerOrder("intel")
+	order := c.CompilerOrder()
+	if len(order) != 2 || order[0].Name != "intel" || order[1].Name != "gcc" {
+		t.Errorf("merged order = %v", order)
+	}
+}
+
+func TestProviderOrder(t *testing.T) {
+	c := New()
+	c.Site.SetProviderOrder("mpi", "mvapich2", "openmpi")
+	if c.ProviderRank("mpi", "mvapich2") != 0 {
+		t.Error("mvapich2 should rank first")
+	}
+	if c.ProviderRank("mpi", "openmpi") != 1 {
+		t.Error("openmpi should rank second")
+	}
+	if c.ProviderRank("mpi", "mpich") != 2 {
+		t.Error("unlisted provider ranks last")
+	}
+	c.User.SetProviderOrder("mpi", "mpich")
+	if c.ProviderRank("mpi", "mpich") != 0 {
+		t.Error("user scope should outrank site scope")
+	}
+}
+
+func TestPreferredVersions(t *testing.T) {
+	c := New()
+	if err := c.Site.PreferVersion("python", "2.7:2.8"); err != nil {
+		t.Fatal(err)
+	}
+	l, ok := c.PreferredVersion("python")
+	if !ok || l.String() != "2.7:2.8" {
+		t.Errorf("preferred = %v, %v", l, ok)
+	}
+	if _, ok := c.PreferredVersion("ruby"); ok {
+		t.Error("unset preference should not resolve")
+	}
+	if err := c.Site.PreferVersion("python", ""); err == nil {
+		t.Error("empty preference should fail")
+	}
+}
+
+func TestVariantDefaultScopes(t *testing.T) {
+	c := New()
+	c.Site.SetVariantDefault("hdf5", "mpi", false)
+	if v, ok := c.VariantDefault("hdf5", "mpi"); !ok || v {
+		t.Error("site variant default not found")
+	}
+	c.User.SetVariantDefault("hdf5", "mpi", true)
+	if v, _ := c.VariantDefault("hdf5", "mpi"); !v {
+		t.Error("user variant default should win")
+	}
+	if _, ok := c.VariantDefault("hdf5", "shared"); ok {
+		t.Error("unknown variant should not resolve")
+	}
+}
+
+func TestExternalFor(t *testing.T) {
+	c := New()
+	if err := c.Site.AddExternal("cray-mpi@7.0.1", "cray-xe6", "/opt/cray/mpt"); err != nil {
+		t.Fatal(err)
+	}
+
+	node := syntax.MustParse("cray-mpi")
+	if ext, ok := c.ExternalFor(node, "cray-xe6"); !ok || ext.Path != "/opt/cray/mpt" {
+		t.Errorf("external = %+v, %v", ext, ok)
+	}
+	// Wrong arch: no match.
+	if _, ok := c.ExternalFor(node, "linux-x86_64"); ok {
+		t.Error("arch-restricted external matched wrong arch")
+	}
+	// Incompatible version constraint: no match.
+	pinned := syntax.MustParse("cray-mpi@8.0")
+	if _, ok := c.ExternalFor(pinned, "cray-xe6"); ok {
+		t.Error("incompatible version matched external")
+	}
+	// Different package: no match.
+	other := syntax.MustParse("openmpi")
+	if _, ok := c.ExternalFor(other, "cray-xe6"); ok {
+		t.Error("different package matched external")
+	}
+	if err := c.Site.AddExternal("!!bad", "", "/x"); err == nil {
+		t.Error("bad external constraint should fail")
+	}
+}
+
+func TestLinkRules(t *testing.T) {
+	c := New()
+	if err := c.Site.AddLinkRule("mpileaks", "/opt/${PACKAGE}-${VERSION}-${MPINAME}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.User.AddLinkRule("", "/home/links/${PACKAGE}"); err != nil {
+		t.Fatal(err)
+	}
+	rules := c.LinkRules()
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	// User rules come first.
+	if rules[0].Constraint != nil {
+		t.Error("user catch-all rule should be first")
+	}
+	if err := c.Site.AddLinkRule("!!", "/x"); err == nil {
+		t.Error("bad rule constraint should fail")
+	}
+}
+
+func TestExternalsSorted(t *testing.T) {
+	c := New()
+	c.Site.AddExternal("zlib@1.2.8", "", "/usr")
+	c.Site.AddExternal("bgq-mpi@1.0", "", "/bgsys")
+	exts := c.Externals()
+	if len(exts) != 2 || exts[0].Constraint.Name != "bgq-mpi" {
+		t.Errorf("externals = %v", exts)
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ares"
+	"repro/internal/repo"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+func TestInstallEndToEnd(t *testing.T) {
+	s := MustNew()
+	res, err := s.Install("mpileaks ^mpich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// Everything is findable.
+	recs, err := s.Find("mpileaks")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Find = %v, %v", recs, err)
+	}
+	// Module files generated for each node.
+	files, err := s.FS.List("/spack/share/dotkit")
+	if err != nil || len(files) != res.Root.Size() {
+		t.Errorf("module files = %d (err %v), want %d", len(files), err, res.Root.Size())
+	}
+}
+
+func TestSpecDoesNotInstall(t *testing.T) {
+	s := MustNew()
+	c, err := s.Spec("libdwarf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Concrete() {
+		t.Error("Spec result not concrete")
+	}
+	if s.Store.Len() != 0 {
+		t.Error("Spec should not install anything")
+	}
+}
+
+func TestFindQueries(t *testing.T) {
+	s := MustNew()
+	if _, err := s.Install("libelf@0.8.13"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Install("libelf@0.8.12"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Find("libelf")
+	if err != nil || len(recs) != 2 {
+		t.Errorf("Find(libelf) = %d, %v", len(recs), err)
+	}
+	recs, _ = s.Find("libelf@0.8.13")
+	if len(recs) != 1 {
+		t.Errorf("Find pinned = %d", len(recs))
+	}
+	if _, err := s.Find("!!"); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestUninstall(t *testing.T) {
+	s := MustNew()
+	if _, err := s.Install("zlib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Uninstall("zlib", false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Store.Len() != 0 {
+		t.Error("store not empty after uninstall")
+	}
+	if err := s.Uninstall("zlib", false); err == nil {
+		t.Error("uninstalling nothing should fail")
+	}
+}
+
+func TestUninstallAmbiguous(t *testing.T) {
+	s := MustNew()
+	s.Install("libelf@0.8.13")
+	s.Install("libelf@0.8.12")
+	if err := s.Uninstall("libelf", false); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous uninstall = %v", err)
+	}
+}
+
+func TestUninstallRespectsDependents(t *testing.T) {
+	s := MustNew()
+	if _, err := s.Install("libdwarf"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Uninstall("libelf", false)
+	if _, ok := err.(*store.UninstallError); !ok {
+		t.Errorf("expected dependent error, got %v", err)
+	}
+}
+
+func TestProviders(t *testing.T) {
+	s := MustNew()
+	names, err := s.Providers("mpi")
+	if err != nil || len(names) < 4 {
+		t.Errorf("Providers(mpi) = %v, %v", names, err)
+	}
+	// Version-constrained query excludes mpi@:1-only providers.
+	constrained, _ := s.Providers("mpi@2:")
+	if len(constrained) >= len(names) {
+		t.Errorf("constrained (%d) should be fewer than all (%d)", len(constrained), len(names))
+	}
+}
+
+func TestActivateDeactivateFlow(t *testing.T) {
+	s := MustNew()
+	if _, err := s.Install("py-numpy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Activate("py-numpy"); err != nil {
+		t.Fatal(err)
+	}
+	pyRecs, _ := s.Find("python")
+	if len(pyRecs) != 1 {
+		t.Fatal("python not installed")
+	}
+	active, err := s.Extensions.Active(pyRecs[0].Prefix)
+	if err != nil || len(active) != 1 || active[0] != "py-numpy" {
+		t.Errorf("active = %v, %v", active, err)
+	}
+	if err := s.Deactivate("py-numpy"); err != nil {
+		t.Fatal(err)
+	}
+	active, _ = s.Extensions.Active(pyRecs[0].Prefix)
+	if len(active) != 0 {
+		t.Error("still active")
+	}
+}
+
+// TestInstallReusesSatisfying reproduces §3.2.3's save-time behavior: a
+// request satisfiable by an existing installation reuses it instead of
+// concretizing a new (possibly different) configuration.
+func TestInstallReusesSatisfying(t *testing.T) {
+	s := MustNew()
+	if _, err := s.Install("libelf@0.8.12"); err != nil {
+		t.Fatal(err)
+	}
+	// "@0.8:" would concretize to 0.8.13 from scratch, but 0.8.12 is
+	// installed and satisfies it.
+	res, err := s.Install("libelf@0.8:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report("libelf")
+	if !rep.Reused {
+		t.Errorf("satisfying installation not reused: %+v", rep)
+	}
+	if v, _ := res.Root.ConcreteVersion(); v.String() != "0.8.12" {
+		t.Errorf("reused version = %s", v)
+	}
+	if n := s.Store.Len(); n != 1 {
+		t.Errorf("store grew to %d records", n)
+	}
+	// A request the install does NOT satisfy still builds fresh.
+	res2, err := s.Install("libelf@0.8.13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report("libelf").Reused {
+		t.Error("incompatible request must not reuse")
+	}
+	if s.Store.Len() != 2 {
+		t.Errorf("store = %d records", s.Store.Len())
+	}
+}
+
+func TestActivateNonExtension(t *testing.T) {
+	s := MustNew()
+	s.Install("zlib")
+	if err := s.Activate("zlib"); err == nil {
+		t.Error("zlib is not an extension")
+	}
+}
+
+func TestViewsIntegration(t *testing.T) {
+	s := MustNew()
+	s.Config.Site.AddLinkRule("mpileaks", "/opt/${PACKAGE}-${VERSION}-${MPINAME}")
+	if _, err := s.Install("mpileaks@1.0 ^openmpi"); err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := s.FS.Readlink("/opt/mpileaks-1.0-openmpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := s.Find("mpileaks")
+	if tgt != recs[0].Prefix {
+		t.Errorf("view link = %q", tgt)
+	}
+	// Uninstall removes the link target record and refreshes.
+	if err := s.Uninstall("mpileaks", false); err != nil {
+		t.Fatal(err)
+	}
+	if ex, _ := s.FS.Stat("/opt/mpileaks-1.0-openmpi"); ex {
+		t.Error("view link survived uninstall")
+	}
+}
+
+func TestWithReposOption(t *testing.T) {
+	s := MustNew(WithRepos(ares.Repo()))
+	c, err := s.Spec("ares")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 47 {
+		t.Errorf("ares DAG = %d nodes", c.Size())
+	}
+}
+
+func TestWithLayoutOption(t *testing.T) {
+	s := MustNew(WithLayout(store.ORNLLayout{}))
+	if _, err := s.Install("zlib"); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := s.Find("zlib")
+	if !strings.Contains(recs[0].Prefix, "/zlib/1.2.8/") {
+		t.Errorf("ORNL layout prefix = %q", recs[0].Prefix)
+	}
+}
+
+func TestBuildKnobOptions(t *testing.T) {
+	a := MustNew()
+	b := MustNew(WithNFSStage(), WithoutWrappers(), WithJobs(1))
+	if a.Builder.StageLatency.Name == b.Builder.StageLatency.Name {
+		t.Error("NFS stage option ignored")
+	}
+	if !a.Builder.UseWrappers || b.Builder.UseWrappers {
+		t.Error("wrapper option ignored")
+	}
+	if b.Builder.Jobs != 1 {
+		t.Error("jobs option ignored")
+	}
+}
+
+// TestRExtensionsGeneralize: the §4.2 extension mechanism works for R
+// exactly as for Python (the paper's generality claim).
+func TestRExtensionsGeneralize(t *testing.T) {
+	s := MustNew()
+	if _, err := s.Install("r-ggplot2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Activate("r-mass"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Activate("r-ggplot2"); err != nil {
+		t.Fatal(err)
+	}
+	rRecs, _ := s.Find("r")
+	if len(rRecs) != 1 {
+		t.Fatal("r interpreter not found")
+	}
+	active, err := s.Extensions.Active(rRecs[0].Prefix)
+	if err != nil || len(active) != 2 {
+		t.Errorf("active R extensions = %v, %v", active, err)
+	}
+	if err := s.Deactivate("r-ggplot2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deactivate("r-mass"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChecksumNewVersions: the spack-checksum workflow adds verifiable
+// version directives from mirror releases.
+func TestChecksumNewVersions(t *testing.T) {
+	s := MustNew()
+	added, err := s.ChecksumNewVersions("zlib")
+	if err != nil || len(added) != 0 {
+		t.Fatalf("nothing new expected: %v, %v", added, err)
+	}
+	s.Mirror.Publish("zlib", version.MustParse("1.2.9"))
+	s.Mirror.Publish("zlib", version.MustParse("1.2.10"))
+	added, err = s.ChecksumNewVersions("zlib")
+	if err != nil || len(added) != 2 {
+		t.Fatalf("added = %v, %v", added, err)
+	}
+	// The concretizer now prefers the newest checksummed version.
+	c, err := s.Spec("zlib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.ConcreteVersion(); v.String() != "1.2.10" {
+		t.Errorf("version = %s", v)
+	}
+	// And the install verifies against the new checksum.
+	if _, err := s.Install("zlib@1.2.10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ChecksumNewVersions("no-such"); err == nil {
+		t.Error("unknown package should error")
+	}
+}
+
+func TestDiffAPI(t *testing.T) {
+	s := MustNew()
+	diffs, err := s.Diff("libelf@0.8.12", "libelf@0.8.13")
+	if err != nil || len(diffs) != 1 {
+		t.Fatalf("diffs = %+v, %v", diffs, err)
+	}
+	if diffs[0].Fields[0].Field != "version" {
+		t.Errorf("diff = %+v", diffs[0])
+	}
+	if _, err := s.Diff("!!", "zlib"); err == nil {
+		t.Error("bad spec A should error")
+	}
+	if _, err := s.Diff("zlib", "!!"); err == nil {
+		t.Error("bad spec B should error")
+	}
+}
+
+func TestBadSpecErrors(t *testing.T) {
+	s := MustNew()
+	if _, err := s.Spec("!!"); err == nil {
+		t.Error("bad syntax should error")
+	}
+	if _, err := s.Install("no-such-package"); err == nil {
+		t.Error("unknown package should error")
+	}
+	if _, err := s.Providers("!!"); err == nil {
+		t.Error("bad providers query should error")
+	}
+}
+
+func TestSyntheticRepoConcretizes(t *testing.T) {
+	r := repo.NewRepo("synthetic")
+	repo.Synthesize(r, 60, 42)
+	s := MustNew(WithRepos(r))
+	maxSize := 0
+	for _, name := range r.Names() {
+		c, err := s.Spec(name)
+		if err != nil {
+			t.Fatalf("Spec(%s): %v", name, err)
+		}
+		if c.Size() > maxSize {
+			maxSize = c.Size()
+		}
+	}
+	if maxSize < 20 {
+		t.Errorf("synthetic repo max DAG size = %d, want a long tail", maxSize)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := repo.NewRepo("a")
+	repo.Synthesize(a, 50, 7)
+	b := repo.NewRepo("b")
+	repo.Synthesize(b, 50, 7)
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) || len(an) != 50 {
+		t.Fatalf("sizes %d vs %d", len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatal("names differ between same-seed runs")
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package extensions implements Spack's extension mechanism for
+// interpreted languages (SC'15 §4.2): packages like py-numpy install into
+// their own prefixes — enabling combinatorial versioning — and can then be
+// "activated" into a Python installation by symbolically linking each file
+// of the extension prefix into the interpreter prefix, as if installed
+// directly. Activation fails on file conflicts unless the extendee
+// supplies a merge hook (Python's conflicting metadata files are merged);
+// deactivation removes the links and restores the pristine installation.
+package extensions
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simfs"
+	"repro/internal/store"
+)
+
+// MergeFunc decides how to handle a file that exists in both the extendee
+// prefix and an extension being activated. It receives the relative path
+// and both contents and returns the merged content, or an error to refuse.
+type MergeFunc func(relPath string, existing, incoming []byte) ([]byte, error)
+
+// PythonMerge is the merge policy §4.2 describes for Python: package
+// managers' metadata files that every extension writes (site indexes,
+// easy-install.pth) are concatenated; other conflicts are refused.
+func PythonMerge(relPath string, existing, incoming []byte) ([]byte, error) {
+	base := relPath[strings.LastIndexByte(relPath, '/')+1:]
+	switch base {
+	case "easy-install.pth", "site-index", "INSTALLER":
+		merged := append([]byte{}, existing...)
+		if len(merged) > 0 && merged[len(merged)-1] != '\n' {
+			merged = append(merged, '\n')
+		}
+		return append(merged, incoming...), nil
+	}
+	return nil, fmt.Errorf("extensions: conflicting file %q is not mergeable", relPath)
+}
+
+// state is the persisted activation bookkeeping for one extendee prefix.
+type state struct {
+	// Active maps extension name -> the links and merges it contributed.
+	Active map[string]*activation `json:"active"`
+}
+
+type activation struct {
+	Prefix string   `json:"prefix"`
+	Links  []string `json:"links"`  // extendee-relative link paths created
+	Merged []string `json:"merged"` // extendee-relative merged file paths
+	// Originals holds pre-merge contents of merged files keyed by relative
+	// path, for restoration on deactivate.
+	Originals map[string]string `json:"originals"`
+}
+
+// Manager performs activation and deactivation on a filesystem.
+type Manager struct {
+	FS *simfs.FS
+	// Merge resolves file conflicts; nil refuses all conflicts.
+	Merge MergeFunc
+}
+
+// NewManager returns a Manager with no merge policy.
+func NewManager(fs *simfs.FS) *Manager { return &Manager{FS: fs} }
+
+func stateFile(extendeePrefix string) string {
+	return extendeePrefix + "/.spack/extensions.json"
+}
+
+func (m *Manager) loadState(extendeePrefix string) (*state, error) {
+	data, err := m.FS.ReadFile(stateFile(extendeePrefix))
+	if err != nil {
+		return &state{Active: make(map[string]*activation)}, nil
+	}
+	var s state
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("extensions: corrupt state: %w", err)
+	}
+	if s.Active == nil {
+		s.Active = make(map[string]*activation)
+	}
+	return &s, nil
+}
+
+func (m *Manager) saveState(extendeePrefix string, s *state) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := m.FS.MkdirAll(extendeePrefix + "/.spack"); err != nil {
+		return err
+	}
+	return m.FS.WriteFile(stateFile(extendeePrefix), data)
+}
+
+// Active lists the names of extensions activated in an extendee prefix.
+func (m *Manager) Active(extendeePrefix string) ([]string, error) {
+	s, err := m.loadState(extendeePrefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(s.Active))
+	for name := range s.Active {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// IsActive reports whether the named extension is active.
+func (m *Manager) IsActive(extendeePrefix, extName string) bool {
+	s, err := m.loadState(extendeePrefix)
+	if err != nil {
+		return false
+	}
+	_, ok := s.Active[extName]
+	return ok
+}
+
+// extensionFiles lists an extension's files relative to its prefix,
+// skipping provenance metadata.
+func (m *Manager) extensionFiles(extPrefix string) ([]string, error) {
+	var rels []string
+	err := m.FS.Walk(extPrefix, func(p string, isLink bool) error {
+		rel := strings.TrimPrefix(p, extPrefix)
+		if strings.HasPrefix(rel, "/.spack") {
+			return nil
+		}
+		rels = append(rels, rel)
+		return nil
+	})
+	return rels, err
+}
+
+// Activate links every file of an extension record into the extendee
+// prefix (§4.2: "the activate operation symbolically links each file in
+// the extension prefix into the Python installation prefix, as if it were
+// installed directly"). Conflicts go through the merge policy; any refusal
+// rolls the activation back and returns an error.
+func (m *Manager) Activate(ext, extendee *store.Record) error {
+	name := ext.Spec.Name
+	st, err := m.loadState(extendee.Prefix)
+	if err != nil {
+		return err
+	}
+	if _, already := st.Active[name]; already {
+		return fmt.Errorf("extensions: %s is already activated in %s", name, extendee.Prefix)
+	}
+
+	rels, err := m.extensionFiles(ext.Prefix)
+	if err != nil {
+		return err
+	}
+	act := &activation{Prefix: ext.Prefix, Originals: make(map[string]string)}
+	rollback := func() {
+		for _, rel := range act.Links {
+			_ = m.FS.Remove(extendee.Prefix + rel)
+		}
+		for _, rel := range act.Merged {
+			_ = m.FS.WriteFile(extendee.Prefix+rel, []byte(act.Originals[rel]))
+		}
+	}
+
+	for _, rel := range rels {
+		dst := extendee.Prefix + rel
+		dir := dst[:strings.LastIndexByte(dst, '/')]
+		if err := m.FS.MkdirAll(dir); err != nil {
+			rollback()
+			return err
+		}
+		exists, _ := m.FS.Stat(dst)
+		if !exists {
+			if err := m.FS.Symlink(ext.Prefix+rel, dst); err != nil {
+				rollback()
+				return err
+			}
+			act.Links = append(act.Links, rel)
+			continue
+		}
+		// Conflict: consult the merge policy.
+		if m.Merge == nil {
+			rollback()
+			return fmt.Errorf("extensions: activating %s would overwrite %s", name, dst)
+		}
+		existing, err := m.FS.ReadFile(dst)
+		if err != nil {
+			rollback()
+			return err
+		}
+		incoming, err := m.FS.ReadFile(ext.Prefix + rel)
+		if err != nil {
+			rollback()
+			return err
+		}
+		merged, err := m.Merge(rel, existing, incoming)
+		if err != nil {
+			rollback()
+			return err
+		}
+		// Merged files become regular files (replacing a symlink if the
+		// first writer was itself an extension link).
+		if m.FS.IsSymlink(dst) {
+			if err := m.FS.Remove(dst); err != nil {
+				rollback()
+				return err
+			}
+		}
+		if err := m.FS.WriteFile(dst, merged); err != nil {
+			rollback()
+			return err
+		}
+		act.Originals[rel] = string(existing)
+		act.Merged = append(act.Merged, rel)
+	}
+
+	st.Active[name] = act
+	return m.saveState(extendee.Prefix, st)
+}
+
+// Deactivate removes an extension's links and restores merged files,
+// returning the extendee to its previous state (§4.2: "restores the Python
+// installation to its pristine state").
+func (m *Manager) Deactivate(ext, extendee *store.Record) error {
+	name := ext.Spec.Name
+	st, err := m.loadState(extendee.Prefix)
+	if err != nil {
+		return err
+	}
+	act, ok := st.Active[name]
+	if !ok {
+		return fmt.Errorf("extensions: %s is not activated in %s", name, extendee.Prefix)
+	}
+	for _, rel := range act.Links {
+		if err := m.FS.Remove(extendee.Prefix + rel); err != nil {
+			return err
+		}
+	}
+	for _, rel := range act.Merged {
+		if err := m.FS.WriteFile(extendee.Prefix+rel, []byte(act.Originals[rel])); err != nil {
+			return err
+		}
+	}
+	delete(st.Active, name)
+	return m.saveState(extendee.Prefix, st)
+}

@@ -1,0 +1,266 @@
+package extensions
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/syntax"
+	"repro/internal/version"
+)
+
+// fakeRecord builds a store.Record with files on the filesystem.
+func fakeRecord(t *testing.T, fs *simfs.FS, name, prefix string, files map[string]string) *store.Record {
+	t.Helper()
+	s := syntax.MustParse(name)
+	s.Versions = version.ExactList(version.Parse("1.0"))
+	s.Compiler = spec.Compiler{Name: "gcc", Versions: version.ExactList(version.Parse("4.9.2"))}
+	s.Arch = "linux-x86_64"
+	if err := fs.MkdirAll(prefix); err != nil {
+		t.Fatal(err)
+	}
+	for rel, content := range files {
+		dir := prefix + rel[:strings.LastIndexByte(rel, '/')]
+		if err := fs.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile(prefix+rel, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &store.Record{Spec: s, Prefix: prefix}
+}
+
+func pythonEnv(t *testing.T) (*simfs.FS, *Manager, *store.Record, *store.Record, *store.Record) {
+	fs := simfs.New(simfs.TempFS)
+	python := fakeRecord(t, fs, "python", "/opt/python", map[string]string{
+		"/bin/python":               "interpreter",
+		"/lib/python2.7/os.py":      "stdlib",
+		"/lib/python2.7/site.index": "x",
+	})
+	numpy := fakeRecord(t, fs, "py-numpy", "/opt/py-numpy", map[string]string{
+		"/lib/python2.7/site-packages/numpy/__init__.py": "numpy code",
+		"/lib/python2.7/site-packages/easy-install.pth":  "./numpy\n",
+		"/bin/f2py": "f2py tool",
+	})
+	scipy := fakeRecord(t, fs, "py-scipy", "/opt/py-scipy", map[string]string{
+		"/lib/python2.7/site-packages/scipy/__init__.py": "scipy code",
+		"/lib/python2.7/site-packages/easy-install.pth":  "./scipy\n",
+	})
+	m := NewManager(fs)
+	m.Merge = PythonMerge
+	return fs, m, python, numpy, scipy
+}
+
+func TestActivateLinksFiles(t *testing.T) {
+	fs, m, python, numpy, _ := pythonEnv(t)
+	if err := m.Activate(numpy, python); err != nil {
+		t.Fatal(err)
+	}
+	// §4.2: files appear inside the interpreter prefix as symlinks.
+	link := "/opt/python/lib/python2.7/site-packages/numpy/__init__.py"
+	if !fs.IsSymlink(link) {
+		t.Fatalf("%s is not a symlink", link)
+	}
+	data, err := fs.ReadFile(link)
+	if err != nil || string(data) != "numpy code" {
+		t.Errorf("read through activation link = %q, %v", data, err)
+	}
+	if !fs.IsSymlink("/opt/python/bin/f2py") {
+		t.Error("bin tool not linked")
+	}
+	// State recorded.
+	active, err := m.Active(python.Prefix)
+	if err != nil || len(active) != 1 || active[0] != "py-numpy" {
+		t.Errorf("Active = %v, %v", active, err)
+	}
+	if !m.IsActive(python.Prefix, "py-numpy") {
+		t.Error("IsActive wrong")
+	}
+}
+
+func TestDoubleActivateFails(t *testing.T) {
+	_, m, python, numpy, _ := pythonEnv(t)
+	if err := m.Activate(numpy, python); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Activate(numpy, python); err == nil {
+		t.Error("re-activation should fail")
+	}
+}
+
+func TestDeactivateRestoresPristine(t *testing.T) {
+	fs, m, python, numpy, _ := pythonEnv(t)
+	// Snapshot: file count before activation.
+	before := fs.FileCount()
+	if err := m.Activate(numpy, python); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deactivate(numpy, python); err != nil {
+		t.Fatal(err)
+	}
+	// All links gone; original stdlib intact.
+	if ex, _ := fs.Stat("/opt/python/lib/python2.7/site-packages/numpy/__init__.py"); ex {
+		t.Error("activation link survived deactivate")
+	}
+	if data, _ := fs.ReadFile("/opt/python/lib/python2.7/os.py"); string(data) != "stdlib" {
+		t.Error("stdlib damaged")
+	}
+	// Only the state file is allowed to remain.
+	after := fs.FileCount()
+	if after != before+1 {
+		t.Errorf("file count %d -> %d (want +1 for state file)", before, after)
+	}
+	if m.IsActive(python.Prefix, "py-numpy") {
+		t.Error("still active after deactivate")
+	}
+}
+
+func TestDeactivateInactiveFails(t *testing.T) {
+	_, m, python, numpy, _ := pythonEnv(t)
+	if err := m.Deactivate(numpy, python); err == nil {
+		t.Error("deactivating inactive extension should fail")
+	}
+}
+
+// TestMergeConflictingFiles reproduces §4.2's Python specialization: two
+// extensions both ship easy-install.pth; activation merges them.
+func TestMergeConflictingFiles(t *testing.T) {
+	fs, m, python, numpy, scipy := pythonEnv(t)
+	if err := m.Activate(numpy, python); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Activate(scipy, python); err != nil {
+		t.Fatal(err)
+	}
+	pth := "/opt/python/lib/python2.7/site-packages/easy-install.pth"
+	data, err := fs.ReadFile(pth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "./numpy") || !strings.Contains(string(data), "./scipy") {
+		t.Errorf("merged pth = %q", data)
+	}
+	// The merged file is a regular file now, not a link.
+	if fs.IsSymlink(pth) {
+		t.Error("merged file should be regular")
+	}
+
+	// Deactivating scipy restores numpy's version.
+	if err := m.Deactivate(scipy, python); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = fs.ReadFile(pth)
+	if strings.Contains(string(data), "./scipy") || !strings.Contains(string(data), "./numpy") {
+		t.Errorf("post-deactivate pth = %q", data)
+	}
+}
+
+// TestConflictWithoutMergeRollsBack: without a merge policy, a conflict
+// aborts and removes any links already created.
+func TestConflictWithoutMergeRollsBack(t *testing.T) {
+	fs, m, python, numpy, scipy := pythonEnv(t)
+	m.Merge = nil
+	if err := m.Activate(numpy, python); err != nil {
+		t.Fatal("first activation has no conflicts (fresh site-packages):", err)
+	}
+	err := m.Activate(scipy, python)
+	if err == nil {
+		t.Fatal("conflicting activation without merge policy should fail")
+	}
+	// scipy's non-conflicting file must have been rolled back.
+	if ex, _ := fs.Stat("/opt/python/lib/python2.7/site-packages/scipy/__init__.py"); ex {
+		t.Error("rollback left scipy links behind")
+	}
+	if m.IsActive(python.Prefix, "py-scipy") {
+		t.Error("failed activation recorded as active")
+	}
+}
+
+// TestUnmergeableConflictRefused: PythonMerge only merges known metadata
+// files.
+func TestUnmergeableConflictRefused(t *testing.T) {
+	fs, m, python, _, _ := pythonEnv(t)
+	evil := fakeRecord(t, fs, "py-evil", "/opt/py-evil", map[string]string{
+		"/lib/python2.7/os.py": "overwrite the stdlib!",
+	})
+	if err := m.Activate(evil, python); err == nil {
+		t.Error("overwriting a real file must be refused")
+	}
+	if data, _ := fs.ReadFile("/opt/python/lib/python2.7/os.py"); string(data) != "stdlib" {
+		t.Error("stdlib overwritten")
+	}
+}
+
+func TestPythonMergePolicy(t *testing.T) {
+	merged, err := PythonMerge("/sp/easy-install.pth", []byte("a\n"), []byte("b\n"))
+	if err != nil || string(merged) != "a\nb\n" {
+		t.Errorf("merge = %q, %v", merged, err)
+	}
+	// Newline added when missing.
+	merged, _ = PythonMerge("/sp/easy-install.pth", []byte("a"), []byte("b\n"))
+	if string(merged) != "a\nb\n" {
+		t.Errorf("merge without trailing NL = %q", merged)
+	}
+	if _, err := PythonMerge("/sp/code.py", []byte("x"), []byte("y")); err == nil {
+		t.Error("arbitrary files must not merge")
+	}
+}
+
+func TestActiveEmpty(t *testing.T) {
+	fs := simfs.New(simfs.TempFS)
+	m := NewManager(fs)
+	active, err := m.Active("/nonexistent")
+	if err != nil || len(active) != 0 {
+		t.Errorf("Active on fresh prefix = %v, %v", active, err)
+	}
+}
+
+func TestCorruptStateFile(t *testing.T) {
+	fs, m, python, numpy, _ := pythonEnv(t)
+	fs.MkdirAll(python.Prefix + "/.spack")
+	fs.WriteFile(python.Prefix+"/.spack/extensions.json", []byte("{corrupt"))
+	if err := m.Activate(numpy, python); err == nil {
+		t.Error("corrupt state should surface an error")
+	}
+	if _, err := m.Active(python.Prefix); err == nil {
+		t.Error("Active should report corrupt state")
+	}
+}
+
+func TestActivateIOFailureRollsBack(t *testing.T) {
+	fs, m, python, numpy, _ := pythonEnv(t)
+	// Fail symlink creation partway through the activation.
+	m.FS = fs.FailAfter("symlink", 1)
+	if err := m.Activate(numpy, python); err == nil {
+		t.Fatal("injected symlink failure should abort")
+	}
+	// Nothing was left behind (state file is never written on failure).
+	links := 0
+	fs.Walk(python.Prefix, func(p string, isLink bool) error {
+		if isLink {
+			links++
+		}
+		return nil
+	})
+	if links != 0 {
+		t.Errorf("%d links left after failed activation", links)
+	}
+	if m.IsActive(python.Prefix, "py-numpy") {
+		t.Error("failed activation recorded")
+	}
+}
+
+func TestDeactivateMissingLink(t *testing.T) {
+	fs, m, python, numpy, _ := pythonEnv(t)
+	if err := m.Activate(numpy, python); err != nil {
+		t.Fatal(err)
+	}
+	// A user removed one of the links manually: deactivate reports it.
+	fs.Remove(python.Prefix + "/bin/f2py")
+	if err := m.Deactivate(numpy, python); err == nil {
+		t.Error("deactivate with missing link should error")
+	}
+}

@@ -1,0 +1,191 @@
+// Package fetch simulates the download side of the package manager:
+// deterministic source archives served by an in-memory mirror, MD5 checksum
+// verification against version directives, and the URL extrapolation of
+// SC'15 §3.2.3 ("Spack can extrapolate URLs from versions, using the
+// package's url attribute as a model"), including scraping a simulated
+// listing for new versions.
+package fetch
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/pkg"
+	"repro/internal/version"
+)
+
+// Archive returns the deterministic simulated source tarball for a package
+// release. Real Spack downloads bytes from the network; our substitute
+// generates stable content so checksums are reproducible across runs.
+func Archive(name string, v version.Version) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tarball %s-%s\n", name, v)
+	// Pad with deterministic filler so archives have nontrivial size.
+	seed := md5.Sum([]byte(name + "@" + v.String()))
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&b, "%x\n", md5.Sum(append(seed[:], byte(i))))
+	}
+	return []byte(b.String())
+}
+
+// Checksum returns the MD5 hex digest of a simulated archive — the value a
+// package's version directive must carry for verification to pass.
+func Checksum(name string, v version.Version) string {
+	sum := md5.Sum(Archive(name, v))
+	return hex.EncodeToString(sum[:])
+}
+
+// ChecksumOf hashes raw archive bytes.
+func ChecksumOf(data []byte) string {
+	sum := md5.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// versionPattern matches version-looking substrings in URLs: runs of digits
+// separated by dots (optionally with letter suffixes).
+var versionPattern = regexp.MustCompile(`\d+(\.\d+)*([a-z]\d*)?`)
+
+// ExtrapolateURL rewrites a URL template for a different version — how a
+// user-requested version unknown to the package is fetched ("if the user
+// requests a specific version ... Spack will attempt to fetch and install
+// it"). It delegates to the pkg package's implementation, which package
+// definitions use directly via URLFor.
+func ExtrapolateURL(template string, oldV, newV version.Version) string {
+	return pkg.ExtrapolateURL(template, oldV, newV)
+}
+
+// VersionFromURL extracts the most plausible version substring from a URL:
+// the last version-looking run in the final path component, preferring
+// multi-component matches. Returns the zero Version when nothing matches.
+func VersionFromURL(url string) version.Version {
+	base := url
+	if i := strings.LastIndexByte(url, '/'); i >= 0 {
+		base = url[i+1:]
+	}
+	// Strip common archive suffixes so ".tar.gz" digits never match.
+	for _, suf := range []string{".tar.gz", ".tar.bz2", ".tar.xz", ".tgz", ".zip"} {
+		base = strings.TrimSuffix(base, suf)
+	}
+	matches := versionPattern.FindAllString(base, -1)
+	if len(matches) == 0 {
+		return version.Version{}
+	}
+	best := matches[len(matches)-1]
+	for _, m := range matches {
+		if strings.Count(m, ".") > strings.Count(best, ".") {
+			best = m
+		}
+	}
+	return version.Parse(best)
+}
+
+// Mirror is a simulated download server: it serves archives for the
+// releases registered against it and can list them for scraping.
+type Mirror struct {
+	mu       sync.RWMutex
+	releases map[string][]version.Version // package -> available versions
+	fetches  int
+}
+
+// NewMirror creates an empty mirror.
+func NewMirror() *Mirror {
+	return &Mirror{releases: make(map[string][]version.Version)}
+}
+
+// Publish registers a release so the mirror will serve it.
+func (m *Mirror) Publish(name string, v version.Version) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.releases[name] {
+		if existing.Equal(v) {
+			return
+		}
+	}
+	m.releases[name] = append(m.releases[name], v)
+}
+
+// Available lists the published versions of a package, sorted ascending.
+func (m *Mirror) Available(name string) []version.Version {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]version.Version, len(m.releases[name]))
+	copy(out, m.releases[name])
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// FetchError reports a failed or corrupted download.
+type FetchError struct {
+	Package string
+	Version string
+	Reason  string
+}
+
+func (e *FetchError) Error() string {
+	return fmt.Sprintf("fetch: %s@%s: %s", e.Package, e.Version, e.Reason)
+}
+
+// Fetch downloads the archive for a release and, when expectMD5 is
+// nonempty, verifies the checksum (the safety check behind the paper's
+// version directives). Unpublished releases fail.
+func (m *Mirror) Fetch(name string, v version.Version, expectMD5 string) ([]byte, error) {
+	m.mu.Lock()
+	published := false
+	for _, existing := range m.releases[name] {
+		if existing.Equal(v) {
+			published = true
+			break
+		}
+	}
+	if published {
+		m.fetches++
+	}
+	m.mu.Unlock()
+	if !published {
+		return nil, &FetchError{Package: name, Version: v.String(), Reason: "no such release on mirror"}
+	}
+	data := Archive(name, v)
+	if expectMD5 != "" {
+		if got := ChecksumOf(data); got != expectMD5 {
+			return nil, &FetchError{
+				Package: name, Version: v.String(),
+				Reason: fmt.Sprintf("checksum mismatch: got %s, want %s", got, expectMD5),
+			}
+		}
+	}
+	return data, nil
+}
+
+// FetchCount reports how many successful fetches the mirror served.
+func (m *Mirror) FetchCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.fetches
+}
+
+// Scrape probes the mirror for versions of a package newer than the ones a
+// package file declares — the paper's webpage-scraping feature ("Spack uses
+// the same model to scrape webpages and find new versions"). It returns
+// published versions not in known, sorted ascending.
+func (m *Mirror) Scrape(name string, known []version.Version) []version.Version {
+	isKnown := func(v version.Version) bool {
+		for _, k := range known {
+			if k.Equal(v) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []version.Version
+	for _, v := range m.Available(name) {
+		if !isKnown(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package modules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// LmodGenerator writes Lmod-style software hierarchies (§3.5.4: "Future
+// versions of Spack may also allow the creation of Lmod hierarchies.
+// Spack's rich dependency information would allow automatic generation of
+// such hierarchies"). Lua module files are placed in a tree keyed by the
+// software's providers:
+//
+//	<root>/lmod/<arch>/Core/<pkg>/<version>.lua             (no compiler dep)
+//	<root>/lmod/<arch>/<compiler>/<cver>/<pkg>/<version>.lua
+//	<root>/lmod/<arch>/<compiler>/<cver>/<mpi>/<mver>/<pkg>/<version>.lua
+//
+// so that `module load gcc/4.9.2` unlocks the gcc-built layer and loading
+// an MPI unlocks the MPI layer — Lmod's "software hierarchy" solution to
+// the matrix problem [27, 28].
+type LmodGenerator struct {
+	FS   *simfs.FS
+	Root string
+	// IsMPI classifies MPI providers, deciding the third hierarchy level.
+	IsMPI func(name string) bool
+}
+
+// HierarchyPath computes the module file location for an installed spec.
+func (g *LmodGenerator) HierarchyPath(s *spec.Spec) string {
+	v, _ := s.ConcreteVersion()
+	var b strings.Builder
+	b.WriteString(g.Root)
+	b.WriteString("/lmod/")
+	b.WriteString(s.Arch)
+	if s.Compiler.IsZero() {
+		b.WriteString("/Core")
+	} else {
+		cv, _ := s.Compiler.Versions.Concrete()
+		fmt.Fprintf(&b, "/%s/%s", s.Compiler.Name, cv)
+	}
+	if g.IsMPI != nil {
+		s.Traverse(func(n *spec.Spec) bool {
+			if n != s && g.IsMPI(n.Name) {
+				mv, _ := n.ConcreteVersion()
+				fmt.Fprintf(&b, "/%s/%s", n.Name, mv)
+				return false
+			}
+			return true
+		})
+	}
+	fmt.Fprintf(&b, "/%s/%s.lua", s.Name, v)
+	return b.String()
+}
+
+// Lua renders the module file body.
+func Lua(s *spec.Spec, prefix string) string {
+	var b strings.Builder
+	v, _ := s.ConcreteVersion()
+	fmt.Fprintf(&b, "-- Spack-generated Lmod module for %s@%s\n", s.Name, v)
+	fmt.Fprintf(&b, "whatis(\"Name: %s\")\n", s.Name)
+	fmt.Fprintf(&b, "whatis(\"Version: %s\")\n", v)
+	fmt.Fprintf(&b, "whatis(\"Spec: %s\")\n", s.String())
+	for _, ev := range EnvPrefixVars {
+		fmt.Fprintf(&b, "prepend_path(\"%s\", \"%s%s\")\n", ev.Var, prefix, ev.Subdir)
+	}
+	// The hierarchy's family declaration lets Lmod swap implementations.
+	fmt.Fprintf(&b, "family(\"%s\")\n", s.Name)
+	return b.String()
+}
+
+// Generate writes the Lua module for one installed spec.
+func (g *LmodGenerator) Generate(s *spec.Spec, prefix string) (string, error) {
+	path := g.HierarchyPath(s)
+	dir := path[:strings.LastIndexByte(path, '/')]
+	if err := g.FS.MkdirAll(dir); err != nil {
+		return "", err
+	}
+	if err := g.FS.WriteFile(path, []byte(Lua(s, prefix))); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// GenerateAll builds the full hierarchy for a store, returning the module
+// paths sorted.
+func (g *LmodGenerator) GenerateAll(st *store.Store) ([]string, error) {
+	var out []string
+	for _, r := range st.All() {
+		if r.Spec.External {
+			continue
+		}
+		p, err := g.Generate(r.Spec, r.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}

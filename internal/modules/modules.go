@@ -1,0 +1,160 @@
+// Package modules generates environment-module files for installed
+// packages (SC'15 §3.5.4): dotkit files (the LC legacy format) and TCL
+// Environment Modules files. Spack packages do not need LD_LIBRARY_PATH to
+// run — RPATHs handle linking — but the generated files still set it for
+// build systems and non-RPATH dependents, along with PATH, MANPATH and
+// PKG_CONFIG_PATH.
+package modules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/buildenv"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// EnvPrefixVars are the path-like variables a module prepends for a package
+// prefix.
+var EnvPrefixVars = []struct {
+	Var    string
+	Subdir string
+}{
+	{"PATH", "/bin"},
+	{"MANPATH", "/share/man"},
+	{"LD_LIBRARY_PATH", "/lib"},
+	{"PKG_CONFIG_PATH", "/lib/pkgconfig"},
+	{"CMAKE_PREFIX_PATH", ""},
+}
+
+// Dotkit renders a dotkit file for an installed spec — the format of LC's
+// dotkit system [6].
+func Dotkit(s *spec.Spec, prefix string) string {
+	var b strings.Builder
+	v, _ := s.ConcreteVersion()
+	fmt.Fprintf(&b, "#c spack\n")
+	fmt.Fprintf(&b, "#d %s @%s (%s)\n", s.Name, v, s.Compiler)
+	fmt.Fprintf(&b, "#h Spec: %s\n", s.String())
+	for _, ev := range EnvPrefixVars {
+		fmt.Fprintf(&b, "dk_alter %s %s%s\n", ev.Var, prefix, ev.Subdir)
+	}
+	return b.String()
+}
+
+// TCL renders a TCL Environment Modules file [19, 20].
+func TCL(s *spec.Spec, prefix string) string {
+	var b strings.Builder
+	v, _ := s.ConcreteVersion()
+	b.WriteString("#%Module1.0\n")
+	fmt.Fprintf(&b, "## Spack-generated module for %s@%s\n", s.Name, v)
+	fmt.Fprintf(&b, "proc ModulesHelp { } {\n    puts stderr \"%s\"\n}\n", s.String())
+	fmt.Fprintf(&b, "module-whatis \"%s@%s built with %s\"\n", s.Name, v, s.Compiler)
+	for _, ev := range EnvPrefixVars {
+		fmt.Fprintf(&b, "prepend-path %s %s%s\n", ev.Var, prefix, ev.Subdir)
+	}
+	return b.String()
+}
+
+// Kind selects a module flavor.
+type Kind int
+
+const (
+	// KindDotkit generates dotkit files under <root>/dotkit.
+	KindDotkit Kind = iota
+	// KindTCL generates TCL module files under <root>/modules.
+	KindTCL
+)
+
+// Generator writes module files for installed specs onto a filesystem.
+type Generator struct {
+	FS   *simfs.FS
+	Root string
+	Kind Kind
+}
+
+// FileName returns the module file path for a spec: the human-readable
+// name a user types after `use` or `module load`.
+func (g *Generator) FileName(s *spec.Spec) string {
+	v, _ := s.ConcreteVersion()
+	comp := s.Compiler.Name
+	if cv := s.Compiler.Versions.String(); cv != "" {
+		comp += "-" + cv
+	}
+	leaf := fmt.Sprintf("%s-%s-%s-%s-%s", s.Name, v, s.Arch, comp, s.DAGHash())
+	sub := "dotkit"
+	if g.Kind == KindTCL {
+		sub = "modules"
+	}
+	return g.Root + "/" + sub + "/" + leaf
+}
+
+// Generate writes the module file for one installed spec and returns its
+// path.
+func (g *Generator) Generate(s *spec.Spec, prefix string) (string, error) {
+	path := g.FileName(s)
+	dir := path[:strings.LastIndexByte(path, '/')]
+	if err := g.FS.MkdirAll(dir); err != nil {
+		return "", err
+	}
+	body := Dotkit(s, prefix)
+	if g.Kind == KindTCL {
+		body = TCL(s, prefix)
+	}
+	if err := g.FS.WriteFile(path, []byte(body)); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// GenerateAll writes module files for every record in a store, returning
+// the paths sorted.
+func (g *Generator) GenerateAll(st *store.Store) ([]string, error) {
+	var out []string
+	for _, r := range st.All() {
+		if r.Spec.External {
+			continue
+		}
+		p, err := g.Generate(r.Spec, r.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes the module file for a spec (used on uninstall).
+func (g *Generator) Remove(s *spec.Spec) error {
+	return g.FS.Remove(g.FileName(s))
+}
+
+// ApplyDotkit simulates `use <module>`: it parses a dotkit file's
+// dk_alter lines and prepends the directories onto the environment — the
+// runtime-setup step users perform after installation (§3.5.4).
+func ApplyDotkit(content string, env *buildenv.Environment) error {
+	for _, line := range strings.Split(content, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "dk_alter" {
+			continue
+		}
+		env.AppendPath(fields[1], fields[2])
+	}
+	return nil
+}
+
+// ApplyTCL simulates `module load`: it applies prepend-path commands from
+// a TCL module file to the environment.
+func ApplyTCL(content string, env *buildenv.Environment) error {
+	for _, line := range strings.Split(content, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "prepend-path" {
+			continue
+		}
+		env.AppendPath(fields[1], fields[2])
+	}
+	return nil
+}

@@ -1,0 +1,464 @@
+// Builtin package definitions: the Go analogue of Spack's mainline package
+// repository. The set includes every package the paper's examples and
+// experiments rely on — the mpileaks tool stack (Figs. 1–2, 7, 9), the MPI
+// and BLAS/LAPACK virtual-interface providers (Fig. 5), the Python
+// extension stack (§4.2), gperftools (§4.1), and the external libraries of
+// the ARES stack (Fig. 13) — with realistic versions and dependency
+// structure.
+package repo
+
+import (
+	"repro/internal/fetch"
+	"repro/internal/pkg"
+	"repro/internal/spec"
+	"repro/internal/version"
+)
+
+// addVersions registers versions with checksums that match the simulated
+// archives, so fetch verification passes (the paper's MD5 directives).
+func addVersions(p *pkg.Package, versions ...string) *pkg.Package {
+	for _, v := range versions {
+		p.WithVersion(v, fetch.Checksum(p.Name, version.MustParse(v)))
+	}
+	return p
+}
+
+// Builtin constructs the mainline repository.
+func Builtin() *Repo {
+	r := NewRepo("builtin")
+	addMpileaksStack(r)
+	addMPIProviders(r)
+	addBlasLapackProviders(r)
+	addPythonStack(r)
+	addCommonLibraries(r)
+	addTools(r)
+	for _, group := range builtinExtraGroups {
+		group(r)
+	}
+	return r
+}
+
+// addMpileaksStack defines the paper's running example (Fig. 1) and its
+// dependency chain: mpileaks -> callpath -> dyninst -> libdwarf -> libelf.
+func addMpileaksStack(r *Repo) {
+	mpileaks := pkg.New("mpileaks").
+		Describe("Tool to detect and report leaked MPI objects.").
+		WithHomepage("https://github.com/hpc/mpileaks").
+		WithURL("https://github.com/hpc/mpileaks/releases/download/v1.0/mpileaks-1.0.tar.gz").
+		WithVariant("debug", false, "Build with debugging symbols").
+		DependsOn("mpi").
+		DependsOn("callpath").
+		WithBuild("autotools", 18)
+	addVersions(mpileaks, "1.0", "1.1", "1.2", "2.3")
+	mpileaks.OnInstall(func(ctx pkg.BuildContext, s *spec.Spec, prefix string) error {
+		cp, err := ctx.DepPrefix("callpath")
+		if err != nil {
+			return err
+		}
+		if err := ctx.Configure("--prefix="+prefix, "--with-callpath="+cp); err != nil {
+			return err
+		}
+		if err := ctx.Make(); err != nil {
+			return err
+		}
+		return ctx.Make("install")
+	})
+	r.MustAdd(mpileaks)
+
+	callpath := pkg.New("callpath").
+		Describe("Library for representing call paths consistently in distributed tools.").
+		WithHomepage("https://github.com/llnl/callpath").
+		WithURL("https://github.com/llnl/callpath/archive/v1.0.tar.gz").
+		WithVariant("debug", false, "Debug build").
+		DependsOn("dyninst").
+		DependsOn("mpi").
+		WithBuild("cmake", 12)
+	addVersions(callpath, "0.9", "1.0", "1.1", "1.2")
+	r.MustAdd(callpath)
+
+	// Dyninst: the paper's build-specialization example (Fig. 4) — versions
+	// <= 8.1 build with autotools, newer ones with cmake.
+	dyninst := pkg.New("dyninst").
+		Describe("API for dynamic binary instrumentation.").
+		WithHomepage("https://dyninst.org").
+		WithURL("https://github.com/dyninst/dyninst/archive/v8.2.1.tar.gz").
+		DependsOn("libelf").
+		DependsOn("libdwarf").
+		DependsOn("boost", pkg.When("@8.1:")).
+		WithBuild("cmake", 110)
+	addVersions(dyninst, "7.0.1", "8.1.1", "8.1.2", "8.2.1")
+	dyninst.OnInstallWhen("@:8.1", func(ctx pkg.BuildContext, s *spec.Spec, prefix string) error {
+		if err := ctx.Configure("--prefix=" + prefix); err != nil {
+			return err
+		}
+		if err := ctx.Make(); err != nil {
+			return err
+		}
+		return ctx.Make("install")
+	})
+	r.MustAdd(dyninst)
+
+	libdwarf := pkg.New("libdwarf").
+		Describe("Consumer library interface to DWARF debugging information.").
+		WithHomepage("https://www.prevanders.net/dwarf.html").
+		WithURL("https://www.prevanders.net/libdwarf-20130729.tar.gz").
+		DependsOn("libelf").
+		WithBuild("autotools", 16)
+	addVersions(libdwarf, "20130207", "20130729", "20140805")
+	r.MustAdd(libdwarf)
+
+	libelf := pkg.New("libelf").
+		Describe("ELF object file access library.").
+		WithHomepage("https://directory.fsf.org/wiki/Libelf").
+		WithURL("https://www.mr511.de/software/libelf-0.8.13.tar.gz").
+		WithBuild("autotools", 6)
+	addVersions(libelf, "0.8.10", "0.8.12", "0.8.13")
+	r.MustAdd(libelf)
+}
+
+// addMPIProviders defines the versioned virtual-dependency example of
+// Fig. 5: mvapich2 and mpich provide different MPI interface versions
+// depending on their own version, and gerris requires mpi@2: so mpich 1.x
+// can never satisfy it.
+func addMPIProviders(r *Repo) {
+	mvapich2 := pkg.New("mvapich2").
+		Describe("MVAPICH2 MPI over InfiniBand.").
+		WithHomepage("https://mvapich.cse.ohio-state.edu").
+		WithURL("https://mvapich.cse.ohio-state.edu/download/mvapich/mv2/mvapich2-1.9.tgz").
+		ProvidesVirtual("mpi@:2.2", "@1.9").
+		ProvidesVirtual("mpi@:3.0", "@2.0:").
+		WithBuild("autotools", 90)
+	addVersions(mvapich2, "1.9", "2.0", "2.1")
+	r.MustAdd(mvapich2)
+
+	mvapich := pkg.New("mvapich").
+		Describe("Legacy MVAPICH 1.x MPI.").
+		ProvidesVirtual("mpi@:1", "").
+		WithBuild("autotools", 70)
+	addVersions(mvapich, "1.2")
+	r.MustAdd(mvapich)
+
+	mpich := pkg.New("mpich").
+		Describe("MPICH: high-performance implementation of MPI.").
+		WithHomepage("https://www.mpich.org").
+		WithURL("https://www.mpich.org/static/downloads/3.1.4/mpich-3.1.4.tar.gz").
+		ProvidesVirtual("mpi@:3", "@3:").
+		ProvidesVirtual("mpi@:1", "@1:1.9").
+		WithBuild("autotools", 85)
+	addVersions(mpich, "1.4.1", "3.0.4", "3.1.4")
+	r.MustAdd(mpich)
+
+	openmpi := pkg.New("openmpi").
+		Describe("Open MPI: open source MPI-3 implementation.").
+		WithHomepage("https://www.open-mpi.org").
+		WithURL("https://www.open-mpi.org/software/ompi/v1.8/downloads/openmpi-1.8.8.tar.gz").
+		ProvidesVirtual("mpi@:2.2", "@1.4:1.7").
+		ProvidesVirtual("mpi@:3.0", "@1.8:").
+		DependsOn("hwloc").
+		WithBuild("autotools", 95)
+	addVersions(openmpi, "1.4.7", "1.6.5", "1.8.8")
+	r.MustAdd(openmpi)
+
+	// Vendor MPIs for the cross-compiled machines of Table 3; typically
+	// configured as externals in site config.
+	bgqmpi := pkg.New("bgq-mpi").
+		Describe("IBM Blue Gene/Q system MPI.").
+		ProvidesVirtual("mpi@:2.2", "=bgq").
+		WithBuild("autotools", 1)
+	addVersions(bgqmpi, "1.0")
+	r.MustAdd(bgqmpi)
+
+	craympi := pkg.New("cray-mpi").
+		Describe("Cray MPT system MPI.").
+		ProvidesVirtual("mpi@:3.0", "=cray-xe6").
+		WithBuild("autotools", 1)
+	addVersions(craympi, "7.0.1")
+	r.MustAdd(craympi)
+
+	hwloc := pkg.New("hwloc").
+		Describe("Portable hardware locality abstraction.").
+		WithBuild("autotools", 8)
+	addVersions(hwloc, "1.9", "1.11.1")
+	r.MustAdd(hwloc)
+
+	// Gerris needs MPI >= 2 (Fig. 5's constrained dependent).
+	gerris := pkg.New("gerris").
+		Describe("Computational fluid dynamics solver.").
+		WithHomepage("http://gfs.sourceforge.net").
+		DependsOn("mpi@2:").
+		WithBuild("autotools", 40)
+	addVersions(gerris, "1.3.2")
+	r.MustAdd(gerris)
+}
+
+// addBlasLapackProviders defines the second family of fungible interfaces
+// from §3.3: BLAS and LAPACK.
+func addBlasLapackProviders(r *Repo) {
+	atlas := pkg.New("atlas").
+		Describe("Automatically Tuned Linear Algebra Software.").
+		ProvidesVirtual("blas", "").
+		WithBuild("autotools", 120)
+	addVersions(atlas, "3.10.2", "3.11.34")
+	r.MustAdd(atlas)
+
+	netlibBlas := pkg.New("netlib-blas").
+		Describe("Reference BLAS from Netlib.").
+		ProvidesVirtual("blas", "").
+		WithBuild("cmake", 30)
+	addVersions(netlibBlas, "3.5.0")
+	r.MustAdd(netlibBlas)
+
+	mkl := pkg.New("mkl").
+		Describe("Intel Math Kernel Library (vendor BLAS/LAPACK).").
+		ProvidesVirtual("blas", "").
+		ProvidesVirtual("lapack", "").
+		WithBuild("autotools", 1)
+	addVersions(mkl, "11.1")
+	r.MustAdd(mkl)
+
+	netlibLapack := pkg.New("netlib-lapack").
+		Describe("Reference LAPACK from Netlib (the paper's LAPACK build).").
+		WithURL("https://www.netlib.org/lapack/lapack-3.5.0.tgz").
+		ProvidesVirtual("lapack", "").
+		DependsOn("blas").
+		WithBuild("cmake", 26)
+	addVersions(netlibLapack, "3.4.2", "3.5.0")
+	r.MustAdd(netlibLapack)
+}
+
+// addPythonStack defines the interpreted-language use case of §4.2: python
+// plus extensions that install into their own prefixes and activate into
+// the interpreter.
+func addPythonStack(r *Repo) {
+	python := pkg.New("python").
+		Describe("The Python programming language.").
+		WithHomepage("https://www.python.org").
+		WithURL("https://www.python.org/ftp/python/2.7.9/Python-2.7.9.tgz").
+		DependsOn("zlib").
+		DependsOn("bzip2").
+		DependsOn("ncurses").
+		DependsOn("readline").
+		DependsOn("sqlite").
+		DependsOn("openssl").
+		WithPatch("python-bgq-xlc.patch", "=bgq%xl").
+		WithPatch("python-bgq-clang.patch", "=bgq%clang").
+		WithBuild("autotools", 50).
+		WithArtifacts(450) // the stdlib's many small .py files drive NFS cost
+	addVersions(python, "2.7.8", "2.7.9", "3.4.2")
+	r.MustAdd(python)
+
+	setuptools := pkg.New("py-setuptools").
+		Describe("Python packaging toolchain (an extension).").
+		Extends("python").
+		WithBuild("autotools", 2)
+	addVersions(setuptools, "11.3.1", "18.1")
+	r.MustAdd(setuptools)
+
+	numpy := pkg.New("py-numpy").
+		Describe("NumPy array library (an extension).").
+		Extends("python").
+		DependsOn("blas").
+		DependsOn("lapack").
+		WithBuild("autotools", 25)
+	addVersions(numpy, "1.8.2", "1.9.1")
+	r.MustAdd(numpy)
+
+	scipy := pkg.New("py-scipy").
+		Describe("SciPy scientific library (an extension).").
+		Extends("python").
+		DependsOn("py-numpy").
+		WithBuild("autotools", 35)
+	addVersions(scipy, "0.14.1", "0.15.0")
+	r.MustAdd(scipy)
+
+	pynose := pkg.New("py-nose").
+		Describe("Python test runner (an extension).").
+		Extends("python").
+		DependsOn("py-setuptools").
+		WithBuild("autotools", 2)
+	addVersions(pynose, "1.3.4")
+	r.MustAdd(pynose)
+}
+
+// addCommonLibraries defines widely shared leaf and mid-stack libraries,
+// including the seven packages measured in Figs. 10–11 that are not
+// defined elsewhere (libpng; libelf/libdwarf/mpileaks/dyninst/python come
+// from their stacks and LAPACK from the providers).
+func addCommonLibraries(r *Repo) {
+	leaf := func(name, desc string, units int, versions ...string) {
+		p := pkg.New(name).Describe(desc).WithBuild("autotools", units)
+		addVersions(p, versions...)
+		r.MustAdd(p)
+	}
+	leaf("zlib", "Lossless data-compression library.", 4, "1.2.7", "1.2.8")
+	leaf("bzip2", "High-quality block-sorting compressor.", 4, "1.0.6")
+	leaf("ncurses", "Terminal-independent screen handling.", 10, "5.9", "6.0")
+	leaf("papi", "Performance Application Programming Interface.", 12, "5.3.0", "5.4.1")
+	leaf("gsl", "GNU Scientific Library.", 35, "1.16", "2.1")
+	leaf("libpng", "Official PNG reference library (Fig. 10 subject).", 8, "1.6.16")
+	leaf("tcl", "Tool Command Language.", 20, "8.6.3")
+	leaf("hpdf", "libHaru PDF generation library.", 10, "2.3.0")
+	leaf("qd", "Double-double and quad-double arithmetic.", 9, "2.3.13")
+	leaf("pcre", "Perl-compatible regular expressions.", 7, "8.36")
+
+	// openssl 1.0.1h predates the Heartbleed-series fixes the site rolled
+	// out; it stays installable by explicit pin but is never chosen.
+	openssl := pkg.New("openssl").
+		Describe("TLS/SSL and crypto library.").
+		WithBuild("autotools", 45)
+	openssl.WithVersion("1.0.1h", fetch.Checksum("openssl", version.MustParse("1.0.1h")), pkg.Deprecated())
+	addVersions(openssl, "1.0.2d")
+	r.MustAdd(openssl)
+
+	readline := pkg.New("readline").
+		Describe("GNU line-editing library.").
+		DependsOn("ncurses").
+		WithBuild("autotools", 7)
+	addVersions(readline, "6.3")
+	r.MustAdd(readline)
+
+	sqlite := pkg.New("sqlite").
+		Describe("Embedded SQL database engine.").
+		DependsOn("readline").
+		WithBuild("autotools", 22)
+	addVersions(sqlite, "3.8.5")
+	r.MustAdd(sqlite)
+
+	tk := pkg.New("tk").
+		Describe("Tk GUI toolkit for Tcl.").
+		DependsOn("tcl").
+		WithBuild("autotools", 18)
+	addVersions(tk, "8.6.3")
+	r.MustAdd(tk)
+
+	boost := pkg.New("boost").
+		Describe("Peer-reviewed portable C++ source libraries.").
+		WithHomepage("https://www.boost.org").
+		WithURL("https://downloads.sourceforge.net/project/boost/boost/1.55.0/boost_1_55_0.tar.bz2").
+		WithBuild("autotools", 65)
+	addVersions(boost, "1.54.0", "1.55.0", "1.59.0")
+	r.MustAdd(boost)
+
+	hdf5 := pkg.New("hdf5").
+		Describe("HDF5 data model and file format.").
+		WithVariant("mpi", true, "Enable parallel I/O via MPI").
+		DependsOn("zlib").
+		DependsOn("mpi", pkg.When("+mpi")).
+		WithBuild("autotools", 55)
+	addVersions(hdf5, "1.8.13", "1.8.15")
+	r.MustAdd(hdf5)
+
+	silo := pkg.New("silo").
+		Describe("Mesh and field I/O library (the --with-silo example of §3.5).").
+		DependsOn("hdf5").
+		WithBuild("autotools", 28)
+	addVersions(silo, "4.9", "4.10.1")
+	r.MustAdd(silo)
+
+	hypre := pkg.New("hypre").
+		Describe("Scalable linear solvers and multigrid methods.").
+		DependsOn("mpi").
+		DependsOn("blas").
+		DependsOn("lapack").
+		WithBuild("autotools", 48)
+	addVersions(hypre, "2.9.0b", "2.10.0b")
+	r.MustAdd(hypre)
+
+	samrai := pkg.New("samrai").
+		Describe("Structured adaptive mesh refinement framework.").
+		DependsOn("mpi").
+		DependsOn("hdf5").
+		DependsOn("boost").
+		WithBuild("autotools", 75)
+	addVersions(samrai, "3.9.1", "3.10.0")
+	r.MustAdd(samrai)
+
+	ga := pkg.New("ga").
+		Describe("Global Arrays partitioned global address space toolkit.").
+		DependsOn("mpi").
+		DependsOn("blas").
+		WithBuild("autotools", 30)
+	addVersions(ga, "5.3", "5.4")
+	r.MustAdd(ga)
+
+	// gperftools: the combinatorial-naming use case of §4.1, with the
+	// BG/Q patch and per-platform configure logic of Fig. 12.
+	gperftools := pkg.New("gperftools").
+		Describe("Google performance tools: tcmalloc and profilers.").
+		WithHomepage("https://github.com/gperftools/gperftools").
+		WithPatch("patch.gperftools2.4_xlc", "@2.4%xl").
+		WithBuild("autotools", 24)
+	addVersions(gperftools, "2.1", "2.3", "2.4")
+	gperftools.OnInstallWhen("=bgq%xl", func(ctx pkg.BuildContext, s *spec.Spec, prefix string) error {
+		if err := ctx.Configure("--prefix="+prefix, "LDFLAGS=-qnostaticlink"); err != nil {
+			return err
+		}
+		if err := ctx.Make(); err != nil {
+			return err
+		}
+		return ctx.Make("install")
+	})
+	gperftools.OnInstallWhen("=bgq", func(ctx pkg.BuildContext, s *spec.Spec, prefix string) error {
+		if err := ctx.Configure("--prefix="+prefix, "LDFLAGS=-dynamic"); err != nil {
+			return err
+		}
+		if err := ctx.Make(); err != nil {
+			return err
+		}
+		return ctx.Make("install")
+	})
+	r.MustAdd(gperftools)
+
+	// RAJA: a C++11 performance-portability layer — exercises the
+	// feature-aware compiler selection of §4.5 ("our codes are relying on
+	// advanced compiler capabilities, like C++11 language features,
+	// OpenMP versions").
+	raja := pkg.New("raja").
+		Describe("LLNL C++11 loop-level performance portability abstractions.").
+		RequiresCompilerFeature("cxx11", "").
+		RequiresCompilerFeature("openmp4", "+openmp").
+		WithVariant("openmp", false, "Enable the OpenMP 4 back end").
+		WithBuild("cmake", 40)
+	addVersions(raja, "0.1.0")
+	r.MustAdd(raja)
+
+	// ROSE: the conditional-dependency example of §3.2.4 — boost version
+	// depends on the compiler version.
+	rose := pkg.New("rose").
+		Describe("Compiler infrastructure for source-to-source analysis.").
+		DependsOn("boost@1.54.0", pkg.When("%gcc@:4")).
+		DependsOn("boost@1.59.0", pkg.When("%gcc@5:")).
+		WithBuild("autotools", 200)
+	addVersions(rose, "0.9.6")
+	r.MustAdd(rose)
+}
+
+// addTools defines build tools.
+func addTools(r *Repo) {
+	cmake := pkg.New("cmake").
+		Describe("Cross-platform build-system generator.").
+		WithHomepage("https://cmake.org").
+		DependsOn("ncurses").
+		WithBuild("autotools", 40)
+	addVersions(cmake, "2.8.10", "3.0.2", "3.3.1")
+	r.MustAdd(cmake)
+
+	autoconf := pkg.New("autoconf").
+		Describe("GNU configure-script generator.").
+		WithBuild("autotools", 5)
+	addVersions(autoconf, "2.69")
+	r.MustAdd(autoconf)
+}
+
+// PublishAll registers every declared version of every package on a mirror,
+// making the simulated download universe consistent with the repository.
+func PublishAll(m *fetch.Mirror, repos ...*Repo) {
+	for _, r := range repos {
+		for _, name := range r.Names() {
+			p, _ := r.Get(name)
+			for _, vi := range p.VersionInfos {
+				m.Publish(name, vi.Version)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Application-tier packages: the simulation codes and supporting numeric
+// libraries a 2015 HPC center actually ran. These are the DAG roots that
+// give the Fig. 8 repository its realistic top-heavy shapes (applications
+// pulling in 10-25 packages through MPI, BLAS, FFT and I/O stacks).
+package repo
+
+import "repro/internal/pkg"
+
+func init() {
+	builtinExtraGroups = append(builtinExtraGroups, addNumericLeaves, addApplications)
+}
+
+// addNumericLeaves defines multiprecision and geometry libraries apps need.
+func addNumericLeaves(r *Repo) {
+	gmp := pkg.New("gmp").
+		Describe("GNU multiple-precision arithmetic library.").
+		DependsOn("m4", pkg.BuildOnly()).
+		WithBuild("autotools", 30)
+	addVersions(gmp, "6.0.0a", "6.1.0")
+	r.MustAdd(gmp)
+
+	mpfr := pkg.New("mpfr").
+		Describe("Multiple-precision floating point with correct rounding.").
+		DependsOn("gmp").
+		WithBuild("autotools", 18)
+	addVersions(mpfr, "3.1.3")
+	r.MustAdd(mpfr)
+
+	mpc := pkg.New("mpc").
+		Describe("Arithmetic of complex numbers with arbitrary precision.").
+		DependsOn("gmp").
+		DependsOn("mpfr").
+		WithBuild("autotools", 10)
+	addVersions(mpc, "1.0.3")
+	r.MustAdd(mpc)
+
+	isl := pkg.New("isl").
+		Describe("Integer set library for polyhedral compilation.").
+		DependsOn("gmp").
+		WithBuild("autotools", 22)
+	addVersions(isl, "0.14")
+	r.MustAdd(isl)
+
+	binutils := pkg.New("binutils").
+		Describe("GNU binary utilities (as, ld, objdump...).").
+		DependsOn("zlib").
+		WithBuild("autotools", 60)
+	addVersions(binutils, "2.25")
+	r.MustAdd(binutils)
+
+	gdb := pkg.New("gdb").
+		Describe("The GNU debugger.").
+		DependsOn("ncurses").
+		DependsOn("expat").
+		DependsOn("python").
+		WithBuild("autotools", 80)
+	addVersions(gdb, "7.9.1")
+	r.MustAdd(gdb)
+
+	cgal := pkg.New("cgal").
+		Describe("Computational geometry algorithms library.").
+		RequiresCompilerFeature("cxx11", "@4.7:").
+		DependsOn("boost").
+		DependsOn("gmp").
+		DependsOn("mpfr").
+		DependsOn("cmake", pkg.BuildOnly()).
+		WithBuild("cmake", 45)
+	addVersions(cgal, "4.6.1")
+	r.MustAdd(cgal)
+
+	glpk := pkg.New("glpk").
+		Describe("GNU linear programming kit.").
+		DependsOn("gmp").
+		WithBuild("autotools", 16)
+	addVersions(glpk, "4.55")
+	r.MustAdd(glpk)
+}
+
+// addApplications defines the simulation codes.
+func addApplications(r *Repo) {
+	lammps := pkg.New("lammps").
+		Describe("Large-scale atomic/molecular massively parallel simulator.").
+		WithVariant("fft", true, "Use FFTW for k-space solvers").
+		DependsOn("mpi").
+		DependsOn("fftw+mpi", pkg.When("+fft")).
+		WithBuild("autotools", 180)
+	addVersions(lammps, "2015.08.10")
+	r.MustAdd(lammps)
+
+	gromacs := pkg.New("gromacs").
+		Describe("Molecular dynamics for biochemical systems.").
+		RequiresCompilerFeature("cxx11", "@5:").
+		WithVariant("mpi", true, "Parallel mdrun").
+		DependsOn("mpi", pkg.When("+mpi")).
+		DependsOn("fftw").
+		DependsOn("blas").
+		DependsOn("cmake", pkg.BuildOnly()).
+		WithBuild("cmake", 200)
+	addVersions(gromacs, "5.0.5")
+	r.MustAdd(gromacs)
+
+	namd := pkg.New("namd").
+		Describe("Scalable molecular dynamics (Charm++).").
+		DependsOn("charmpp").
+		DependsOn("fftw").
+		DependsOn("tcl").
+		WithBuild("autotools", 160)
+	addVersions(namd, "2.10")
+	r.MustAdd(namd)
+
+	charmpp := pkg.New("charmpp").
+		Describe("Charm++ parallel programming framework.").
+		DependsOn("mpi").
+		WithBuild("autotools", 90)
+	addVersions(charmpp, "6.6.1")
+	r.MustAdd(charmpp)
+
+	espresso := pkg.New("quantum-espresso").
+		Describe("Electronic-structure calculations (plane waves, DFT).").
+		WithVariant("mpi", true, "Parallel build").
+		DependsOn("mpi", pkg.When("+mpi")).
+		DependsOn("blas").
+		DependsOn("lapack").
+		DependsOn("fftw").
+		WithBuild("autotools", 220)
+	addVersions(espresso, "5.1.2")
+	r.MustAdd(espresso)
+
+	nwchem := pkg.New("nwchem").
+		Describe("Computational chemistry at scale.").
+		DependsOn("mpi").
+		DependsOn("blas").
+		DependsOn("lapack").
+		DependsOn("ga").
+		DependsOn("python").
+		WithBuild("autotools", 300)
+	addVersions(nwchem, "6.5")
+	r.MustAdd(nwchem)
+
+	openfoam := pkg.New("openfoam").
+		Describe("Open-source computational fluid dynamics toolbox.").
+		DependsOn("mpi").
+		DependsOn("scotch").
+		DependsOn("cgal").
+		DependsOn("flex", pkg.BuildOnly()).
+		DependsOn("cmake", pkg.BuildOnly()).
+		WithBuild("autotools", 400)
+	addVersions(openfoam, "2.4.0")
+	r.MustAdd(openfoam)
+
+	wrf := pkg.New("wrf").
+		Describe("Weather research and forecasting model.").
+		DependsOn("mpi").
+		DependsOn("netcdf").
+		DependsOn("netcdf-fortran").
+		DependsOn("hdf5+mpi").
+		WithBuild("autotools", 260)
+	addVersions(wrf, "3.7.1")
+	r.MustAdd(wrf)
+
+	cp2k := pkg.New("cp2k").
+		Describe("Atomistic simulations of solid state and liquids.").
+		DependsOn("mpi").
+		DependsOn("blas").
+		DependsOn("lapack").
+		DependsOn("fftw").
+		DependsOn("libint").
+		WithBuild("autotools", 280)
+	addVersions(cp2k, "2.6.1")
+	r.MustAdd(cp2k)
+
+	libint := pkg.New("libint").
+		Describe("Gaussian integrals for quantum chemistry.").
+		DependsOn("gmp").
+		WithBuild("autotools", 55)
+	addVersions(libint, "1.1.4")
+	r.MustAdd(libint)
+
+	// Proxy apps: the small benchmarks centers use for procurement.
+	lulesh := pkg.New("lulesh").
+		Describe("Livermore unstructured Lagrangian explicit shock hydro proxy.").
+		WithVariant("openmp", true, "Threaded version").
+		RequiresCompilerFeature("openmp3", "+openmp").
+		DependsOn("mpi").
+		WithBuild("autotools", 12)
+	addVersions(lulesh, "2.0.3")
+	r.MustAdd(lulesh)
+
+	kripke := pkg.New("kripke").
+		Describe("Deterministic particle-transport proxy application (LLNL).").
+		RequiresCompilerFeature("cxx11", "").
+		DependsOn("mpi").
+		DependsOn("cmake", pkg.BuildOnly()).
+		WithBuild("cmake", 25)
+	addVersions(kripke, "1.1")
+	r.MustAdd(kripke)
+
+	amg2013 := pkg.New("amg2013").
+		Describe("Algebraic multigrid proxy from hypre (LLNL).").
+		DependsOn("mpi").
+		WithBuild("autotools", 15)
+	addVersions(amg2013, "1.0")
+	r.MustAdd(amg2013)
+}

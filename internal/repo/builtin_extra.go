@@ -1,0 +1,514 @@
+// Additional builtin packages: the wider 2015-era HPC software ecosystem
+// that Spack's mainline repository carried alongside the paper's examples —
+// developer tools, math libraries and solvers, I/O stacks, performance
+// tools (including the LLNL tool chain around STAT and SCR), interpreters,
+// and more Python extensions. These give the Fig. 8 concretization
+// workload realistic DAG shapes and exercise variants, virtuals and
+// conditional dependencies at repository scale.
+package repo
+
+import "repro/internal/pkg"
+
+func init() {
+	// Append (never assign): other files' init functions register their
+	// own groups and file-order between init calls must not matter.
+	builtinExtraGroups = append(builtinExtraGroups,
+		addDevTools,
+		addCompressionLibraries,
+		addMathLibraries,
+		addIOLibraries,
+		addPerfTools,
+		addLLNLToolStack,
+		addInterpreters,
+		addMorePythonExtensions,
+	)
+}
+
+// builtinExtraGroups is consumed by Builtin (set in init to keep the two
+// files independent).
+var builtinExtraGroups []func(*Repo)
+
+// addDevTools defines build and developer tooling.
+func addDevTools(r *Repo) {
+	leaf := func(name, desc string, units int, versions ...string) *pkg.Package {
+		p := pkg.New(name).Describe(desc).WithBuild("autotools", units)
+		addVersions(p, versions...)
+		r.MustAdd(p)
+		return p
+	}
+	leaf("m4", "GNU macro processor.", 5, "1.4.17")
+	leaf("libtool", "Generic shared-library support script.", 6, "2.4.2", "2.4.6")
+	leaf("automake", "Makefile generator for autoconf.", 6, "1.14.1", "1.15")
+	leaf("pkg-config", "Compile/link flag helper for libraries.", 5, "0.28")
+	leaf("flex", "Fast lexical analyzer generator.", 8, "2.5.39")
+	leaf("bison", "Parser generator compatible with yacc.", 10, "3.0.4")
+	leaf("expat", "Stream-oriented XML parser library.", 6, "2.1.0")
+	leaf("libiconv", "Character-set conversion library.", 7, "1.14")
+	leaf("gettext", "Internationalization framework.", 20, "0.19.4")
+	leaf("libsigsegv", "Page-fault handling library.", 3, "2.10")
+	leaf("nasm", "Netwide assembler.", 6, "2.11.06")
+
+	swig := pkg.New("swig").
+		Describe("Interface compiler connecting C/C++ with scripting languages.").
+		DependsOn("pcre").
+		WithBuild("autotools", 18)
+	addVersions(swig, "3.0.2", "3.0.7")
+	r.MustAdd(swig)
+
+	libxml2 := pkg.New("libxml2").
+		Describe("XML parser and toolkit from the GNOME project.").
+		DependsOn("zlib").
+		DependsOn("libiconv").
+		WithBuild("autotools", 22)
+	addVersions(libxml2, "2.9.2")
+	r.MustAdd(libxml2)
+
+	curl := pkg.New("curl").
+		Describe("Command-line tool and library for URL transfers.").
+		DependsOn("openssl").
+		DependsOn("zlib").
+		WithBuild("autotools", 20)
+	addVersions(curl, "7.42.1", "7.44.0")
+	r.MustAdd(curl)
+
+	git := pkg.New("git").
+		Describe("Distributed version control system.").
+		DependsOn("curl").
+		DependsOn("expat").
+		DependsOn("gettext").
+		DependsOn("zlib").
+		WithBuild("autotools", 40)
+	addVersions(git, "2.2.1", "2.5.0")
+	r.MustAdd(git)
+
+	subversion := pkg.New("subversion").
+		Describe("Centralized version control system.").
+		DependsOn("apr").
+		DependsOn("apr-util").
+		DependsOn("zlib").
+		DependsOn("sqlite").
+		WithBuild("autotools", 35)
+	addVersions(subversion, "1.8.13")
+	r.MustAdd(subversion)
+
+	apr := pkg.New("apr").
+		Describe("Apache portable runtime.").
+		WithBuild("autotools", 15)
+	addVersions(apr, "1.5.2")
+	r.MustAdd(apr)
+
+	aprUtil := pkg.New("apr-util").
+		Describe("Apache portable runtime utilities.").
+		DependsOn("apr").
+		DependsOn("expat").
+		WithBuild("autotools", 12)
+	addVersions(aprUtil, "1.5.4")
+	r.MustAdd(aprUtil)
+
+	doxygen := pkg.New("doxygen").
+		Describe("Source-code documentation generator.").
+		DependsOn("flex", pkg.BuildOnly()).
+		DependsOn("bison", pkg.BuildOnly()).
+		WithBuild("cmake", 45)
+	addVersions(doxygen, "1.8.10")
+	r.MustAdd(doxygen)
+}
+
+// addCompressionLibraries defines compression codecs.
+func addCompressionLibraries(r *Repo) {
+	leaf := func(name, desc string, units int, versions ...string) {
+		p := pkg.New(name).Describe(desc).WithBuild("autotools", units)
+		addVersions(p, versions...)
+		r.MustAdd(p)
+	}
+	leaf("xz", "LZMA compression utilities.", 8, "5.2.0", "5.2.1")
+	leaf("lz4", "Extremely fast compression algorithm.", 5, "1.7.1")
+	leaf("snappy", "Fast compressor/decompressor from Google.", 6, "1.1.2")
+	leaf("szip", "Science-data lossless compression (HDF).", 5, "2.1")
+	leaf("zfp", "Compressed floating-point arrays.", 8, "0.4.1")
+}
+
+// addMathLibraries defines solvers, partitioners, and dense/sparse math.
+func addMathLibraries(r *Repo) {
+	openblas := pkg.New("openblas").
+		Describe("Optimized BLAS with LAPACK, successor of GotoBLAS.").
+		ProvidesVirtual("blas", "").
+		ProvidesVirtual("lapack", "@0.2.14:").
+		WithBuild("autotools", 70)
+	addVersions(openblas, "0.2.13", "0.2.14")
+	r.MustAdd(openblas)
+
+	fftw := pkg.New("fftw").
+		Describe("Fastest Fourier Transform in the West.").
+		WithVariant("mpi", false, "Build MPI-parallel transforms").
+		DependsOn("mpi", pkg.When("+mpi")).
+		WithBuild("autotools", 60)
+	addVersions(fftw, "3.3.3", "3.3.4")
+	r.MustAdd(fftw)
+
+	metis := pkg.New("metis").
+		Describe("Serial graph partitioning and fill-reducing ordering.").
+		WithBuild("cmake", 25)
+	addVersions(metis, "4.0.3", "5.1.0")
+	r.MustAdd(metis)
+
+	parmetis := pkg.New("parmetis").
+		Describe("Parallel graph partitioning (MPI).").
+		DependsOn("metis@5:").
+		DependsOn("mpi").
+		WithBuild("cmake", 30)
+	addVersions(parmetis, "4.0.3")
+	r.MustAdd(parmetis)
+
+	scotch := pkg.New("scotch").
+		Describe("Graph/mesh partitioning and sparse matrix ordering.").
+		WithVariant("mpi", true, "Build PT-Scotch").
+		DependsOn("mpi", pkg.When("+mpi")).
+		DependsOn("zlib").
+		DependsOn("flex", pkg.BuildOnly()).
+		DependsOn("bison", pkg.BuildOnly()).
+		WithBuild("autotools", 35)
+	addVersions(scotch, "6.0.3")
+	r.MustAdd(scotch)
+
+	superlu := pkg.New("superlu").
+		Describe("Direct solver for sparse linear systems (serial).").
+		DependsOn("blas").
+		WithBuild("cmake", 22)
+	addVersions(superlu, "4.3")
+	r.MustAdd(superlu)
+
+	superluDist := pkg.New("superlu-dist").
+		Describe("Distributed-memory sparse direct solver.").
+		DependsOn("mpi").
+		DependsOn("blas").
+		DependsOn("lapack").
+		DependsOn("parmetis").
+		DependsOn("metis@5:").
+		WithBuild("autotools", 40)
+	addVersions(superluDist, "3.3", "4.1")
+	r.MustAdd(superluDist)
+
+	mumps := pkg.New("mumps").
+		Describe("Multifrontal massively parallel sparse direct solver.").
+		WithVariant("mpi", true, "Parallel solver").
+		DependsOn("mpi", pkg.When("+mpi")).
+		DependsOn("blas").
+		DependsOn("scotch").
+		WithBuild("autotools", 55)
+	addVersions(mumps, "5.0.0")
+	r.MustAdd(mumps)
+
+	eigen := pkg.New("eigen").
+		Describe("C++ template library for linear algebra.").
+		RequiresCompilerFeature("cxx11", "@3.3:").
+		WithBuild("cmake", 8)
+	addVersions(eigen, "3.2.5")
+	r.MustAdd(eigen)
+
+	suiteSparse := pkg.New("suite-sparse").
+		Describe("Sparse matrix algorithms (UMFPACK, CHOLMOD, ...).").
+		DependsOn("blas").
+		DependsOn("lapack").
+		DependsOn("metis@5:").
+		WithBuild("autotools", 45)
+	addVersions(suiteSparse, "4.4.5")
+	r.MustAdd(suiteSparse)
+
+	petsc := pkg.New("petsc").
+		Describe("Portable, extensible toolkit for scientific computation.").
+		WithVariant("hypre", true, "Enable the Hypre preconditioners").
+		WithVariant("superlu-dist", true, "Enable SuperLU_DIST").
+		WithVariant("metis", true, "Enable METIS/ParMETIS").
+		DependsOn("mpi").
+		DependsOn("blas").
+		DependsOn("lapack").
+		DependsOn("hypre", pkg.When("+hypre")).
+		DependsOn("superlu-dist", pkg.When("+superlu-dist")).
+		DependsOn("parmetis", pkg.When("+metis")).
+		DependsOn("metis@5:", pkg.When("+metis")).
+		DependsOn("python", pkg.BuildOnly()).
+		WithBuild("autotools", 150)
+	addVersions(petsc, "3.5.3", "3.6.1")
+	r.MustAdd(petsc)
+
+	trilinos := pkg.New("trilinos").
+		Describe("Algorithms for large-scale scientific problems (Sandia).").
+		RequiresCompilerFeature("cxx11", "@12:").
+		DependsOn("mpi").
+		DependsOn("blas").
+		DependsOn("lapack").
+		DependsOn("boost").
+		DependsOn("netcdf").
+		WithBuild("cmake", 350)
+	addVersions(trilinos, "11.14.3", "12.0.1")
+	r.MustAdd(trilinos)
+
+	sundials := pkg.New("sundials").
+		Describe("Suite of nonlinear differential/algebraic solvers.").
+		DependsOn("mpi").
+		DependsOn("blas").
+		WithBuild("cmake", 38)
+	addVersions(sundials, "2.6.2")
+	r.MustAdd(sundials)
+}
+
+// addIOLibraries defines the scientific I/O stack.
+func addIOLibraries(r *Repo) {
+	netcdf := pkg.New("netcdf").
+		Describe("Network Common Data Form library.").
+		WithVariant("mpi", true, "Parallel I/O through HDF5").
+		DependsOn("hdf5+mpi", pkg.When("+mpi")).
+		DependsOn("hdf5~mpi", pkg.When("~mpi")).
+		DependsOn("curl").
+		DependsOn("zlib").
+		WithBuild("autotools", 42)
+	addVersions(netcdf, "4.3.3")
+	r.MustAdd(netcdf)
+
+	netcdfFortran := pkg.New("netcdf-fortran").
+		Describe("Fortran bindings for NetCDF.").
+		DependsOn("netcdf").
+		WithBuild("autotools", 15)
+	addVersions(netcdfFortran, "4.4.2")
+	r.MustAdd(netcdfFortran)
+
+	parallelNetcdf := pkg.New("parallel-netcdf").
+		Describe("Parallel I/O for classic NetCDF files (PnetCDF).").
+		DependsOn("mpi").
+		WithBuild("autotools", 30)
+	addVersions(parallelNetcdf, "1.6.1")
+	r.MustAdd(parallelNetcdf)
+
+	adios := pkg.New("adios").
+		Describe("Adaptable I/O system for exascale data.").
+		DependsOn("mpi").
+		DependsOn("zlib").
+		DependsOn("mxml").
+		WithBuild("autotools", 48)
+	addVersions(adios, "1.9.0")
+	r.MustAdd(adios)
+
+	mxml := pkg.New("mxml").
+		Describe("Small XML parsing library.").
+		WithBuild("autotools", 5)
+	addVersions(mxml, "2.9")
+	r.MustAdd(mxml)
+}
+
+// addPerfTools defines the community performance-tool ecosystem.
+func addPerfTools(r *Repo) {
+	pdt := pkg.New("pdt").
+		Describe("Program database toolkit for source analysis.").
+		WithBuild("autotools", 25)
+	addVersions(pdt, "3.20")
+	r.MustAdd(pdt)
+
+	tau := pkg.New("tau").
+		Describe("Tuning and Analysis Utilities profiler.").
+		WithVariant("mpi", true, "Profile MPI programs").
+		WithVariant("python", false, "Python bindings").
+		DependsOn("pdt").
+		DependsOn("papi").
+		DependsOn("mpi", pkg.When("+mpi")).
+		DependsOn("python", pkg.When("+python")).
+		WithBuild("autotools", 80)
+	addVersions(tau, "2.23.1", "2.24.1")
+	r.MustAdd(tau)
+
+	otf2 := pkg.New("otf2").
+		Describe("Open Trace Format 2 library.").
+		WithBuild("autotools", 20)
+	addVersions(otf2, "1.5.1", "2.0")
+	r.MustAdd(otf2)
+
+	cubeLib := pkg.New("cube").
+		Describe("Performance report explorer for Score-P/Scalasca.").
+		DependsOn("zlib").
+		WithBuild("autotools", 30)
+	addVersions(cubeLib, "4.3.2")
+	r.MustAdd(cubeLib)
+
+	scorep := pkg.New("scorep").
+		Describe("Scalable performance measurement infrastructure.").
+		DependsOn("mpi").
+		DependsOn("papi").
+		DependsOn("otf2").
+		DependsOn("cube").
+		DependsOn("pdt").
+		WithBuild("autotools", 65)
+	addVersions(scorep, "1.4.1")
+	r.MustAdd(scorep)
+
+	scalasca := pkg.New("scalasca").
+		Describe("Scalable trace-based performance analysis.").
+		DependsOn("mpi").
+		DependsOn("scorep").
+		DependsOn("otf2").
+		DependsOn("cube").
+		WithBuild("autotools", 50)
+	addVersions(scalasca, "2.2.2")
+	r.MustAdd(scalasca)
+
+	hpctoolkit := pkg.New("hpctoolkit").
+		Describe("Sampling-based performance measurement (Rice).").
+		DependsOn("papi").
+		DependsOn("libdwarf").
+		DependsOn("libelf").
+		DependsOn("boost").
+		WithBuild("autotools", 90)
+	addVersions(hpctoolkit, "5.4.0")
+	r.MustAdd(hpctoolkit)
+
+	valgrind := pkg.New("valgrind").
+		Describe("Dynamic analysis framework (memcheck, cachegrind...).").
+		WithVariant("mpi", true, "Wrappers for MPI programs").
+		DependsOn("mpi", pkg.When("+mpi")).
+		WithBuild("autotools", 55)
+	addVersions(valgrind, "3.10.1")
+	r.MustAdd(valgrind)
+
+	likwid := pkg.New("likwid").
+		Describe("Performance monitoring for x86 processors.").
+		DependsOn("lua").
+		WithBuild("autotools", 25)
+	addVersions(likwid, "4.0.1")
+	r.MustAdd(likwid)
+}
+
+// addLLNLToolStack defines the LLNL debugging/resilience tool chain the
+// paper's group maintains: STAT and its dependency stack, SCR, and the
+// support libraries (the real dependencies of callpath/mpileaks).
+func addLLNLToolStack(r *Repo) {
+	adeptUtils := pkg.New("adept-utils").
+		Describe("Utilities for LLNL performance tools.").
+		DependsOn("boost").
+		DependsOn("mpi").
+		WithBuild("cmake", 10)
+	addVersions(adeptUtils, "1.0", "1.0.1")
+	r.MustAdd(adeptUtils)
+
+	graphlib := pkg.New("graphlib").
+		Describe("Graph library for tool communication trees.").
+		WithBuild("cmake", 8)
+	addVersions(graphlib, "2.0.0")
+	r.MustAdd(graphlib)
+
+	launchmon := pkg.New("launchmon").
+		Describe("Tool daemon launching infrastructure.").
+		DependsOn("autoconf", pkg.BuildOnly()).
+		DependsOn("libelf").
+		WithBuild("autotools", 28)
+	addVersions(launchmon, "1.0.1")
+	r.MustAdd(launchmon)
+
+	mrnet := pkg.New("mrnet").
+		Describe("Multicast/reduction software overlay network.").
+		DependsOn("boost").
+		WithBuild("autotools", 35)
+	addVersions(mrnet, "4.1.0", "5.0.1")
+	r.MustAdd(mrnet)
+
+	stat := pkg.New("stat").
+		Describe("Stack Trace Analysis Tool for debugging at scale.").
+		DependsOn("dyninst").
+		DependsOn("graphlib").
+		DependsOn("launchmon").
+		DependsOn("mrnet").
+		DependsOn("mpi").
+		WithBuild("autotools", 45)
+	addVersions(stat, "2.1.0", "2.2.0")
+	r.MustAdd(stat)
+
+	lwgrp := pkg.New("lwgrp").
+		Describe("Lightweight group representation for MPI tools.").
+		DependsOn("mpi").
+		WithBuild("autotools", 6)
+	addVersions(lwgrp, "1.0.2")
+	r.MustAdd(lwgrp)
+
+	dtcmp := pkg.New("dtcmp").
+		Describe("Datatype comparison and sorting for MPI.").
+		DependsOn("mpi").
+		DependsOn("lwgrp").
+		WithBuild("autotools", 8)
+	addVersions(dtcmp, "1.0.3")
+	r.MustAdd(dtcmp)
+
+	scr := pkg.New("scr").
+		Describe("Scalable checkpoint/restart library.").
+		DependsOn("mpi").
+		DependsOn("dtcmp").
+		WithBuild("cmake", 30)
+	addVersions(scr, "1.1.8")
+	r.MustAdd(scr)
+
+	spindle := pkg.New("spindle").
+		Describe("Scalable dynamic-library loading for HPC.").
+		DependsOn("launchmon").
+		WithBuild("autotools", 18)
+	addVersions(spindle, "0.8.1")
+	r.MustAdd(spindle)
+
+	muster := pkg.New("muster").
+		Describe("Massively scalable clustering library.").
+		DependsOn("boost").
+		DependsOn("mpi").
+		WithBuild("cmake", 12)
+	addVersions(muster, "1.0.1")
+	r.MustAdd(muster)
+}
+
+// addInterpreters defines additional language runtimes.
+func addInterpreters(r *Repo) {
+	lua := pkg.New("lua").
+		Describe("Lightweight embeddable scripting language.").
+		DependsOn("ncurses").
+		DependsOn("readline").
+		WithBuild("autotools", 12)
+	addVersions(lua, "5.1.5", "5.3.1")
+	r.MustAdd(lua)
+
+	perl := pkg.New("perl").
+		Describe("Practical Extraction and Report Language.").
+		WithBuild("autotools", 60)
+	addVersions(perl, "5.20.2", "5.22.0")
+	r.MustAdd(perl)
+
+	ruby := pkg.New("ruby").
+		Describe("Dynamic object-oriented language.").
+		DependsOn("openssl").
+		DependsOn("readline").
+		DependsOn("zlib").
+		WithBuild("autotools", 65)
+	addVersions(ruby, "2.2.2")
+	r.MustAdd(ruby)
+}
+
+// addMorePythonExtensions widens the §4.2 extension ecosystem.
+func addMorePythonExtensions(r *Repo) {
+	ext := func(name, desc string, units int, deps []string, versions ...string) {
+		p := pkg.New(name).Describe(desc).Extends("python").WithBuild("autotools", units)
+		for _, d := range deps {
+			p.DependsOn(d)
+		}
+		addVersions(p, versions...)
+		r.MustAdd(p)
+	}
+	ext("py-six", "Python 2/3 compatibility shims (an extension).", 1,
+		nil, "1.9.0")
+	ext("py-cython", "C extensions compiler for Python (an extension).", 15,
+		nil, "0.21.2", "0.22")
+	ext("py-dateutil", "Datetime extensions (an extension).", 2,
+		[]string{"py-six"}, "2.4.0")
+	ext("py-pyparsing", "Grammar parsing module (an extension).", 2,
+		nil, "2.0.3")
+	ext("py-virtualenv", "Isolated Python environments (an extension).", 3,
+		[]string{"py-setuptools"}, "13.0.1")
+	ext("py-mpi4py", "MPI bindings for Python (an extension).", 12,
+		[]string{"mpi"}, "1.3.1")
+	ext("py-matplotlib", "2-D plotting library (an extension).", 45,
+		[]string{"py-numpy", "py-dateutil", "py-pyparsing", "libpng"}, "1.4.2")
+	ext("py-h5py", "HDF5 bindings for Python (an extension).", 18,
+		[]string{"py-numpy", "py-cython", "hdf5"}, "2.4.0")
+}

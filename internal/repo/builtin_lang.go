@@ -1,0 +1,112 @@
+// R and visualization stacks. The R packages exercise the extension
+// mechanism's generality claim (§4.2: "this design could also be used with
+// other languages with similar extension models, such as R, Ruby, or
+// Lua"): r-* packages extend the r interpreter exactly as py-* packages
+// extend python.
+package repo
+
+import "repro/internal/pkg"
+
+func init() {
+	builtinExtraGroups = append(builtinExtraGroups, addRStack, addVisualization)
+}
+
+// addRStack defines the R interpreter and extension packages.
+func addRStack(r *Repo) {
+	rlang := pkg.New("r").
+		Describe("The R project for statistical computing.").
+		WithHomepage("https://www.r-project.org").
+		DependsOn("readline").
+		DependsOn("ncurses").
+		DependsOn("zlib").
+		DependsOn("bzip2").
+		DependsOn("curl").
+		DependsOn("pcre").
+		DependsOn("blas").
+		DependsOn("lapack").
+		WithBuild("autotools", 90).
+		WithArtifacts(300)
+	addVersions(rlang, "3.1.3", "3.2.2")
+	r.MustAdd(rlang)
+
+	ext := func(name, desc string, units int, deps []string, versions ...string) {
+		p := pkg.New(name).Describe(desc).Extends("r").WithBuild("autotools", units)
+		for _, d := range deps {
+			p.DependsOn(d)
+		}
+		addVersions(p, versions...)
+		r.MustAdd(p)
+	}
+	ext("r-abind", "Combine multidimensional arrays (an R extension).", 2,
+		nil, "1.4-3")
+	ext("r-mass", "Modern applied statistics functions (an R extension).", 6,
+		nil, "7.3-43")
+	ext("r-matrix", "Sparse and dense matrix classes (an R extension).", 12,
+		[]string{"blas", "lapack"}, "1.2-2")
+	ext("r-ggplot2", "Grammar-of-graphics plotting (an R extension).", 15,
+		[]string{"r-mass"}, "1.0.1")
+	ext("r-rcpp", "Seamless R and C++ integration (an R extension).", 18,
+		nil, "0.12.0")
+}
+
+// addVisualization defines the 2015-era visualization stack.
+func addVisualization(r *Repo) {
+	qt := pkg.New("qt").
+		Describe("Cross-platform application framework.").
+		DependsOn("zlib").
+		DependsOn("libpng").
+		DependsOn("openssl").
+		DependsOn("sqlite").
+		WithBuild("autotools", 400)
+	addVersions(qt, "4.8.6", "5.4.2")
+	r.MustAdd(qt)
+
+	vtk := pkg.New("vtk").
+		Describe("Visualization Toolkit for 3-D graphics and visualization.").
+		DependsOn("qt").
+		DependsOn("zlib").
+		DependsOn("libpng").
+		DependsOn("expat").
+		DependsOn("cmake", pkg.BuildOnly()).
+		WithBuild("cmake", 300)
+	addVersions(vtk, "6.1.0")
+	r.MustAdd(vtk)
+
+	paraview := pkg.New("paraview").
+		Describe("Parallel data analysis and visualization.").
+		WithVariant("mpi", true, "Client/server parallel rendering").
+		WithVariant("python", false, "Python scripting").
+		DependsOn("vtk").
+		DependsOn("qt").
+		DependsOn("mpi", pkg.When("+mpi")).
+		DependsOn("python", pkg.When("+python")).
+		DependsOn("py-numpy", pkg.When("+python")).
+		DependsOn("hdf5").
+		DependsOn("netcdf").
+		DependsOn("cmake", pkg.BuildOnly()).
+		WithBuild("cmake", 450)
+	addVersions(paraview, "4.3.1")
+	r.MustAdd(paraview)
+
+	visit := pkg.New("visit").
+		Describe("Interactive parallel visualization (LLNL).").
+		DependsOn("vtk").
+		DependsOn("qt").
+		DependsOn("silo").
+		DependsOn("hdf5").
+		DependsOn("python").
+		DependsOn("cmake", pkg.BuildOnly()).
+		WithBuild("cmake", 380)
+	addVersions(visit, "2.9.2")
+	r.MustAdd(visit)
+
+	mesa := pkg.New("mesa").
+		Describe("Open-source OpenGL implementation.").
+		DependsOn("libxml2").
+		DependsOn("expat").
+		DependsOn("flex", pkg.BuildOnly()).
+		DependsOn("bison", pkg.BuildOnly()).
+		WithBuild("autotools", 120)
+	addVersions(mesa, "10.4.4")
+	r.MustAdd(mesa)
+}

@@ -1,0 +1,218 @@
+// Package repo implements package repositories (SC'15 §3.1, §4.3.2): named
+// collections of package definitions, searched along a configurable path so
+// that site-specific repositories can override or extend the builtin one,
+// plus the reverse index from virtual interface names to their providers
+// that drives virtual-dependency resolution (§3.3, Fig. 6).
+package repo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pkg"
+	"repro/internal/spec"
+)
+
+// A Repo is one namespace of package definitions.
+type Repo struct {
+	Namespace string
+	packages  map[string]*pkg.Package
+}
+
+// NewRepo creates an empty repository with a namespace like "builtin" or
+// "llnl.ares".
+func NewRepo(namespace string) *Repo {
+	return &Repo{Namespace: namespace, packages: make(map[string]*pkg.Package)}
+}
+
+// Add registers a package definition, validating it first. Re-adding a name
+// replaces the previous definition (site repos use fresh Repos instead).
+func (r *Repo) Add(p *pkg.Package) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	r.packages[p.Name] = p
+	return nil
+}
+
+// MustAdd is Add for package-set construction code; it panics on error.
+func (r *Repo) MustAdd(p *pkg.Package) {
+	if err := r.Add(p); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns a package definition by name.
+func (r *Repo) Get(name string) (*pkg.Package, bool) {
+	p, ok := r.packages[name]
+	return p, ok
+}
+
+// Names returns all package names, sorted.
+func (r *Repo) Names() []string {
+	out := make([]string, 0, len(r.packages))
+	for n := range r.packages {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of packages in the repository.
+func (r *Repo) Len() int { return len(r.packages) }
+
+// A Path is an ordered search path of repositories: the first repository
+// containing a name wins, so a site repo listed before builtin overrides
+// builtin's recipe (§4.3.2: "custom packages can inherit from and replace
+// Spack's default packages").
+type Path struct {
+	repos []*Repo
+}
+
+// NewPath builds a search path; earlier repositories take precedence.
+func NewPath(repos ...*Repo) *Path {
+	return &Path{repos: repos}
+}
+
+// Prepend adds a repository at highest precedence.
+func (p *Path) Prepend(r *Repo) { p.repos = append([]*Repo{r}, p.repos...) }
+
+// Repos returns the path in precedence order.
+func (p *Path) Repos() []*Repo { return p.repos }
+
+// Get resolves a package name along the path, returning the definition and
+// the namespace that supplied it.
+func (p *Path) Get(name string) (*pkg.Package, string, bool) {
+	for _, r := range p.repos {
+		if def, ok := r.Get(name); ok {
+			return def, r.Namespace, true
+		}
+	}
+	return nil, "", false
+}
+
+// MustGet is Get for callers that have already checked existence.
+func (p *Path) MustGet(name string) *pkg.Package {
+	def, _, ok := p.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("repo: unknown package %q", name))
+	}
+	return def
+}
+
+// Names returns the union of package names visible along the path.
+func (p *Path) Names() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range p.repos {
+		for _, n := range r.Names() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsVirtual reports whether a name denotes a virtual interface: no package
+// file of that name exists, but at least one package provides it (§3.3).
+func (p *Path) IsVirtual(name string) bool {
+	if _, _, ok := p.Get(name); ok {
+		return false
+	}
+	return len(p.ProviderNames(name)) > 0
+}
+
+// ProviderNames returns the names of all packages with a provides directive
+// for the virtual, sorted.
+func (p *Path) ProviderNames(virtual string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range p.repos {
+		for _, n := range r.Names() {
+			if seen[n] {
+				continue
+			}
+			def, _ := r.Get(n)
+			if def.ProvidesVirtualName(virtual) {
+				out = append(out, n)
+			}
+			seen[n] = true
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Provider describes one candidate implementation of a virtual spec: the
+// provider package and the provider configuration constraint under which it
+// supplies a compatible interface version.
+type Provider struct {
+	Package *pkg.Package
+	// When is the provider-side condition (e.g. mvapich2@2.0 provides
+	// mpi@:3.0 only when the provider itself is at 2.0); nil if
+	// unconditional.
+	When *spec.Spec
+	// Virtual is the interface spec supplied under that condition.
+	Virtual *spec.Spec
+}
+
+// ProvidersFor builds the reverse index for one virtual constraint: all
+// (package, condition) pairs whose provided interface version list is
+// compatible with the requested virtual spec (Fig. 6's "Resolve Virtual
+// Deps" stage). The result is sorted by package name for determinism.
+func (p *Path) ProvidersFor(virtual *spec.Spec) []Provider {
+	var out []Provider
+	seen := make(map[string]bool)
+	for _, r := range p.repos {
+		for _, name := range r.Names() {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			def, _ := r.Get(name)
+			for _, pr := range def.Provides {
+				if pr.Virtual.Name != virtual.Name {
+					continue
+				}
+				// The provided interface spec must be compatible with the
+				// requested constraint (version lists overlap).
+				if !pr.Virtual.Compatible(virtual) {
+					continue
+				}
+				out = append(out, Provider{Package: def, When: pr.When, Virtual: pr.Virtual.Clone()})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package.Name != out[j].Package.Name {
+			return out[i].Package.Name < out[j].Package.Name
+		}
+		// More specific (conditioned) entries first within a package.
+		return out[i].When != nil && out[j].When == nil
+	})
+	return out
+}
+
+// Virtuals returns the names of all virtual interfaces visible on the path.
+func (p *Path) Virtuals() []string {
+	set := make(map[string]bool)
+	for _, r := range p.repos {
+		for _, n := range r.Names() {
+			def, _ := r.Get(n)
+			for _, pr := range def.Provides {
+				set[pr.Virtual.Name] = true
+			}
+		}
+	}
+	var out []string
+	for v := range set {
+		if p.IsVirtual(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,83 @@
+package repo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fetch"
+	"repro/internal/pkg"
+	"repro/internal/version"
+)
+
+// Synthesize grows a repository with deterministic, realistically shaped
+// synthetic packages until it holds target packages. Fig. 8 measures
+// concretization over all 245 packages of Spack's 2015 repository, whose
+// DAG sizes span 1 to just over 50 nodes; the generator reproduces that
+// spread with three shapes:
+//
+//   - leaves (no dependencies), like libelf or zlib;
+//   - mid-size packages depending on a few random earlier packages, which
+//     yields the 2–20-node bulk of the distribution;
+//   - a dependency chain whose members accumulate nodes linearly, giving
+//     the 20–50+-node tail.
+//
+// The generator is deterministic for a given seed, so benchmark runs are
+// reproducible.
+func Synthesize(r *Repo, target int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var names []string
+
+	add := func(p *pkg.Package) {
+		v := version.MustParse("1.0")
+		p.WithVersion("1.0", fetch.Checksum(p.Name, v))
+		p.WithVersion("1.1", fetch.Checksum(p.Name, version.MustParse("1.1")))
+		r.MustAdd(p)
+		names = append(names, p.Name)
+	}
+
+	// A base population of leaves for others to depend on.
+	leaves := target / 5
+	if leaves < 8 {
+		leaves = 8
+	}
+	for i := 0; r.Len() < target && i < leaves; i++ {
+		add(pkg.New(fmt.Sprintf("synth-leaf-%03d", i)).
+			Describe("Synthetic leaf library.").
+			WithBuild("autotools", 4+rng.Intn(8)))
+	}
+
+	// A chain to produce large DAGs: chain-k depends on chain-(k-1) and
+	// one extra leaf, so its DAG has ~2k nodes.
+	chainLen := 26
+	prev := ""
+	for i := 0; r.Len() < target && i < chainLen; i++ {
+		p := pkg.New(fmt.Sprintf("synth-chain-%03d", i)).
+			Describe("Synthetic chain member for large-DAG scaling.").
+			WithBuild("autotools", 6+rng.Intn(10))
+		if prev != "" {
+			p.DependsOn(prev)
+		}
+		if len(names) > 0 {
+			p.DependsOn(names[rng.Intn(len(names))])
+		}
+		prev = p.Name
+		add(p)
+	}
+
+	// The bulk: packages depending on 1–5 random earlier packages.
+	for i := 0; r.Len() < target; i++ {
+		p := pkg.New(fmt.Sprintf("synth-pkg-%03d", i)).
+			Describe("Synthetic mid-stack package.").
+			WithBuild("autotools", 5+rng.Intn(20))
+		k := 1 + rng.Intn(5)
+		seen := make(map[string]bool)
+		for j := 0; j < k && j < len(names); j++ {
+			dep := names[rng.Intn(len(names))]
+			if !seen[dep] {
+				seen[dep] = true
+				p.DependsOn(dep)
+			}
+		}
+		add(p)
+	}
+}

@@ -1,0 +1,68 @@
+package simfs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailAfterImmediate(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	bad := fs.FailAfter("write", 0)
+	err := bad.WriteFile("/d/f", []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("err = %v", err)
+	}
+	// Other op kinds unaffected.
+	if err := bad.MkdirAll("/d/sub"); err != nil {
+		t.Errorf("mkdir should work: %v", err)
+	}
+	// The base handle stays healthy.
+	if err := fs.WriteFile("/d/f", []byte("x")); err != nil {
+		t.Errorf("base handle affected: %v", err)
+	}
+}
+
+func TestFailAfterCountdown(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	bad := fs.FailAfter("write", 2)
+	if err := bad.WriteFile("/d/a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WriteFile("/d/b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WriteFile("/d/c", []byte("3")); err == nil {
+		t.Fatal("third write should fail")
+	}
+	// And every write after it.
+	if err := bad.WriteFile("/d/d", []byte("4")); err == nil {
+		t.Fatal("fourth write should fail too")
+	}
+}
+
+func TestFailPropagatesThroughDerivedHandles(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	bad := fs.FailAfter("read", 0).WithLatency(NFS).WithMeter(NewMeter())
+	fs.WriteFile("/d/f", []byte("x"))
+	if _, err := bad.ReadFile("/d/f"); err == nil {
+		t.Error("derived handle lost the failure plan")
+	}
+}
+
+func TestFailKinds(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/f", []byte("x"))
+	if err := fs.FailAfter("remove", 0).Remove("/d/f"); err == nil {
+		t.Error("remove injection failed")
+	}
+	if err := fs.FailAfter("symlink", 0).Symlink("/d/f", "/d/l"); err == nil {
+		t.Error("symlink injection failed")
+	}
+	if err := fs.FailAfter("mkdir", 0).MkdirAll("/x"); err == nil {
+		t.Error("mkdir injection failed")
+	}
+}

@@ -1,0 +1,498 @@
+// Package simfs provides the filesystem substrate for the build simulator:
+// an in-memory tree of directories, files and symbolic links with a
+// per-operation latency model. Two calibrated profiles reproduce the
+// filesystems of SC'15 §3.5.3 — a node-local temporary filesystem and a
+// remotely mounted NFS home directory, whose metadata-operation costs make
+// builds "as much as 62.7% slower". Latencies accumulate on a virtual
+// clock (a Meter) rather than real sleeps, so experiments are fast and
+// deterministic while preserving the paper's relative shapes.
+package simfs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Latency is a filesystem cost profile. PerKBWrite/PerKBRead scale with
+// payload size; the rest are flat per-operation costs.
+type Latency struct {
+	Name       string
+	Stat       time.Duration
+	Open       time.Duration
+	Read       time.Duration
+	Write      time.Duration
+	Create     time.Duration
+	Mkdir      time.Duration
+	Symlink    time.Duration
+	Remove     time.Duration
+	PerKBRead  time.Duration
+	PerKBWrite time.Duration
+}
+
+// TempFS models a fast, locally mounted temporary filesystem — the build
+// location Spack uses by default (§3.5.3).
+var TempFS = Latency{
+	Name:       "tmp",
+	Stat:       2 * time.Microsecond,
+	Open:       3 * time.Microsecond,
+	Read:       2 * time.Microsecond,
+	Write:      4 * time.Microsecond,
+	Create:     6 * time.Microsecond,
+	Mkdir:      5 * time.Microsecond,
+	Symlink:    5 * time.Microsecond,
+	Remove:     4 * time.Microsecond,
+	PerKBRead:  200 * time.Nanosecond,
+	PerKBWrite: 400 * time.Nanosecond,
+}
+
+// NFS models a remotely mounted home directory: every metadata operation
+// pays a network round trip, which is what penalizes configure-heavy
+// builds in Fig. 11.
+var NFS = Latency{
+	Name:       "nfs",
+	Stat:       180 * time.Microsecond,
+	Open:       220 * time.Microsecond,
+	Read:       150 * time.Microsecond,
+	Write:      250 * time.Microsecond,
+	Create:     450 * time.Microsecond,
+	Mkdir:      400 * time.Microsecond,
+	Symlink:    420 * time.Microsecond,
+	Remove:     300 * time.Microsecond,
+	PerKBRead:  8 * time.Microsecond,
+	PerKBWrite: 15 * time.Microsecond,
+}
+
+// Meter accumulates virtual time and operation counts for one client of
+// the filesystem (e.g. one package build).
+type Meter struct {
+	mu   sync.Mutex
+	cost time.Duration
+	ops  map[string]int
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{ops: make(map[string]int)} }
+
+func (m *Meter) add(op string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cost += d
+	m.ops[op]++
+	m.mu.Unlock()
+}
+
+// Add charges an externally computed cost (used by the build simulator for
+// compile steps).
+func (m *Meter) Add(op string, d time.Duration) { m.add(op, d) }
+
+// Cost returns the accumulated virtual time.
+func (m *Meter) Cost() time.Duration {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cost
+}
+
+// Ops returns a copy of the per-operation counters.
+func (m *Meter) Ops() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.ops))
+	for k, v := range m.ops {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.cost = 0
+	m.ops = make(map[string]int)
+	m.mu.Unlock()
+}
+
+type node struct {
+	data    []byte
+	symlink string // nonempty: node is a symlink to this target
+}
+
+// fsStore is the shared backing tree.
+type fsStore struct {
+	mu    sync.RWMutex
+	files map[string]*node
+	dirs  map[string]bool
+}
+
+// failurePlan injects deterministic faults for failure-handling tests:
+// after countdown more operations of the given kind, every further such
+// operation fails.
+type failurePlan struct {
+	mu        sync.Mutex
+	op        string
+	countdown int
+}
+
+func (p *failurePlan) trip(op string) bool {
+	if p == nil || p.op != op {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.countdown > 0 {
+		p.countdown--
+		return false
+	}
+	return true
+}
+
+// FS is a handle onto a simulated filesystem: a shared backing store, a
+// latency profile, and a meter charged for this handle's operations.
+// WithMeter and WithLatency derive handles sharing the same tree.
+type FS struct {
+	store *fsStore
+	lat   Latency
+	meter *Meter
+	fail  *failurePlan
+}
+
+// FailAfter returns a handle on the same tree whose n-th-and-later
+// operations of the given kind ("write", "read", "mkdir", "symlink",
+// "remove") fail with a PathError — a fault-injection hook for testing
+// failure handling. n=0 fails immediately.
+func (fs *FS) FailAfter(op string, n int) *FS {
+	return &FS{store: fs.store, lat: fs.lat, meter: fs.meter,
+		fail: &failurePlan{op: op, countdown: n}}
+}
+
+func (fs *FS) maybeFail(op, path string) error {
+	if fs.fail.trip(op) {
+		return &PathError{Op: op, Path: path, Msg: "injected I/O error"}
+	}
+	return nil
+}
+
+// New creates an empty filesystem with the given latency profile and a
+// fresh meter. The root directory "/" exists.
+func New(lat Latency) *FS {
+	s := &fsStore{files: make(map[string]*node), dirs: map[string]bool{"/": true}}
+	return &FS{store: s, lat: lat, meter: NewMeter()}
+}
+
+// WithMeter returns a handle on the same tree charging a different meter.
+// Fault-injection plans propagate to derived handles.
+func (fs *FS) WithMeter(m *Meter) *FS {
+	return &FS{store: fs.store, lat: fs.lat, meter: m, fail: fs.fail}
+}
+
+// WithLatency returns a handle on the same tree with a different profile.
+// Fault-injection plans propagate to derived handles.
+func (fs *FS) WithLatency(lat Latency) *FS {
+	return &FS{store: fs.store, lat: lat, meter: fs.meter, fail: fs.fail}
+}
+
+// Meter returns the handle's meter.
+func (fs *FS) Meter() *Meter { return fs.meter }
+
+// Latency returns the handle's profile.
+func (fs *FS) Latency() Latency { return fs.lat }
+
+func clean(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// PathError reports a failed filesystem operation.
+type PathError struct {
+	Op   string
+	Path string
+	Msg  string
+}
+
+func (e *PathError) Error() string {
+	return fmt.Sprintf("simfs: %s %s: %s", e.Op, e.Path, e.Msg)
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *FS) MkdirAll(p string) error {
+	p = clean(p)
+	if err := fs.maybeFail("mkdir", p); err != nil {
+		return err
+	}
+	fs.store.mu.Lock()
+	defer fs.store.mu.Unlock()
+	var parts []string
+	for cur := p; cur != "/"; cur = path.Dir(cur) {
+		parts = append(parts, cur)
+	}
+	created := 0
+	for i := len(parts) - 1; i >= 0; i-- {
+		dir := parts[i]
+		if fs.store.dirs[dir] {
+			continue
+		}
+		if _, isFile := fs.store.files[dir]; isFile {
+			return &PathError{Op: "mkdir", Path: dir, Msg: "is a file"}
+		}
+		fs.store.dirs[dir] = true
+		created++
+	}
+	fs.meter.add("mkdir", fs.lat.Mkdir*time.Duration(created)+fs.lat.Stat)
+	return nil
+}
+
+// WriteFile creates or replaces a file. The parent directory must exist.
+func (fs *FS) WriteFile(p string, data []byte) error {
+	p = clean(p)
+	if err := fs.maybeFail("write", p); err != nil {
+		return err
+	}
+	fs.store.mu.Lock()
+	defer fs.store.mu.Unlock()
+	dir := path.Dir(p)
+	if !fs.store.dirs[dir] {
+		return &PathError{Op: "create", Path: p, Msg: "parent directory does not exist"}
+	}
+	if fs.store.dirs[p] {
+		return &PathError{Op: "create", Path: p, Msg: "is a directory"}
+	}
+	_, existed := fs.store.files[p]
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	fs.store.files[p] = &node{data: buf}
+	cost := fs.lat.Write + fs.lat.PerKBWrite*time.Duration(len(data)/1024+1)
+	if !existed {
+		cost += fs.lat.Create
+	}
+	fs.meter.add("write", cost)
+	return nil
+}
+
+// resolve follows symlinks (bounded) under the store read lock.
+func (fs *FS) resolve(p string, depth int) (*node, string, error) {
+	if depth > 16 {
+		return nil, p, &PathError{Op: "open", Path: p, Msg: "too many levels of symbolic links"}
+	}
+	n, ok := fs.store.files[p]
+	if !ok {
+		return nil, p, &PathError{Op: "open", Path: p, Msg: "no such file"}
+	}
+	if n.symlink != "" {
+		return fs.resolve(clean(n.symlink), depth+1)
+	}
+	return n, p, nil
+}
+
+// ReadFile returns a file's contents, following symlinks.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	p = clean(p)
+	if err := fs.maybeFail("read", p); err != nil {
+		return nil, err
+	}
+	fs.store.mu.RLock()
+	defer fs.store.mu.RUnlock()
+	n, _, err := fs.resolve(p, 0)
+	if err != nil {
+		fs.meter.add("read", fs.lat.Open)
+		return nil, err
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	fs.meter.add("read", fs.lat.Open+fs.lat.Read+fs.lat.PerKBRead*time.Duration(len(out)/1024+1))
+	return out, nil
+}
+
+// Stat reports whether a path exists and whether it is a directory.
+func (fs *FS) Stat(p string) (exists, isDir bool) {
+	p = clean(p)
+	fs.store.mu.RLock()
+	defer fs.store.mu.RUnlock()
+	fs.meter.add("stat", fs.lat.Stat)
+	if fs.store.dirs[p] {
+		return true, true
+	}
+	_, ok := fs.store.files[p]
+	return ok, false
+}
+
+// Symlink creates a symbolic link at newname pointing to oldname. The
+// parent of newname must exist; newname must not.
+func (fs *FS) Symlink(oldname, newname string) error {
+	newname = clean(newname)
+	if err := fs.maybeFail("symlink", newname); err != nil {
+		return err
+	}
+	fs.store.mu.Lock()
+	defer fs.store.mu.Unlock()
+	if !fs.store.dirs[path.Dir(newname)] {
+		return &PathError{Op: "symlink", Path: newname, Msg: "parent directory does not exist"}
+	}
+	if _, exists := fs.store.files[newname]; exists {
+		return &PathError{Op: "symlink", Path: newname, Msg: "file exists"}
+	}
+	if fs.store.dirs[newname] {
+		return &PathError{Op: "symlink", Path: newname, Msg: "is a directory"}
+	}
+	fs.store.files[newname] = &node{symlink: oldname}
+	fs.meter.add("symlink", fs.lat.Symlink)
+	return nil
+}
+
+// Readlink returns a symlink's target.
+func (fs *FS) Readlink(p string) (string, error) {
+	p = clean(p)
+	fs.store.mu.RLock()
+	defer fs.store.mu.RUnlock()
+	fs.meter.add("stat", fs.lat.Stat)
+	n, ok := fs.store.files[p]
+	if !ok {
+		return "", &PathError{Op: "readlink", Path: p, Msg: "no such file"}
+	}
+	if n.symlink == "" {
+		return "", &PathError{Op: "readlink", Path: p, Msg: "not a symlink"}
+	}
+	return n.symlink, nil
+}
+
+// IsSymlink reports whether a path is a symbolic link.
+func (fs *FS) IsSymlink(p string) bool {
+	p = clean(p)
+	fs.store.mu.RLock()
+	defer fs.store.mu.RUnlock()
+	n, ok := fs.store.files[p]
+	return ok && n.symlink != ""
+}
+
+// Remove deletes a file or symlink (not a directory).
+func (fs *FS) Remove(p string) error {
+	p = clean(p)
+	if err := fs.maybeFail("remove", p); err != nil {
+		return err
+	}
+	fs.store.mu.Lock()
+	defer fs.store.mu.Unlock()
+	if fs.store.dirs[p] {
+		return &PathError{Op: "remove", Path: p, Msg: "is a directory"}
+	}
+	if _, ok := fs.store.files[p]; !ok {
+		return &PathError{Op: "remove", Path: p, Msg: "no such file"}
+	}
+	delete(fs.store.files, p)
+	fs.meter.add("remove", fs.lat.Remove)
+	return nil
+}
+
+// RemoveAll deletes a path and everything beneath it. Removing a missing
+// path is not an error.
+func (fs *FS) RemoveAll(p string) error {
+	p = clean(p)
+	fs.store.mu.Lock()
+	defer fs.store.mu.Unlock()
+	prefix := p + "/"
+	removed := 0
+	for f := range fs.store.files {
+		if f == p || strings.HasPrefix(f, prefix) {
+			delete(fs.store.files, f)
+			removed++
+		}
+	}
+	for d := range fs.store.dirs {
+		if d == p || strings.HasPrefix(d, prefix) {
+			delete(fs.store.dirs, d)
+			removed++
+		}
+	}
+	fs.meter.add("remove", fs.lat.Remove*time.Duration(removed+1))
+	return nil
+}
+
+// List returns the immediate children of a directory, sorted.
+func (fs *FS) List(dir string) ([]string, error) {
+	dir = clean(dir)
+	fs.store.mu.RLock()
+	defer fs.store.mu.RUnlock()
+	if !fs.store.dirs[dir] {
+		return nil, &PathError{Op: "list", Path: dir, Msg: "no such directory"}
+	}
+	fs.meter.add("stat", fs.lat.Open+fs.lat.Read)
+	prefix := dir + "/"
+	if dir == "/" {
+		prefix = "/"
+	}
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !strings.HasPrefix(p, prefix) || p == dir {
+			return
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		if rest != "" {
+			seen[rest] = true
+		}
+	}
+	for f := range fs.store.files {
+		add(f)
+	}
+	for d := range fs.store.dirs {
+		add(d)
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Walk visits every file and symlink under root (sorted), calling fn with
+// the path.
+func (fs *FS) Walk(root string, fn func(path string, isSymlink bool) error) error {
+	root = clean(root)
+	fs.store.mu.RLock()
+	var paths []string
+	prefix := root + "/"
+	if root == "/" {
+		prefix = "/"
+	}
+	for f := range fs.store.files {
+		if f == root || strings.HasPrefix(f, prefix) {
+			paths = append(paths, f)
+		}
+	}
+	fs.store.mu.RUnlock()
+	sort.Strings(paths)
+	for _, p := range paths {
+		fs.store.mu.RLock()
+		n := fs.store.files[p]
+		fs.store.mu.RUnlock()
+		if n == nil {
+			continue
+		}
+		if err := fn(p, n.symlink != ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileCount returns the number of files and symlinks in the whole tree.
+func (fs *FS) FileCount() int {
+	fs.store.mu.RLock()
+	defer fs.store.mu.RUnlock()
+	return len(fs.store.files)
+}

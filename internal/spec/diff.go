@@ -1,0 +1,110 @@
+package spec
+
+import "sort"
+
+// FieldDiff is one differing parameter of a node present in both DAGs.
+type FieldDiff struct {
+	Field string // "version", "compiler", "variant <name>", "arch", ...
+	A, B  string
+}
+
+// NodeDiff describes how one package differs between two spec DAGs.
+type NodeDiff struct {
+	Name string
+	// OnlyIn is "a" or "b" when the package appears in just one DAG;
+	// empty when it appears in both with differing parameters.
+	OnlyIn string
+	Fields []FieldDiff
+}
+
+// Diff compares two spec DAGs package by package — the engine behind a
+// `spack diff`-style command: which nodes exist only on one side, and for
+// shared nodes, which of the five configuration parameters differ. Equal
+// DAGs yield an empty result.
+func Diff(a, b *Spec) []NodeDiff {
+	aIndex := make(map[string]*Spec)
+	a.Traverse(func(n *Spec) bool { aIndex[n.Name] = n; return true })
+	bIndex := make(map[string]*Spec)
+	b.Traverse(func(n *Spec) bool { bIndex[n.Name] = n; return true })
+
+	names := make(map[string]bool)
+	for n := range aIndex {
+		names[n] = true
+	}
+	for n := range bIndex {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var out []NodeDiff
+	for _, name := range sorted {
+		an, inA := aIndex[name]
+		bn, inB := bIndex[name]
+		switch {
+		case inA && !inB:
+			out = append(out, NodeDiff{Name: name, OnlyIn: "a"})
+		case !inA && inB:
+			out = append(out, NodeDiff{Name: name, OnlyIn: "b"})
+		default:
+			if fields := diffNodes(an, bn); len(fields) > 0 {
+				out = append(out, NodeDiff{Name: name, Fields: fields})
+			}
+		}
+	}
+	return out
+}
+
+func diffNodes(a, b *Spec) []FieldDiff {
+	var out []FieldDiff
+	add := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, FieldDiff{Field: field, A: av, B: bv})
+		}
+	}
+	add("version", a.Versions.String(), b.Versions.String())
+	add("compiler", a.Compiler.String(), b.Compiler.String())
+	add("arch", a.Arch, b.Arch)
+
+	variantNames := make(map[string]bool)
+	for n := range a.Variants {
+		variantNames[n] = true
+	}
+	for n := range b.Variants {
+		variantNames[n] = true
+	}
+	var vs []string
+	for n := range variantNames {
+		vs = append(vs, n)
+	}
+	sort.Strings(vs)
+	render := func(s *Spec, name string) string {
+		on, ok := s.Variant(name)
+		if !ok {
+			return "unset"
+		}
+		return variantString(name, on)
+	}
+	for _, n := range vs {
+		add("variant "+n, render(a, n), render(b, n))
+	}
+
+	if a.External != b.External || a.Path != b.Path {
+		renderExt := func(s *Spec) string {
+			if !s.External {
+				return "store"
+			}
+			return "external:" + s.Path
+		}
+		add("source", renderExt(a), renderExt(b))
+	}
+	// Dependency hash summarizes sub-DAG differences even when node-local
+	// parameters agree.
+	if len(out) == 0 && a.DAGHash() != b.DAGHash() {
+		add("dependencies", a.DAGHash(), b.DAGHash())
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/version"
+)
+
+func concreteNode(name, ver, comp, arch string) *Spec {
+	s := New(name)
+	s.Versions = version.ExactList(version.Parse(ver))
+	s.Compiler = Compiler{Name: comp, Versions: version.ExactList(version.Parse("1.0"))}
+	s.Arch = arch
+	return s
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := concreteNode("p", "1.0", "gcc", "linux-x86_64")
+	b := concreteNode("p", "1.0", "gcc", "linux-x86_64")
+	if d := Diff(a, b); len(d) != 0 {
+		t.Errorf("identical specs diff: %+v", d)
+	}
+}
+
+func TestDiffFields(t *testing.T) {
+	a := concreteNode("p", "1.0", "gcc", "linux-x86_64")
+	a.SetVariant("debug", true)
+	b := concreteNode("p", "2.0", "intel", "bgq")
+	b.SetVariant("debug", false)
+	b.SetVariant("shared", true)
+
+	diffs := Diff(a, b)
+	if len(diffs) != 1 || diffs[0].Name != "p" {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	byField := make(map[string]FieldDiff)
+	for _, f := range diffs[0].Fields {
+		byField[f.Field] = f
+	}
+	if f := byField["version"]; f.A != "1.0" || f.B != "2.0" {
+		t.Errorf("version diff = %+v", f)
+	}
+	if f := byField["compiler"]; f.A != "gcc@1.0" || f.B != "intel@1.0" {
+		t.Errorf("compiler diff = %+v", f)
+	}
+	if f := byField["arch"]; f.A != "linux-x86_64" || f.B != "bgq" {
+		t.Errorf("arch diff = %+v", f)
+	}
+	if f := byField["variant debug"]; f.A != "+debug" || f.B != "~debug" {
+		t.Errorf("debug diff = %+v", f)
+	}
+	if f := byField["variant shared"]; f.A != "unset" || f.B != "+shared" {
+		t.Errorf("shared diff = %+v", f)
+	}
+}
+
+func TestDiffOnlyIn(t *testing.T) {
+	a := concreteNode("p", "1.0", "gcc", "x")
+	a.AddDep(concreteNode("onlya", "1.0", "gcc", "x"))
+	b := concreteNode("p", "1.0", "gcc", "x")
+	b.AddDep(concreteNode("onlyb", "1.0", "gcc", "x"))
+
+	diffs := Diff(a, b)
+	found := make(map[string]string)
+	for _, d := range diffs {
+		found[d.Name] = d.OnlyIn
+	}
+	if found["onlya"] != "a" || found["onlyb"] != "b" {
+		t.Errorf("diffs = %+v", diffs)
+	}
+	// The root differs only through its dependency set: reported via the
+	// dependencies pseudo-field.
+	for _, d := range diffs {
+		if d.Name == "p" {
+			if len(d.Fields) != 1 || d.Fields[0].Field != "dependencies" {
+				t.Errorf("root diff = %+v", d)
+			}
+		}
+	}
+}
+
+func TestDiffExternalSource(t *testing.T) {
+	a := concreteNode("p", "1.0", "gcc", "x")
+	b := concreteNode("p", "1.0", "gcc", "x")
+	b.External = true
+	b.Path = "/usr"
+	diffs := Diff(a, b)
+	if len(diffs) != 1 || len(diffs[0].Fields) != 1 {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	f := diffs[0].Fields[0]
+	if f.Field != "source" || f.A != "store" || f.B != "external:/usr" {
+		t.Errorf("source diff = %+v", f)
+	}
+}

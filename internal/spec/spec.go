@@ -1,0 +1,741 @@
+// Package spec implements Spack-style build specifications (SC'15 §3.2):
+// directed acyclic graphs of package nodes, each carrying the five
+// configuration parameters of the paper — version, compiler, compiler
+// version, variants, and target architecture — plus named dependencies.
+//
+// A Spec may be abstract (partially constrained, possibly naming virtual
+// packages) or concrete (every parameter pinned, no virtuals). Constrain
+// intersects two specs' constraints; Satisfies tests constraint entailment.
+// Within one DAG a package name identifies a unique node (the paper's
+// "single version per package" guarantee).
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/version"
+)
+
+// VariantValue is the tri-state setting of a named build option: explicitly
+// enabled, explicitly disabled, or (by absence from the map) unset.
+type VariantValue bool
+
+// DepType classifies a dependency edge: needed to build (tools like
+// cmake), to link (libraries whose paths go into RPATHs), or to run.
+// Absent edge-type metadata means the default build+link.
+type DepType uint8
+
+// Dependency edge classifications.
+const (
+	// DepBuild marks build-time-only tool dependencies.
+	DepBuild DepType = 1 << iota
+	// DepLink marks libraries linked into the result (RPATH targets).
+	DepLink
+	// DepRun marks runtime-only dependencies (PATH at run time).
+	DepRun
+)
+
+// DepDefault is the edge type of ordinary library dependencies.
+const DepDefault = DepBuild | DepLink
+
+// String renders the type set ("build,link").
+func (t DepType) String() string {
+	var parts []string
+	if t&DepBuild != 0 {
+		parts = append(parts, "build")
+	}
+	if t&DepLink != 0 {
+		parts = append(parts, "link")
+	}
+	if t&DepRun != 0 {
+		parts = append(parts, "run")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Compiler constrains the toolchain used to build a node: a name like "gcc"
+// and an optional version list. The zero Compiler is unconstrained.
+type Compiler struct {
+	Name     string
+	Versions version.List
+}
+
+// IsZero reports whether no compiler constraint is present.
+func (c Compiler) IsZero() bool { return c.Name == "" }
+
+// Concrete reports whether the compiler is pinned to a single name+version.
+func (c Compiler) Concrete() bool {
+	if c.Name == "" {
+		return false
+	}
+	_, ok := c.Versions.Concrete()
+	return ok
+}
+
+// String renders the compiler constraint in spec syntax ("%gcc@4.7.3").
+func (c Compiler) String() string {
+	if c.Name == "" {
+		return ""
+	}
+	if v := c.Versions.String(); v != "" {
+		return c.Name + "@" + v
+	}
+	return c.Name
+}
+
+// Satisfies reports whether c (the more concrete constraint) entails o.
+func (c Compiler) Satisfies(o Compiler) bool {
+	if o.IsZero() {
+		return true
+	}
+	if c.Name != o.Name {
+		return false
+	}
+	return c.Versions.Satisfies(o.Versions)
+}
+
+// Intersect merges two compiler constraints, failing on conflicting names
+// or disjoint version lists.
+func (c Compiler) Intersect(o Compiler) (Compiler, error) {
+	if c.IsZero() {
+		return o, nil
+	}
+	if o.IsZero() {
+		return c, nil
+	}
+	if c.Name != o.Name {
+		return Compiler{}, &ConflictError{Field: "compiler", A: c.Name, B: o.Name}
+	}
+	vs, ok := c.Versions.Intersect(o.Versions)
+	if !ok {
+		return Compiler{}, &ConflictError{
+			Field: "compiler version", A: c.Name + "@" + c.Versions.String(),
+			B: o.Name + "@" + o.Versions.String(),
+		}
+	}
+	return Compiler{Name: c.Name, Versions: vs}, nil
+}
+
+// ConflictError reports an inconsistency discovered while intersecting two
+// specs, e.g. two different compilers requested for one package (§3.4).
+type ConflictError struct {
+	Package string // package whose node conflicted, if known
+	Field   string // "version", "compiler", "variant foo", "architecture"
+	A, B    string // the two irreconcilable constraints
+}
+
+func (e *ConflictError) Error() string {
+	where := ""
+	if e.Package != "" {
+		where = " for package " + e.Package
+	}
+	return fmt.Sprintf("spec: conflicting %s%s: %q vs %q", e.Field, where, e.A, e.B)
+}
+
+// A Spec is one node of a build-specification DAG together with its
+// dependency edges. The root Spec represents the package being requested;
+// Deps maps dependency package names to their (shared) nodes.
+type Spec struct {
+	Name      string
+	Versions  version.List
+	Compiler  Compiler
+	Variants  map[string]VariantValue
+	Arch      string
+	Namespace string // repository namespace that provided the package, once resolved
+
+	Deps map[string]*Spec
+	// DepTypes classifies edges by dependency name; names absent from the
+	// map use DepDefault (build+link).
+	DepTypes map[string]DepType
+
+	// External marks a node satisfied by a system install outside the store
+	// (e.g. a vendor MPI); Path records where.
+	External bool
+	Path     string
+}
+
+// New returns an empty abstract spec for a package name.
+func New(name string) *Spec {
+	return &Spec{Name: name}
+}
+
+// EnsureMaps lazily allocates the Variants and Deps maps.
+func (s *Spec) EnsureMaps() {
+	if s.Variants == nil {
+		s.Variants = make(map[string]VariantValue)
+	}
+	if s.Deps == nil {
+		s.Deps = make(map[string]*Spec)
+	}
+}
+
+// SetVariant records an explicit +name or ~name setting.
+func (s *Spec) SetVariant(name string, on bool) {
+	if s.Variants == nil {
+		s.Variants = make(map[string]VariantValue)
+	}
+	s.Variants[name] = VariantValue(on)
+}
+
+// Variant returns the setting of a variant and whether it is set.
+func (s *Spec) Variant(name string) (bool, bool) {
+	v, ok := s.Variants[name]
+	return bool(v), ok
+}
+
+// AddDep attaches (or merges) a dependency node by name, preserving the
+// single-node-per-name invariant. If a node of the same name exists, the
+// constraints are intersected. The edge gets the default build+link type.
+func (s *Spec) AddDep(d *Spec) error {
+	return s.AddDepTyped(d, DepDefault)
+}
+
+// AddDepTyped is AddDep with an explicit edge type; merging an existing
+// edge unions the type sets.
+func (s *Spec) AddDepTyped(d *Spec, t DepType) error {
+	if s.Deps == nil {
+		s.Deps = make(map[string]*Spec)
+	}
+	if existing, ok := s.Deps[d.Name]; ok {
+		s.SetDepType(d.Name, s.EdgeType(d.Name)|t)
+		return existing.Constrain(d)
+	}
+	s.Deps[d.Name] = d
+	s.SetDepType(d.Name, t)
+	return nil
+}
+
+// EdgeType returns the classification of the edge to a direct dependency
+// (DepDefault when unrecorded).
+func (s *Spec) EdgeType(name string) DepType {
+	if t, ok := s.DepTypes[name]; ok {
+		return t
+	}
+	return DepDefault
+}
+
+// SetDepType records an edge classification; setting the default removes
+// the entry so hashes stay canonical.
+func (s *Spec) SetDepType(name string, t DepType) {
+	if t == DepDefault {
+		delete(s.DepTypes, name)
+		return
+	}
+	if s.DepTypes == nil {
+		s.DepTypes = make(map[string]DepType)
+	}
+	s.DepTypes[name] = t
+}
+
+// LinkDeps returns the nodes reachable from s through link-type edges
+// (excluding s), name-sorted: the set whose lib directories belong in
+// RPATHs and -L flags (§3.5.2).
+func (s *Spec) LinkDeps() []*Spec {
+	seen := map[string]bool{s.Name: true}
+	var out []*Spec
+	var walk func(n *Spec)
+	walk = func(n *Spec) {
+		for _, d := range n.DirectDeps() {
+			if n.EdgeType(d.Name)&DepLink == 0 {
+				continue
+			}
+			if seen[d.Name] {
+				continue
+			}
+			seen[d.Name] = true
+			out = append(out, d)
+			walk(d)
+		}
+	}
+	walk(s)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Dep returns the named dependency node anywhere in s's DAG (not just
+// direct edges), since a name identifies a unique node per DAG.
+func (s *Spec) Dep(name string) *Spec {
+	var found *Spec
+	s.Traverse(func(n *Spec) bool {
+		if n.Name == name {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// DirectDeps returns the direct dependency nodes sorted by name.
+func (s *Spec) DirectDeps() []*Spec {
+	names := make([]string, 0, len(s.Deps))
+	for n := range s.Deps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Spec, len(names))
+	for i, n := range names {
+		out[i] = s.Deps[n]
+	}
+	return out
+}
+
+// Traverse visits every node of the DAG (root first, then dependencies in
+// name order) exactly once. The visitor returns false to stop early.
+func (s *Spec) Traverse(visit func(*Spec) bool) {
+	seen := make(map[string]bool)
+	var walk func(*Spec) bool
+	walk = func(n *Spec) bool {
+		if seen[n.Name] {
+			return true
+		}
+		seen[n.Name] = true
+		if !visit(n) {
+			return false
+		}
+		for _, d := range n.DirectDeps() {
+			if !walk(d) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(s)
+}
+
+// Nodes returns all nodes of the DAG in deterministic pre-order.
+func (s *Spec) Nodes() []*Spec {
+	var out []*Spec
+	s.Traverse(func(n *Spec) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// Size returns the number of nodes in the DAG.
+func (s *Spec) Size() int {
+	n := 0
+	s.Traverse(func(*Spec) bool { n++; return true })
+	return n
+}
+
+// TopoOrder returns the nodes bottom-up: every node appears after all of its
+// dependencies, so installing in slice order satisfies prerequisites
+// (§3.4's bottom-up install traversal).
+func (s *Spec) TopoOrder() []*Spec {
+	var out []*Spec
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var walk func(*Spec)
+	walk = func(n *Spec) {
+		if state[n.Name] != 0 {
+			return
+		}
+		state[n.Name] = 1
+		for _, d := range n.DirectDeps() {
+			walk(d)
+		}
+		state[n.Name] = 2
+		out = append(out, n)
+	}
+	walk(s)
+	return out
+}
+
+// ConcreteVersion returns the pinned version of a concrete node.
+func (s *Spec) ConcreteVersion() (version.Version, bool) {
+	return s.Versions.Concrete()
+}
+
+// NodeConcrete reports whether this node (ignoring dependencies) has all
+// five parameters pinned: version, compiler+version, architecture. Variants
+// are considered concrete when present (unset variants are filled during
+// concretization, so callers decide defaults before checking).
+func (s *Spec) NodeConcrete() bool {
+	if s.Name == "" {
+		return false
+	}
+	if _, ok := s.Versions.Concrete(); !ok {
+		return false
+	}
+	if s.External {
+		return s.Arch != "" // externals carry no compiler of their own
+	}
+	return s.Compiler.Concrete() && s.Arch != ""
+}
+
+// Concrete reports whether every node in the DAG is concrete (§3.4's three
+// criteria 1 and 3; criterion 2 — no virtuals — is checked by the
+// concretizer, which knows the repository).
+func (s *Spec) Concrete() bool {
+	ok := true
+	s.Traverse(func(n *Spec) bool {
+		if !n.NodeConcrete() {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// constrainNode intersects o's node-level constraints into s (not touching
+// dependencies). It reports whether s changed.
+func (s *Spec) constrainNode(o *Spec) (bool, error) {
+	changed := false
+	if s.Name == "" {
+		s.Name = o.Name
+		changed = o.Name != ""
+	} else if o.Name != "" && s.Name != o.Name {
+		return false, &ConflictError{Field: "package name", A: s.Name, B: o.Name}
+	}
+	if !o.Versions.IsAny() {
+		merged, ok := s.Versions.Intersect(o.Versions)
+		if !ok {
+			return false, &ConflictError{
+				Package: s.Name, Field: "version",
+				A: s.Versions.String(), B: o.Versions.String(),
+			}
+		}
+		if merged.String() != s.Versions.String() {
+			s.Versions = merged
+			changed = true
+		}
+	}
+	if !o.Compiler.IsZero() {
+		merged, err := s.Compiler.Intersect(o.Compiler)
+		if err != nil {
+			if ce, ok := err.(*ConflictError); ok {
+				ce.Package = s.Name
+			}
+			return false, err
+		}
+		if merged.String() != s.Compiler.String() {
+			s.Compiler = merged
+			changed = true
+		}
+	}
+	for name, val := range o.Variants {
+		if cur, ok := s.Variants[name]; ok {
+			if cur != val {
+				return false, &ConflictError{
+					Package: s.Name, Field: "variant " + name,
+					A: variantString(name, bool(cur)), B: variantString(name, bool(val)),
+				}
+			}
+		} else {
+			s.SetVariant(name, bool(val))
+			changed = true
+		}
+	}
+	if o.Arch != "" {
+		if s.Arch == "" {
+			s.Arch = o.Arch
+			changed = true
+		} else if s.Arch != o.Arch {
+			return false, &ConflictError{Package: s.Name, Field: "architecture", A: s.Arch, B: o.Arch}
+		}
+	}
+	if o.External {
+		if !s.External {
+			s.External = true
+			s.Path = o.Path
+			changed = true
+		} else if o.Path != "" && s.Path != "" && o.Path != s.Path {
+			return false, &ConflictError{Package: s.Name, Field: "external path", A: s.Path, B: o.Path}
+		}
+	}
+	if o.Namespace != "" && s.Namespace == "" {
+		s.Namespace = o.Namespace
+	}
+	return changed, nil
+}
+
+// Constrain merges all constraints of o into s, package by package across
+// both DAGs (the paper's constraint-intersection step, Fig. 6). Dependency
+// nodes are matched by name regardless of DAG position. On conflict an error
+// is returned and s may be partially updated.
+func (s *Spec) Constrain(o *Spec) error {
+	_, err := s.ConstrainChanged(o)
+	return err
+}
+
+// ConstrainChanged is Constrain, also reporting whether anything changed —
+// the concretizer's fixed-point loop uses this to detect quiescence.
+func (s *Spec) ConstrainChanged(o *Spec) (bool, error) {
+	// Index every node of s's DAG by name.
+	index := make(map[string]*Spec)
+	s.Traverse(func(n *Spec) bool {
+		index[n.Name] = n
+		return true
+	})
+	// An anonymous constraint root (a `when=` predicate like "%gcc@:4")
+	// applies to s's root node.
+	nodeKey := func(on *Spec) string {
+		if on == o && on.Name == "" {
+			return s.Name
+		}
+		return on.Name
+	}
+	changed := false
+	var werr error
+	o.Traverse(func(on *Spec) bool {
+		target, ok := index[nodeKey(on)]
+		if !ok {
+			// New dependency subtree: clone and attach under the node that
+			// references it in o, or under the root if unreferenced there.
+			return true // handled in the edge pass below
+		}
+		c, err := target.constrainNode(on)
+		if err != nil {
+			werr = err
+			return false
+		}
+		changed = changed || c
+		return true
+	})
+	if werr != nil {
+		return changed, werr
+	}
+	// Edge pass: replicate o's edges into s, attaching clones of missing
+	// nodes. Process o's nodes top-down so parents exist before children.
+	for _, on := range o.Nodes() {
+		parent, ok := index[nodeKey(on)]
+		if !ok {
+			continue // will be attached when its parent edge is processed
+		}
+		for _, od := range on.DirectDeps() {
+			oType := on.EdgeType(od.Name)
+			if existing, ok := index[od.Name]; ok {
+				if parent.Deps == nil {
+					parent.Deps = make(map[string]*Spec)
+				}
+				if _, has := parent.Deps[od.Name]; !has {
+					parent.Deps[od.Name] = existing
+					parent.SetDepType(od.Name, oType)
+					changed = true
+				} else if merged := parent.EdgeType(od.Name) | oType; merged != parent.EdgeType(od.Name) {
+					parent.SetDepType(od.Name, merged)
+					changed = true
+				}
+			} else {
+				clone := od.cloneNodeOnly()
+				if parent.Deps == nil {
+					parent.Deps = make(map[string]*Spec)
+				}
+				parent.Deps[od.Name] = clone
+				parent.SetDepType(od.Name, oType)
+				index[od.Name] = clone
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}
+
+// cloneNodeOnly copies a node's parameters without its edges.
+func (s *Spec) cloneNodeOnly() *Spec {
+	c := &Spec{
+		Name:      s.Name,
+		Versions:  s.Versions,
+		Compiler:  s.Compiler,
+		Arch:      s.Arch,
+		Namespace: s.Namespace,
+		External:  s.External,
+		Path:      s.Path,
+	}
+	if s.Variants != nil {
+		c.Variants = make(map[string]VariantValue, len(s.Variants))
+		for k, v := range s.Variants {
+			c.Variants[k] = v
+		}
+	}
+	return c
+}
+
+// Clone deep-copies the DAG, preserving node sharing.
+func (s *Spec) Clone() *Spec {
+	clones := make(map[string]*Spec)
+	var walk func(*Spec) *Spec
+	walk = func(n *Spec) *Spec {
+		if c, ok := clones[n.Name]; ok {
+			return c
+		}
+		c := n.cloneNodeOnly()
+		clones[n.Name] = c
+		for name, d := range n.Deps {
+			if c.Deps == nil {
+				c.Deps = make(map[string]*Spec)
+			}
+			c.Deps[name] = walk(d)
+		}
+		for name, t := range n.DepTypes {
+			c.SetDepType(name, t)
+		}
+		return c
+	}
+	return walk(s)
+}
+
+// satisfiesNode checks node-level entailment: does s's (tighter) constraint
+// imply o's?
+func (s *Spec) satisfiesNode(o *Spec) bool {
+	if o.Name != "" && s.Name != o.Name {
+		return false
+	}
+	if !s.Versions.Satisfies(o.Versions) {
+		return false
+	}
+	if !s.Compiler.Satisfies(o.Compiler) {
+		return false
+	}
+	for name, want := range o.Variants {
+		got, ok := s.Variants[name]
+		if !ok || got != want {
+			return false
+		}
+	}
+	if o.Arch != "" && s.Arch != o.Arch {
+		return false
+	}
+	return true
+}
+
+// Satisfies reports whether s meets every constraint expressed by o: the
+// root nodes must be compatible and, for each named node in o's DAG, s's
+// DAG must contain a node of the same name whose constraints entail it.
+// This is the operator behind `when=` predicates and install-time queries
+// (§3.2.4).
+func (s *Spec) Satisfies(o *Spec) bool {
+	if !s.satisfiesNode(o) {
+		return false
+	}
+	index := make(map[string]*Spec)
+	s.Traverse(func(n *Spec) bool {
+		index[n.Name] = n
+		return true
+	})
+	ok := true
+	o.Traverse(func(on *Spec) bool {
+		if on == o {
+			return true // root handled above
+		}
+		sn, has := index[on.Name]
+		if !has || !sn.satisfiesNode(on) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Compatible reports whether the constraints of s and o can hold at once
+// (their intersection is satisfiable). Unlike Satisfies it is symmetric.
+func (s *Spec) Compatible(o *Spec) bool {
+	c := s.Clone()
+	return c.Constrain(o) == nil
+}
+
+func variantString(name string, on bool) string {
+	if on {
+		return "+" + name
+	}
+	return "~" + name
+}
+
+// format renders one node's constraints in spec syntax.
+func (s *Spec) formatNode(b *strings.Builder) {
+	b.WriteString(s.Name)
+	if v := s.Versions.String(); v != "" {
+		b.WriteByte('@')
+		b.WriteString(v)
+	}
+	if c := s.Compiler.String(); c != "" {
+		b.WriteByte('%')
+		b.WriteString(c)
+	}
+	names := make([]string, 0, len(s.Variants))
+	for n := range s.Variants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if s.Variants[n] {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('~')
+		}
+		b.WriteString(n)
+	}
+	if s.Arch != "" {
+		b.WriteByte('=')
+		b.WriteString(s.Arch)
+	}
+	if s.External {
+		b.WriteString(" [external")
+		if s.Path != "" {
+			b.WriteByte(':')
+			b.WriteString(s.Path)
+		}
+		b.WriteByte(']')
+	}
+}
+
+// String renders the full spec in the paper's command-line syntax: the root
+// node followed by ^dep clauses for every other node of the DAG, in
+// dependency-name order. The rendering is canonical: equal DAGs produce
+// equal strings.
+func (s *Spec) String() string {
+	var b strings.Builder
+	s.formatNode(&b)
+	rest := make([]*Spec, 0)
+	s.Traverse(func(n *Spec) bool {
+		if n != s {
+			rest = append(rest, n)
+		}
+		return true
+	})
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
+	for _, n := range rest {
+		b.WriteString(" ^")
+		n.formatNode(&b)
+	}
+	return b.String()
+}
+
+// TreeString renders the DAG as an indented tree for human inspection, the
+// way `spack spec` prints concretized output (Fig. 7). Non-default
+// dependency edges are annotated with their type ("[build]").
+func (s *Spec) TreeString() string {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	var walk func(n *Spec, depth int, edge DepType)
+	walk = func(n *Spec, depth int, edge DepType) {
+		b.WriteString(strings.Repeat("    ", depth))
+		if depth > 0 {
+			b.WriteString("^")
+		}
+		var nb strings.Builder
+		n.formatNode(&nb)
+		b.WriteString(nb.String())
+		if depth > 0 && edge != DepDefault {
+			b.WriteString(" [" + edge.String() + "]")
+		}
+		b.WriteByte('\n')
+		if seen[n.Name] {
+			return
+		}
+		seen[n.Name] = true
+		for _, d := range n.DirectDeps() {
+			walk(d, depth+1, n.EdgeType(d.Name))
+		}
+	}
+	walk(s, 0, DepDefault)
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simfs"
+	"repro/internal/syntax"
+)
+
+// dbEntry is the serialized form of one installed record. The spec is
+// stored in spec syntax — the same provenance format as .spack/spec — so
+// the database is human-readable and survives code changes.
+type dbEntry struct {
+	// Spec is the flat rendering, for human readers.
+	Spec string `json:"spec"`
+	// SpecJSON preserves the DAG's exact edge structure so hashes survive
+	// the round trip.
+	SpecJSON json.RawMessage `json:"spec_json"`
+	Prefix   string          `json:"prefix"`
+	Explicit bool            `json:"explicit"`
+}
+
+// dbFile is the on-(simulated-)disk database path under the store root.
+func (st *Store) dbFile() string { return st.Root + "/.spack-db/index.json" }
+
+// Save persists the installation database, so a new Store handle (a new
+// process in real Spack) can pick up the installed state.
+func (st *Store) Save() error {
+	st.mu.Lock()
+	records := make([]*Record, 0, len(st.installed))
+	for _, r := range st.installed {
+		records = append(records, r)
+	}
+	st.mu.Unlock()
+	entries := make([]dbEntry, 0, len(records))
+	for _, r := range records {
+		encoded, err := syntax.EncodeJSON(r.Spec)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, dbEntry{
+			Spec:     r.Spec.String(),
+			SpecJSON: encoded,
+			Prefix:   r.Prefix,
+			Explicit: r.Explicit,
+		})
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := st.FS.MkdirAll(st.Root + "/.spack-db"); err != nil {
+		return err
+	}
+	return st.FS.WriteFile(st.dbFile(), data)
+}
+
+// Load reads a previously saved database into this (empty or stale)
+// handle, replacing its in-memory index. Specs are re-parsed from spec
+// syntax; entries that no longer parse are reported.
+func (st *Store) Load() error {
+	data, err := st.FS.ReadFile(st.dbFile())
+	if err != nil {
+		return fmt.Errorf("store: no database at %s: %w", st.dbFile(), err)
+	}
+	var entries []dbEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("store: corrupt database: %w", err)
+	}
+	installed := make(map[string]*Record, len(entries))
+	for _, e := range entries {
+		s, err := syntax.DecodeJSON(e.SpecJSON)
+		if err != nil {
+			return fmt.Errorf("store: bad spec in database (%q): %w", e.Spec, err)
+		}
+		installed[s.FullHash()] = &Record{Spec: s, Prefix: e.Prefix, Explicit: e.Explicit}
+	}
+	st.mu.Lock()
+	st.installed = installed
+	st.mu.Unlock()
+	return nil
+}
+
+// Reindex rebuilds the database by scanning install prefixes for their
+// provenance files — Spack's recovery path when the index is lost. It
+// walks the store tree for .spack/spec files and reconstructs records
+// (explicit flags are lost; every entry becomes implicit).
+func (st *Store) Reindex() (int, error) {
+	installed := make(map[string]*Record)
+	count := 0
+	err := st.FS.Walk(st.Root, func(p string, isLink bool) error {
+		const marker = "/.spack/spec.json"
+		if isLink || len(p) < len(marker) || p[len(p)-len(marker):] != marker {
+			return nil
+		}
+		data, err := st.FS.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		s, err := syntax.DecodeJSON(data)
+		if err != nil {
+			return fmt.Errorf("store: bad provenance at %s: %w", p, err)
+		}
+		prefix := p[:len(p)-len(marker)]
+		installed[s.FullHash()] = &Record{Spec: s, Prefix: prefix}
+		count++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	st.installed = installed
+	st.mu.Unlock()
+	return count, nil
+}
+
+// Open creates a Store handle on an existing tree and loads its database
+// if one exists (otherwise the handle starts empty).
+func Open(fs *simfs.FS, root string, layout Layout) (*Store, error) {
+	st, err := New(fs, root, layout)
+	if err != nil {
+		return nil, err
+	}
+	if ex, _ := fs.Stat(st.dbFile()); ex {
+		if err := st.Load(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

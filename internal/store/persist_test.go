@@ -1,0 +1,115 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simfs"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := newStore(t)
+	a := mustConcrete(t, "libelf@0.8.13")
+	b := mustConcrete(t, "zlib")
+	if _, _, err := st.Install(a, true, noopBuilder); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Install(b, false, noopBuilder); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle on the same tree (a "new process") sees the state.
+	st2, err := Open(st.FS, "/spack/opt", SpackLayout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 2 {
+		t.Fatalf("loaded %d records", st2.Len())
+	}
+	if !st2.IsInstalled(a) || !st2.IsInstalled(b) {
+		t.Error("records lost in round trip")
+	}
+	recA, _ := st2.Lookup(a)
+	if !recA.Explicit {
+		t.Error("explicit flag lost")
+	}
+	recB, _ := st2.Lookup(b)
+	if recB.Explicit {
+		t.Error("implicit flag corrupted")
+	}
+	if recA.Prefix != st.Prefix(a) {
+		t.Errorf("prefix mismatch: %q", recA.Prefix)
+	}
+}
+
+func TestSaveLoadExternal(t *testing.T) {
+	st := newStore(t)
+	s := mustConcrete(t, "zlib")
+	s.External = true
+	s.Path = "/usr"
+	if _, _, err := st.Install(s, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(st.FS, "/spack/opt", SpackLayout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := st2.All()
+	if len(recs) != 1 || !recs[0].Spec.External || recs[0].Prefix != "/usr" {
+		t.Errorf("external record = %+v", recs[0])
+	}
+}
+
+func TestOpenWithoutDatabase(t *testing.T) {
+	fs := simfs.New(simfs.TempFS)
+	st, err := Open(fs, "/fresh", SpackLayout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 0 {
+		t.Error("fresh store should be empty")
+	}
+}
+
+func TestLoadCorruptDatabase(t *testing.T) {
+	st := newStore(t)
+	st.FS.MkdirAll("/spack/opt/.spack-db")
+	st.FS.WriteFile("/spack/opt/.spack-db/index.json", []byte("{not json"))
+	if err := st.Load(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corrupt db error = %v", err)
+	}
+}
+
+func TestReindexFromProvenance(t *testing.T) {
+	st := newStore(t)
+	a := mustConcrete(t, "libelf@0.8.13")
+	b := mustConcrete(t, "libelf@0.8.12")
+	if _, _, err := st.Install(a, true, noopBuilder); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Install(b, false, noopBuilder); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the in-memory index; rebuild from .spack/spec provenance files.
+	st2, err := New(st.FS, "/spack/opt", SpackLayout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := st2.Reindex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || st2.Len() != 2 {
+		t.Fatalf("reindexed %d records (len %d)", n, st2.Len())
+	}
+	if !st2.IsInstalled(a) || !st2.IsInstalled(b) {
+		t.Error("reindex missed records")
+	}
+}

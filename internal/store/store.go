@@ -1,0 +1,388 @@
+// Package store implements the installation store (SC'15 §3.4.2–3.4.3):
+// every concrete configuration gets a unique install prefix derived from
+// its spec — architecture, compiler, package, version, variants, and a
+// hash of the dependency configuration — so arbitrarily many builds
+// coexist. Shared sub-DAGs map to shared prefixes (Fig. 9), installs leave
+// provenance files behind for reproducibility, and the directory-layout
+// interface renders the site naming conventions of Table 1.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/syntax"
+)
+
+// Layout maps a concrete spec to an install path fragment (relative to the
+// store root). Implementations reproduce the site conventions of Table 1.
+type Layout interface {
+	// RelPath renders the directory for a concrete spec.
+	RelPath(s *spec.Spec) string
+	// Name identifies the convention ("spack", "llnl", "ornl", "tacc").
+	Name() string
+}
+
+// optionsString renders variant settings for path components
+// ("+debug~shared" -> "debug" or "nodebug" style is site-specific; the
+// Spack default uses the +/~ sigils directly).
+func optionsString(s *spec.Spec) string {
+	names := make([]string, 0, len(s.Variants))
+	for n := range s.Variants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		if on, _ := s.Variant(n); on {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('~')
+		}
+		b.WriteString(n)
+	}
+	return b.String()
+}
+
+func versionString(s *spec.Spec) string {
+	if v, ok := s.ConcreteVersion(); ok {
+		return v.String()
+	}
+	return s.Versions.String()
+}
+
+// SpackLayout is the paper's default:
+// /$arch/$compiler-$comp_version/$package-$version-$options-$hash.
+type SpackLayout struct{}
+
+func (SpackLayout) Name() string { return "spack" }
+
+func (SpackLayout) RelPath(s *spec.Spec) string {
+	comp := s.Compiler.Name
+	if v := s.Compiler.Versions.String(); v != "" {
+		comp += "-" + v
+	}
+	leaf := s.Name + "-" + versionString(s)
+	if opts := optionsString(s); opts != "" {
+		leaf += "-" + opts
+	}
+	leaf += "-" + s.DAGHash()
+	return s.Arch + "/" + comp + "/" + leaf
+}
+
+// LLNLLayout renders /usr/local/tools-style names:
+// $package-$compiler-$build-$version (Table 1, LLNL row).
+type LLNLLayout struct{}
+
+func (LLNLLayout) Name() string { return "llnl" }
+
+func (LLNLLayout) RelPath(s *spec.Spec) string {
+	comp := s.Compiler.Name
+	if v := s.Compiler.Versions.String(); v != "" {
+		comp += "-" + v
+	}
+	build := optionsString(s)
+	if build == "" {
+		build = "default"
+	}
+	return s.Name + "-" + comp + "-" + build + "-" + versionString(s)
+}
+
+// ORNLLayout renders /$arch/$package/$version/$build (Table 1, ORNL row).
+type ORNLLayout struct{}
+
+func (ORNLLayout) Name() string { return "ornl" }
+
+func (ORNLLayout) RelPath(s *spec.Spec) string {
+	build := s.Compiler.Name
+	if opts := optionsString(s); opts != "" {
+		build += "-" + opts
+	}
+	return s.Arch + "/" + s.Name + "/" + versionString(s) + "/" + build
+}
+
+// TACCLayout renders Lmod-style hierarchies:
+// /$compiler-$comp_version/$mpi/$mpi_version/$package/$version
+// (Table 1, TACC row). The MPI components come from the MPI provider in
+// the spec's DAG, or "serial" when there is none.
+type TACCLayout struct {
+	// IsMPI reports whether a package name is an MPI implementation; the
+	// caller wires this to the repository's provider index.
+	IsMPI func(name string) bool
+}
+
+func (TACCLayout) Name() string { return "tacc" }
+
+func (l TACCLayout) RelPath(s *spec.Spec) string {
+	comp := s.Compiler.Name
+	if v := s.Compiler.Versions.String(); v != "" {
+		comp += "-" + v
+	}
+	mpiName, mpiVer := "serial", "none"
+	if l.IsMPI != nil {
+		s.Traverse(func(n *spec.Spec) bool {
+			if n != s && l.IsMPI(n.Name) {
+				mpiName = n.Name
+				mpiVer = versionString(n)
+				return false
+			}
+			return true
+		})
+	}
+	return comp + "/" + mpiName + "/" + mpiVer + "/" + s.Name + "/" + versionString(s)
+}
+
+// Record describes one installed configuration.
+type Record struct {
+	Spec   *spec.Spec // the full concrete spec (cloned; do not mutate)
+	Prefix string
+	// Explicit marks installs the user asked for, as opposed to
+	// dependencies pulled in automatically.
+	Explicit bool
+}
+
+// Store is the installation database plus the on-(simulated-)disk tree.
+type Store struct {
+	FS     *simfs.FS
+	Root   string
+	Layout Layout
+
+	mu        sync.Mutex
+	installed map[string]*Record // DAG hash -> record
+}
+
+// New creates a store rooted at root (e.g. "/spack/opt") on a filesystem.
+func New(fs *simfs.FS, root string, layout Layout) (*Store, error) {
+	st := &Store{FS: fs, Root: strings.TrimSuffix(root, "/"), Layout: layout,
+		installed: make(map[string]*Record)}
+	if err := fs.MkdirAll(st.Root); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Prefix returns the unique install prefix for a concrete spec.
+func (st *Store) Prefix(s *spec.Spec) string {
+	return st.Root + "/" + st.Layout.RelPath(s)
+}
+
+// IsInstalled reports whether this exact configuration is present.
+func (st *Store) IsInstalled(s *spec.Spec) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.installed[s.FullHash()]
+	return ok
+}
+
+// Lookup returns the record for a concrete spec, if installed.
+func (st *Store) Lookup(s *spec.Spec) (*Record, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.installed[s.FullHash()]
+	return r, ok
+}
+
+// InstallError reports a failed installation.
+type InstallError struct {
+	Spec string
+	Err  error
+}
+
+func (e *InstallError) Error() string {
+	return fmt.Sprintf("store: install %s: %v", e.Spec, e.Err)
+}
+
+func (e *InstallError) Unwrap() error { return e.Err }
+
+// Install ensures one node's configuration is present, running builder to
+// populate the prefix when it is not already installed (sub-DAG reuse,
+// §3.4.2: "if two configurations share a sub-DAG, Spack reuses the
+// sub-DAG's installation"). The spec must be concrete. On success a
+// provenance record is written under <prefix>/.spack (§3.4.3). Returns the
+// record and whether a build actually ran.
+func (st *Store) Install(s *spec.Spec, explicit bool, builder func(prefix string) error) (*Record, bool, error) {
+	if !s.NodeConcrete() {
+		return nil, false, &InstallError{Spec: s.String(), Err: fmt.Errorf("spec is not concrete")}
+	}
+	hash := s.FullHash()
+	st.mu.Lock()
+	if r, ok := st.installed[hash]; ok {
+		if explicit && !r.Explicit {
+			r.Explicit = true
+		}
+		st.mu.Unlock()
+		return r, false, nil
+	}
+	st.mu.Unlock()
+
+	prefix := st.Prefix(s)
+	ran := false
+	if s.External {
+		// Externals are recorded but never built or written (§4.4).
+		prefix = s.Path
+	} else {
+		ran = true
+		if err := st.FS.MkdirAll(prefix); err != nil {
+			return nil, false, &InstallError{Spec: s.String(), Err: err}
+		}
+		if err := builder(prefix); err != nil {
+			// Clean the partial prefix so a retry starts fresh.
+			_ = st.FS.RemoveAll(prefix)
+			return nil, false, &InstallError{Spec: s.String(), Err: err}
+		}
+		if err := st.writeProvenance(s, prefix); err != nil {
+			return nil, false, &InstallError{Spec: s.String(), Err: err}
+		}
+	}
+
+	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: explicit}
+	st.mu.Lock()
+	// Double-check under the lock: a concurrent build may have won.
+	if existing, ok := st.installed[hash]; ok {
+		st.mu.Unlock()
+		return existing, false, nil
+	}
+	st.installed[hash] = r
+	st.mu.Unlock()
+	return r, ran, nil
+}
+
+// writeProvenance stores the files §3.4.3 lists: the concrete spec (enough
+// to reproduce the build even if concretization preferences change) and a
+// build log.
+func (st *Store) writeProvenance(s *spec.Spec, prefix string) error {
+	meta := prefix + "/.spack"
+	if err := st.FS.MkdirAll(meta); err != nil {
+		return err
+	}
+	if err := st.FS.WriteFile(meta+"/spec", []byte(s.String()+"\n")); err != nil {
+		return err
+	}
+	if err := st.FS.WriteFile(meta+"/spec.tree", []byte(s.TreeString())); err != nil {
+		return err
+	}
+	// spec.json preserves the exact edge structure (the flat spec string
+	// flattens dependencies), so reindexing reproduces identical hashes.
+	data, err := syntax.EncodeJSON(s)
+	if err != nil {
+		return err
+	}
+	if err := st.FS.WriteFile(meta+"/spec.json", data); err != nil {
+		return err
+	}
+	return st.FS.WriteFile(meta+"/build.log",
+		[]byte(fmt.Sprintf("installed %s into %s\n", s.Name, prefix)))
+}
+
+// ReadProvenance returns the stored concrete spec string for a prefix.
+func (st *Store) ReadProvenance(prefix string) (string, error) {
+	data, err := st.FS.ReadFile(prefix + "/.spack/spec")
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(data)), nil
+}
+
+// All returns every installed record sorted by prefix.
+func (st *Store) All() []*Record {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Record, 0, len(st.installed))
+	for _, r := range st.installed {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// Find returns installed records whose spec satisfies the query — the
+// engine behind `spack find mpileaks@1.1 %gcc`.
+func (st *Store) Find(query *spec.Spec) []*Record {
+	var out []*Record
+	for _, r := range st.All() {
+		if r.Spec.Satisfies(query) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DependentsOf returns the installed records whose DAGs contain the given
+// configuration (other than itself).
+func (st *Store) DependentsOf(s *spec.Spec) []*Record {
+	hash := s.FullHash()
+	var out []*Record
+	for _, r := range st.All() {
+		if r.Spec.FullHash() == hash {
+			continue
+		}
+		found := false
+		r.Spec.Traverse(func(n *spec.Spec) bool {
+			if n.Name == s.Name && n.FullHash() == hash {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// UninstallError reports a refused or failed uninstall.
+type UninstallError struct {
+	Spec       string
+	Dependents []string
+	Err        error
+}
+
+func (e *UninstallError) Error() string {
+	if len(e.Dependents) > 0 {
+		return fmt.Sprintf("store: cannot uninstall %s: required by %s",
+			e.Spec, strings.Join(e.Dependents, ", "))
+	}
+	return fmt.Sprintf("store: uninstall %s: %v", e.Spec, e.Err)
+}
+
+// Uninstall removes an installed configuration. It refuses when other
+// installed specs depend on it, unless force is set.
+func (st *Store) Uninstall(s *spec.Spec, force bool) error {
+	st.mu.Lock()
+	r, ok := st.installed[s.FullHash()]
+	st.mu.Unlock()
+	if !ok {
+		return &UninstallError{Spec: s.String(), Err: fmt.Errorf("not installed")}
+	}
+	if !force {
+		deps := st.DependentsOf(s)
+		if len(deps) > 0 {
+			var names []string
+			for _, d := range deps {
+				names = append(names, d.Spec.Name)
+			}
+			return &UninstallError{Spec: s.String(), Dependents: names}
+		}
+	}
+	if !r.Spec.External {
+		if err := st.FS.RemoveAll(r.Prefix); err != nil {
+			return &UninstallError{Spec: s.String(), Err: err}
+		}
+	}
+	st.mu.Lock()
+	delete(st.installed, s.FullHash())
+	st.mu.Unlock()
+	return nil
+}
+
+// Len reports how many configurations are installed.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.installed)
+}

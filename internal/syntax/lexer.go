@@ -1,0 +1,144 @@
+// Package syntax implements the lexer and recursive-descent parser for the
+// spec expression grammar of the paper (SC'15 Fig. 3):
+//
+//	spec         ::= id [constraints]
+//	constraints  ::= { '@' version-list | '+' variant | '-' variant
+//	                 | '~' variant | '%' compiler | '=' architecture }
+//	                 [dep-list]
+//	dep-list     ::= { '^' spec }
+//	version-list ::= version [{ ',' version }]
+//	version      ::= id | id ':' | ':' id | id ':' id
+//	compiler     ::= id [version-list]
+//	variant      ::= id
+//	architecture ::= id
+//	id           ::= [A-Za-z0-9_][A-Za-z0-9_.-]*
+//
+// Anonymous specs (constraints with no leading id, e.g. "%gcc@:4" or
+// "+debug") are also accepted; they arise as `when=` predicates (§3.2.4).
+package syntax
+
+import "fmt"
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF     tokenKind = iota
+	tokID                // identifier / version text
+	tokAt                // @
+	tokPlus              // +
+	tokMinus             // - (in sigil position)
+	tokTilde             // ~
+	tokPercent           // %
+	tokEquals            // =
+	tokCaret             // ^
+	tokComma             // ,
+	tokColon             // :
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokID:
+		return "identifier"
+	case tokAt:
+		return "'@'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokTilde:
+		return "'~'"
+	case tokPercent:
+		return "'%'"
+	case tokEquals:
+		return "'='"
+	case tokCaret:
+		return "'^'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a lexical or grammatical error with its byte offset
+// in the original input.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+func isIDStart(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isIDChar(c byte) bool {
+	return isIDStart(c) || c == '.' || c == '-'
+}
+
+// lex tokenizes a spec expression. A '-' starts the disable-variant sigil
+// only in sigil position; within an identifier it is an ordinary character
+// (so "linux-ppc64" is one id but "mpileaks -debug" carries a sigil).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '@':
+			toks = append(toks, token{tokAt, "@", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '~':
+			toks = append(toks, token{tokTilde, "~", i})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokMinus, "-", i})
+			i++
+		case c == '%':
+			toks = append(toks, token{tokPercent, "%", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEquals, "=", i})
+			i++
+		case c == '^':
+			toks = append(toks, token{tokCaret, "^", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case isIDStart(c):
+			j := i + 1
+			for j < len(input) && isIDChar(input[j]) {
+				j++
+			}
+			toks = append(toks, token{tokID, input[i:j], i})
+			i = j
+		default:
+			return nil, &SyntaxError{Input: input, Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

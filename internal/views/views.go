@@ -1,0 +1,177 @@
+// Package views implements Spack views (SC'15 §4.3.1): symbolic-link based
+// directory layouts that project the high-dimensional space of concretized
+// specs onto human-readable paths like /opt/mpileaks-1.0-openmpi. Several
+// installations may map to the same link name; conflicts are resolved by a
+// well-defined preference order — site/user compiler_order first, then
+// newer package versions built with newer compilers — so link contents are
+// consistent and reproducible.
+package views
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// ExpandTemplate substitutes the rule placeholders of §4.3.1 —
+// ${PACKAGE}, ${VERSION}, ${COMPILER}, ${COMP_VERSION}, ${MPINAME},
+// ${MPIVERSION}, ${ARCH}, ${HASH} — for one concrete spec. isMPI
+// classifies MPI providers for the ${MPINAME} placeholder (nil disables
+// it; specs without MPI render "serial").
+func ExpandTemplate(tmpl string, s *spec.Spec, isMPI func(string) bool) string {
+	v, _ := s.ConcreteVersion()
+	mpiName, mpiVer := "serial", "none"
+	if isMPI != nil {
+		s.Traverse(func(n *spec.Spec) bool {
+			if n != s && isMPI(n.Name) {
+				mpiName = n.Name
+				if nv, ok := n.ConcreteVersion(); ok {
+					mpiVer = nv.String()
+				}
+				return false
+			}
+			return true
+		})
+	}
+	r := strings.NewReplacer(
+		"${PACKAGE}", s.Name,
+		"${VERSION}", v.String(),
+		"${COMPILER}", s.Compiler.Name,
+		"${COMP_VERSION}", s.Compiler.Versions.String(),
+		"${MPINAME}", mpiName,
+		"${MPIVERSION}", mpiVer,
+		"${ARCH}", s.Arch,
+		"${HASH}", s.DAGHash(),
+	)
+	return r.Replace(tmpl)
+}
+
+// Link records one projected symlink.
+type Link struct {
+	Path   string // the link location, e.g. /opt/mpileaks-1.0-openmpi
+	Target string // the chosen install prefix
+	Spec   *spec.Spec
+}
+
+// Manager maintains the link forest for a store according to configured
+// rules.
+type Manager struct {
+	FS     *simfs.FS
+	Config *config.Config
+	// IsMPI feeds the ${MPINAME} placeholder.
+	IsMPI func(name string) bool
+
+	links map[string]Link // path -> resolved link
+}
+
+// NewManager creates a view manager.
+func NewManager(fs *simfs.FS, cfg *config.Config, isMPI func(string) bool) *Manager {
+	return &Manager{FS: fs, Config: cfg, IsMPI: isMPI, links: make(map[string]Link)}
+}
+
+// prefer reports whether candidate a beats b for the same link name,
+// implementing §4.3.1's order of preference: configured compiler order
+// first, then newer package versions, then newer compilers, then a
+// deterministic hash tiebreak.
+func (m *Manager) prefer(a, b *store.Record) bool {
+	ra := m.Config.CompilerRank(a.Spec.Compiler)
+	rb := m.Config.CompilerRank(b.Spec.Compiler)
+	if ra != rb {
+		return ra < rb
+	}
+	va, _ := a.Spec.ConcreteVersion()
+	vb, _ := b.Spec.ConcreteVersion()
+	if c := va.Compare(vb); c != 0 {
+		return c > 0
+	}
+	ca, okA := a.Spec.Compiler.Versions.Concrete()
+	cb, okB := b.Spec.Compiler.Versions.Concrete()
+	if okA && okB {
+		if c := ca.Compare(cb); c != 0 {
+			return c > 0
+		}
+	}
+	return a.Spec.DAGHash() < b.Spec.DAGHash()
+}
+
+// Compute maps every installed record through every matching rule and
+// resolves conflicts, returning the final link set sorted by path. It does
+// not touch the filesystem.
+func (m *Manager) Compute(st *store.Store) []Link {
+	best := make(map[string]*store.Record)
+	for _, rule := range m.Config.LinkRules() {
+		for _, rec := range st.All() {
+			if rec.Spec.External {
+				continue
+			}
+			if rule.Constraint != nil && !rec.Spec.Satisfies(rule.Constraint) {
+				continue
+			}
+			path := ExpandTemplate(rule.Template, rec.Spec, m.IsMPI)
+			if cur, ok := best[path]; !ok || m.prefer(rec, cur) {
+				best[path] = rec
+			}
+		}
+	}
+	out := make([]Link, 0, len(best))
+	for path, rec := range best {
+		out = append(out, Link{Path: path, Target: rec.Prefix, Spec: rec.Spec})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Refresh synchronizes the filesystem with the computed link set: stale
+// managed links are removed, new ones created, changed ones retargeted
+// (the automatic update on install/removal of §4.3.1).
+func (m *Manager) Refresh(st *store.Store) ([]Link, error) {
+	desired := m.Compute(st)
+	want := make(map[string]Link, len(desired))
+	for _, l := range desired {
+		want[l.Path] = l
+	}
+	// Remove or retarget existing managed links.
+	for path, old := range m.links {
+		newLink, keep := want[path]
+		if keep && newLink.Target == old.Target {
+			continue
+		}
+		if err := m.FS.Remove(path); err != nil {
+			return nil, fmt.Errorf("views: removing stale link: %w", err)
+		}
+		delete(m.links, path)
+	}
+	// Create missing links.
+	for path, l := range want {
+		if _, exists := m.links[path]; exists {
+			continue
+		}
+		dir := path[:strings.LastIndexByte(path, '/')]
+		if dir == "" {
+			dir = "/"
+		}
+		if err := m.FS.MkdirAll(dir); err != nil {
+			return nil, err
+		}
+		if err := m.FS.Symlink(l.Target, path); err != nil {
+			return nil, err
+		}
+		m.links[path] = l
+	}
+	return desired, nil
+}
+
+// Links returns the currently materialized links sorted by path.
+func (m *Manager) Links() []Link {
+	out := make([]Link, 0, len(m.links))
+	for _, l := range m.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
