@@ -1,0 +1,289 @@
+package build
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/concretize"
+	"repro/internal/config"
+	"repro/internal/fetch"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/syntax"
+	"repro/internal/version"
+)
+
+// newTestBuilder wires a builder against a fresh temp-FS store, a fully
+// published mirror, and the builtin repository (plus any extras).
+func newTestBuilder(t *testing.T, extra ...*repo.Repo) (*Builder, *concretize.Concretizer) {
+	t.Helper()
+	repos := append(append([]*repo.Repo{}, extra...), repo.Builtin())
+	path := repo.NewPath(repos...)
+	fs := simfs.New(simfs.TempFS)
+	st, err := store.New(fs, "/spack/opt", store.SpackLayout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := fetch.NewMirror()
+	repo.PublishAll(mirror, repos...)
+	b := NewBuilder(st, path, compiler.LLNLRegistry())
+	b.Mirror = mirror
+	b.Config = config.New()
+	return b, concretize.New(path, b.Config, b.Compilers)
+}
+
+func concretizeExpr(t *testing.T, c *concretize.Concretizer, expr string) *spec.Spec {
+	t.Helper()
+	out, err := c.Concretize(syntax.MustParse(expr))
+	if err != nil {
+		t.Fatalf("concretize %q: %v", expr, err)
+	}
+	return out
+}
+
+func TestBuildDAGEndToEnd(t *testing.T) {
+	b, c := newTestBuilder(t)
+	concrete := concretizeExpr(t, c, "libdwarf")
+	res, err := b.Build(concrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(res.Reports))
+	}
+	elf, dwarf := res.Report("libelf"), res.Report("libdwarf")
+	if elf.Reused || dwarf.Reused {
+		t.Error("fresh build marked reused")
+	}
+	if !elf.Fetched || !dwarf.Fetched {
+		t.Error("sources not fetched from the mirror")
+	}
+	if elf.Time <= 0 || dwarf.Time <= 0 {
+		t.Errorf("no virtual time charged: %v, %v", elf.Time, dwarf.Time)
+	}
+	// Bottom-up: the dependency completes first.
+	if elf.Order >= dwarf.Order {
+		t.Errorf("order libelf=%d libdwarf=%d", elf.Order, dwarf.Order)
+	}
+	// Jobs=1: wall time is the serial sum.
+	if res.WallTime != res.TotalTime {
+		t.Errorf("serial wall %v != total %v", res.WallTime, res.TotalTime)
+	}
+	if res.TotalTime != elf.Time+dwarf.Time {
+		t.Errorf("total %v != sum %v", res.TotalTime, elf.Time+dwarf.Time)
+	}
+	// The store holds both records; prefixes are populated.
+	if b.Store.Len() != 2 {
+		t.Errorf("store = %d records", b.Store.Len())
+	}
+	bin, err := b.Store.FS.ReadFile(dwarf.Prefix + "/bin/libdwarf")
+	if err != nil {
+		t.Fatalf("installed binary: %v", err)
+	}
+	// The binary RPATHs its link dependency and its own lib dir (§3.5.2).
+	for _, want := range []string{"RPATH " + elf.Prefix + "/lib", "RPATH " + dwarf.Prefix + "/lib"} {
+		if !strings.Contains(string(bin), want) {
+			t.Errorf("binary missing %q:\n%s", want, bin)
+		}
+	}
+	// Command log provenance next to the store's spec files.
+	log, err := b.Store.FS.ReadFile(dwarf.Prefix + "/.spack/build.out")
+	if err != nil {
+		t.Fatalf("build log: %v", err)
+	}
+	for _, want := range []string{"./configure", "make install", "SPACK_PACKAGE=libdwarf"} {
+		if !strings.Contains(string(log), want) {
+			t.Errorf("build log missing %q", want)
+		}
+	}
+	if dwarf.WrapperOverhead <= 0 || len(dwarf.Commands) == 0 {
+		t.Errorf("wrapper accounting: overhead=%v commands=%d", dwarf.WrapperOverhead, len(dwarf.Commands))
+	}
+	// The stage was torn down.
+	if ex, _ := b.Store.FS.Stat(b.StageRoot); ex {
+		if files, _ := b.Store.FS.List(b.StageRoot); len(files) != 0 {
+			t.Errorf("stage not cleaned: %v", files)
+		}
+	}
+}
+
+func TestBuildReusesInstalledSubDAG(t *testing.T) {
+	b, c := newTestBuilder(t)
+	if _, err := b.Build(concretizeExpr(t, c, "libdwarf")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Build(concretizeExpr(t, c, "libdwarf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range res.Reports {
+		if !rep.Reused {
+			t.Errorf("%s rebuilt instead of reused", name)
+		}
+		if rep.Time != 0 {
+			t.Errorf("%s reuse charged %v", name, rep.Time)
+		}
+	}
+	if res.TotalTime != 0 || res.WallTime != 0 {
+		t.Errorf("reused DAG charged time: wall %v total %v", res.WallTime, res.TotalTime)
+	}
+	if b.Store.Len() != 2 {
+		t.Errorf("store grew to %d", b.Store.Len())
+	}
+}
+
+func TestBuildWithoutWrappers(t *testing.T) {
+	b, c := newTestBuilder(t)
+	b.UseWrappers = false
+	res, err := b.Build(concretizeExpr(t, c, "libdwarf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report("libdwarf")
+	if rep.WrapperOverhead != 0 {
+		t.Errorf("wrapper overhead %v with wrappers off", rep.WrapperOverhead)
+	}
+	// Without the wrappers nothing injects RPATHs — the paper's broken
+	// baseline that needs LD_LIBRARY_PATH at runtime.
+	bin, err := b.Store.FS.ReadFile(rep.Prefix + "/bin/libdwarf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(bin), "RPATH") {
+		t.Errorf("unwrapped build embedded RPATHs:\n%s", bin)
+	}
+}
+
+func TestWrapperConditionCostOrdering(t *testing.T) {
+	// The Fig. 10 ordering must hold per package:
+	// NFS+wrappers > temp+wrappers > temp without wrappers.
+	times := make(map[string]int64)
+	for name, cfg := range map[string]func(*Builder){
+		"nfs-wrap":    func(b *Builder) { b.StageLatency = simfs.NFS },
+		"temp-wrap":   func(b *Builder) {},
+		"temp-nowrap": func(b *Builder) { b.UseWrappers = false },
+	} {
+		b, c := newTestBuilder(t)
+		cfg(b)
+		res, err := b.Build(concretizeExpr(t, c, "libelf"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[name] = int64(res.Report("libelf").Time)
+	}
+	if !(times["nfs-wrap"] > times["temp-wrap"] && times["temp-wrap"] > times["temp-nowrap"]) {
+		t.Errorf("cost ordering violated: %v", times)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b, c := newTestBuilder(t)
+	if _, err := b.Build(nil); err == nil {
+		t.Error("nil spec must fail")
+	}
+	if _, err := b.Build(syntax.MustParse("libelf")); err == nil {
+		t.Error("abstract spec must fail")
+	}
+	// An unpublished release fails the fetch and leaves nothing behind.
+	b.Mirror = fetch.NewMirror()
+	concrete := concretizeExpr(t, c, "libelf")
+	_, err := b.Build(concrete)
+	var berr *Error
+	if err == nil {
+		t.Fatal("unpublished release must fail")
+	}
+	if !asBuildError(err, &berr) || berr.Phase != "fetch" {
+		t.Errorf("error = %v", err)
+	}
+	if b.Store.Len() != 0 {
+		t.Error("failed fetch left a store record")
+	}
+	if ex, _ := b.Store.FS.Stat(b.Store.Prefix(concrete)); ex {
+		t.Error("failed fetch left a prefix")
+	}
+}
+
+func asBuildError(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestChecksumMismatchFailsBuild(t *testing.T) {
+	r := repo.NewRepo("test.bad")
+	bad := pkg.New("badsum").WithVersion("1.0", "00000000000000000000000000000000").
+		WithBuild("autotools", 2)
+	r.MustAdd(bad)
+	b, c := newTestBuilder(t, r)
+	b.Mirror.Publish("badsum", version.MustParse("1.0"))
+	_, err := b.Build(concretizeExpr(t, c, "badsum"))
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("corrupted download not detected: %v", err)
+	}
+}
+
+func TestReportLookupIsNilSafe(t *testing.T) {
+	res := &Result{Reports: map[string]*Report{}}
+	if rep := res.Report("nope"); rep == nil || rep.Name != "nope" || rep.Prefix != "" {
+		t.Errorf("missing-name report = %+v", rep)
+	}
+}
+
+func TestDepPrefixAndEnvIsolation(t *testing.T) {
+	// A package whose install procedure uses DepPrefix (mpileaks-style,
+	// Fig. 1) sees its dependencies' store prefixes.
+	b, c := newTestBuilder(t)
+	concrete := concretizeExpr(t, c, "mpileaks ^mpich")
+	res, err := b.Build(concrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report("mpileaks")
+	log, err := b.Store.FS.ReadFile(rep.Prefix + "/.spack/build.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.Report("callpath")
+	if !strings.Contains(string(log), "--with-callpath="+cp.Prefix) {
+		t.Errorf("DepPrefix not wired through configure:\n%s", log)
+	}
+	// The isolated environment recorded dependency bin dirs on PATH.
+	if !strings.Contains(string(log), cp.Prefix+"/bin") {
+		t.Error("dependency bin dir missing from the build environment")
+	}
+}
+
+func TestBuildOrderLabelsAreDense(t *testing.T) {
+	b, c := newTestBuilder(t)
+	res, err := b.Build(concretizeExpr(t, c, "mpileaks ^mpich"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]string)
+	for name, rep := range res.Reports {
+		if prev, dup := seen[rep.Order]; dup {
+			t.Errorf("order %d assigned to both %s and %s", rep.Order, prev, name)
+		}
+		seen[rep.Order] = name
+	}
+	for i := 0; i < len(res.Reports); i++ {
+		if _, ok := seen[i]; !ok {
+			t.Errorf("order %d missing (%v)", i, seen)
+		}
+	}
+	_ = fmt.Sprintf("%v", seen)
+}

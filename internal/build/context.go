@@ -1,0 +1,415 @@
+package build
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"time"
+
+	"repro/internal/buildenv"
+	"repro/internal/fetch"
+	"repro/internal/pkg"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+)
+
+// The simulated cost model. Filesystem time comes from real simfs
+// operations against the configured latency profile; the constants below
+// add the CPU side. They are calibrated jointly with the simfs profiles
+// so Figs. 10/11 reproduce the paper's shapes: NFS punishes the
+// metadata-heavy configure and install phases, the wrappers add a small
+// per-invocation tax, and compile-bound cmake builds dilute both.
+const (
+	unpackCPU         = 2 * time.Millisecond
+	configureCheckCPU = 1400 * time.Microsecond
+	cmakeCheckCPU     = 1400 * time.Microsecond
+	compileUnitCPU    = 9 * time.Millisecond
+	linkCPU           = 4 * time.Millisecond
+	linkPerUnitCPU    = 30 * time.Microsecond
+	installFileCPU    = 60 * time.Microsecond
+	patchCPU          = 500 * time.Microsecond
+	makeTargetCPU     = 300 * time.Microsecond
+)
+
+// autotoolsChecks sizes the configure phase: a fixed battery of feature
+// probes plus per-unit dependency checks. Small packages are dominated by
+// it — the reason they pay the largest NFS percentages in Fig. 11.
+func autotoolsChecks(units int) int { return 24 + units/4 }
+
+// cmakeChecks is smaller: cmake caches aggressively, which is why
+// dyninst-style builds barely feel NFS in the paper.
+func cmakeChecks(units int) int { return 10 + units/8 }
+
+var confTestSrc = []byte("int main(void){return 0;}\n")
+
+// buildContext implements pkg.BuildContext against the simulator for one
+// node's build. All filesystem handles charge the node's own meter.
+type buildContext struct {
+	b    *Builder
+	node *spec.Spec
+	def  *pkg.Package
+	deps []buildenv.Dep
+
+	stage string // this node's stage root
+	cwd   string // current build directory (WorkingDir moves it)
+
+	stageFS  *simfs.FS // stage tree at the configured stage latency
+	prefixFS *simfs.FS // install tree at the store's latency
+	meter    *simfs.Meter
+
+	env      *buildenv.Environment
+	wrappers *buildenv.WrapperSet // nil when UseWrappers is off
+	realCC   string
+
+	prefix   string
+	commands []string
+	rpaths   []string
+	srcFiles []string
+}
+
+var _ pkg.BuildContext = (*buildContext)(nil)
+
+func (c *buildContext) record(cmdline []string) {
+	c.commands = append(c.commands, strings.Join(cmdline, " "))
+}
+
+func (c *buildContext) errf(phase string, err error) error {
+	return &Error{Pkg: c.node.Name, Phase: phase, Err: err}
+}
+
+// fetchAndStage downloads the archive (MD5-verified against the version
+// directive when one exists — unknown pinned versions fetch unverified,
+// the paper's URL-extrapolation path) and expands a deterministic source
+// tree sized by BuildUnits onto the stage.
+func (c *buildContext) fetchAndStage() (bool, error) {
+	if err := c.stageFS.MkdirAll(c.stage); err != nil {
+		return false, c.errf("stage", err)
+	}
+	v, ok := c.node.ConcreteVersion()
+	if !ok {
+		return false, c.errf("fetch", fmt.Errorf("no concrete version"))
+	}
+	fetched := false
+	var archive []byte
+	if c.b.Mirror != nil {
+		md5 := ""
+		if vi, ok := c.def.VersionInfo(v); ok {
+			md5 = vi.MD5
+		}
+		data, err := c.b.Mirror.Fetch(c.node.Name, v, md5)
+		if err != nil {
+			return false, c.errf("fetch", err)
+		}
+		archive = data
+		fetched = true
+	} else {
+		archive = fetch.Archive(c.node.Name, v)
+	}
+	tarball := fmt.Sprintf("%s/%s-%s.tar.gz", c.stage, c.node.Name, v)
+	if err := c.stageFS.WriteFile(tarball, archive); err != nil {
+		return false, c.errf("stage", err)
+	}
+	srcDir := c.stage + "/src"
+	if err := c.stageFS.MkdirAll(srcDir); err != nil {
+		return false, c.errf("stage", err)
+	}
+	nfiles := c.def.BuildUnits/3 + 1
+	unit := []byte(strings.Repeat("static int x;\n", 64))
+	for i := 0; i < nfiles; i++ {
+		p := fmt.Sprintf("%s/unit_%03d.c", srcDir, i)
+		if err := c.stageFS.WriteFile(p, unit); err != nil {
+			return false, c.errf("stage", err)
+		}
+		c.srcFiles = append(c.srcFiles, p)
+	}
+	c.meter.Add("unpack", unpackCPU)
+	return fetched, nil
+}
+
+// setupEnvironment builds the isolated environment (§3.5.1) and, when
+// enabled, the compiler wrappers (§3.5.2), materializing the wrapper
+// scripts on the stage.
+func (c *buildContext) setupEnvironment() {
+	c.env = buildenv.ForBuild(c.node.Name, c.prefix, c.deps)
+	tc := c.b.toolchainFor(c.node)
+	c.realCC = tc.CC
+	if c.realCC == "" {
+		c.realCC = "/usr/bin/cc"
+	}
+	if !c.b.UseWrappers {
+		c.env.Set("CC", c.realCC)
+		if tc.CXX != "" {
+			c.env.Set("CXX", tc.CXX)
+		}
+		return
+	}
+	var extra []string
+	if c.b.Config != nil {
+		if d, ok := c.b.Config.ArchDescription(c.node.Arch); ok {
+			extra = d.CompilerFlags[tc.Name]
+		}
+	}
+	drivers := map[string]string{"cc": c.realCC, "c++": tc.CXX, "f77": tc.F77, "fc": tc.FC}
+	c.wrappers = buildenv.NewWrapperSet(c.stage+"/spack-env", drivers, c.prefix, c.deps, extra)
+	c.wrappers.Apply(c.env)
+	_ = c.stageFS.MkdirAll(c.wrappers.Dir)
+	for p, content := range c.wrappers.Scripts() {
+		_ = c.stageFS.WriteFile(p, []byte(content))
+	}
+}
+
+// invokeCompiler models one compiler-driver call: through the wrapper
+// (recording the rewritten command and charging its overhead) when
+// wrappers are on, directly otherwise.
+func (c *buildContext) invokeCompiler(args []string) []string {
+	if c.wrappers != nil {
+		if w := c.wrappers.CC(); w != nil {
+			inv := w.Invoke(args...)
+			c.meter.Add("wrapper", inv.Overhead)
+			return inv.Final
+		}
+	}
+	return append([]string{c.realCC}, args...)
+}
+
+// Configure runs the simulated ./configure: a battery of feature checks,
+// each writing, compiling and removing a probe file — the metadata-heavy
+// pattern that makes NFS hurt (§3.5.3).
+func (c *buildContext) Configure(args ...string) error {
+	if c.b.Config != nil {
+		if d, ok := c.b.Config.ArchDescription(c.node.Arch); ok {
+			args = append(args, d.ConfigureArgs...)
+		}
+	}
+	c.record(append([]string{"./configure"}, args...))
+	probe := c.cwd + "/conftest.c"
+	for i := 0; i < autotoolsChecks(c.def.BuildUnits); i++ {
+		if err := c.stageFS.WriteFile(probe, confTestSrc); err != nil {
+			return c.errf("configure", err)
+		}
+		c.invokeCompiler([]string{"-c", "conftest.c", "-o", "conftest.o"})
+		c.meter.Add("configure", configureCheckCPU)
+		if err := c.stageFS.Remove(probe); err != nil {
+			return c.errf("configure", err)
+		}
+	}
+	for _, out := range []string{"config.log", "config.status", "Makefile"} {
+		if err := c.stageFS.WriteFile(c.cwd+"/"+out, []byte("# generated by configure (simulated)\n")); err != nil {
+			return c.errf("configure", err)
+		}
+	}
+	return nil
+}
+
+// CMake runs the simulated cmake generation step.
+func (c *buildContext) CMake(args ...string) error {
+	c.record(append([]string{"cmake"}, args...))
+	tryDir := c.cwd + "/CMakeFiles"
+	if err := c.stageFS.MkdirAll(tryDir); err != nil {
+		return c.errf("configure", err)
+	}
+	probe := tryDir + "/try_compile.c"
+	for i := 0; i < cmakeChecks(c.def.BuildUnits); i++ {
+		if err := c.stageFS.WriteFile(probe, confTestSrc); err != nil {
+			return c.errf("configure", err)
+		}
+		c.invokeCompiler([]string{"-c", "try_compile.c", "-o", "try_compile.o"})
+		c.meter.Add("configure", cmakeCheckCPU)
+		if err := c.stageFS.Remove(probe); err != nil {
+			return c.errf("configure", err)
+		}
+	}
+	for _, out := range []string{"CMakeCache.txt", "Makefile"} {
+		if err := c.stageFS.WriteFile(c.cwd+"/"+out, []byte("# generated by cmake (simulated)\n")); err != nil {
+			return c.errf("configure", err)
+		}
+	}
+	return nil
+}
+
+// Make runs the compile+link phase (no targets), the install phase
+// ("install"), or a generic named target.
+func (c *buildContext) Make(targets ...string) error {
+	if len(targets) == 0 {
+		return c.makeCompile()
+	}
+	if targets[0] == "install" {
+		return c.makeInstall()
+	}
+	c.record(append([]string{"make"}, targets...))
+	c.meter.Add("make", makeTargetCPU)
+	return nil
+}
+
+// makeCompile compiles BuildUnits objects (reading staged sources,
+// writing objects) and links the package binary, recording the final
+// rewritten link line — whose RPATHs end up inside the binary.
+func (c *buildContext) makeCompile() error {
+	c.record([]string{"make"})
+	units := c.def.BuildUnits
+	readSrcs := make(map[string]bool, len(c.srcFiles))
+	for i := 0; i < units; i++ {
+		src := c.srcFiles[i%len(c.srcFiles)]
+		// Each distinct source pays its read once; re-reads hit the page
+		// cache (headers shared between units behave the same way).
+		if !readSrcs[src] {
+			readSrcs[src] = true
+			if _, err := c.stageFS.ReadFile(src); err != nil {
+				return c.errf("compile", err)
+			}
+		}
+		obj := fmt.Sprintf("%s/unit_%03d.o", c.cwd, i)
+		final := c.invokeCompiler([]string{"-c", path.Base(src), "-o", path.Base(obj)})
+		if i == 0 {
+			c.record(final)
+		}
+		if err := c.stageFS.WriteFile(obj, []byte("\x7fELF object (simulated)\n")); err != nil {
+			return c.errf("compile", err)
+		}
+		c.meter.Add("compile", compileUnitCPU)
+	}
+	final := c.invokeCompiler([]string{"-o", c.node.Name, "unit_*.o"})
+	c.record(final)
+	c.rpaths = buildenv.RPATHs(final)
+	c.meter.Add("link", linkCPU+linkPerUnitCPU*time.Duration(units))
+	if err := c.stageFS.WriteFile(c.cwd+"/"+c.node.Name, c.binaryContent("executable")); err != nil {
+		return c.errf("compile", err)
+	}
+	return nil
+}
+
+// binaryContent renders a simulated installed binary/library: its RPATH
+// entries are exactly what the final link line carried, so tests can
+// verify link-type dependencies are reachable and build-only tools are
+// not (§3.5.2).
+func (c *buildContext) binaryContent(kind string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ELF 64-bit %s: %s (simulated)\n", kind, c.node.Name)
+	for _, r := range c.rpaths {
+		fmt.Fprintf(&b, "RPATH %s\n", r)
+	}
+	return []byte(b.String())
+}
+
+// artifactPaths lays out the installed tree: a binary, a shared library,
+// a header, pkg-config metadata, docs, then bulk data files (Python-style
+// packages install hundreds — their Fig. 11 NFS sensitivity).
+func (c *buildContext) artifactPaths(n int) []string {
+	name := c.node.Name
+	base := []string{
+		c.prefix + "/bin/" + name,
+		c.prefix + "/lib/lib" + name + ".so",
+		c.prefix + "/include/" + name + ".h",
+		c.prefix + "/lib/pkgconfig/" + name + ".pc",
+		c.prefix + "/share/doc/" + name + "/README",
+	}
+	if n <= len(base) {
+		return base[:n]
+	}
+	out := base
+	for i := len(base); i < n; i++ {
+		out = append(out, fmt.Sprintf("%s/share/%s/data_%04d", c.prefix, name, i))
+	}
+	return out
+}
+
+// makeInstall copies the build products into the prefix: each artifact is
+// read off the stage (at stage latency) and written into the store tree.
+func (c *buildContext) makeInstall() error {
+	c.record([]string{"make", "install"})
+	stageLat := c.stageFS.Latency()
+	made := make(map[string]bool)
+	for i, p := range c.artifactPaths(c.def.ArtifactCount()) {
+		dir := path.Dir(p)
+		if !made[dir] {
+			if err := c.prefixFS.MkdirAll(dir); err != nil {
+				return c.errf("install", err)
+			}
+			made[dir] = true
+		}
+		// Sequential copy out of the staged build tree.
+		c.meter.Add("stage-read", stageLat.Read+stageLat.PerKBRead)
+		var content []byte
+		switch {
+		case strings.Contains(p, "/bin/"):
+			content = c.binaryContent("executable")
+		case strings.HasSuffix(p, ".so"):
+			content = c.binaryContent("shared object")
+		default:
+			content = []byte(fmt.Sprintf("%s artifact %d (simulated)\n", c.node.Name, i))
+		}
+		if err := c.prefixFS.WriteFile(p, content); err != nil {
+			return c.errf("install", err)
+		}
+		c.meter.Add("install", installFileCPU)
+	}
+	return nil
+}
+
+// ApplyPatch applies a named patch to the staged source tree (§3.2.4).
+func (c *buildContext) ApplyPatch(name string) error {
+	c.record([]string{"patch", "-p1", "-i", name})
+	if err := c.stageFS.WriteFile(c.stage+"/"+name+".applied", []byte("patched\n")); err != nil {
+		return c.errf("stage", err)
+	}
+	c.meter.Add("patch", patchCPU)
+	return nil
+}
+
+// SetEnv sets a build-environment variable for subsequent commands.
+func (c *buildContext) SetEnv(key, value string) { c.env.Set(key, value) }
+
+// Prefix returns the node's unique install prefix.
+func (c *buildContext) Prefix() string { return c.prefix }
+
+// DepPrefix resolves a dependency's install prefix (Fig. 1's
+// spec["callpath"].prefix).
+func (c *buildContext) DepPrefix(name string) (string, error) {
+	for _, d := range c.deps {
+		if d.Name == name {
+			return d.Prefix, nil
+		}
+	}
+	return "", fmt.Errorf("build: %s has no dependency %q", c.node.Name, name)
+}
+
+// WorkingDir creates and enters a build subdirectory.
+func (c *buildContext) WorkingDir(name string) error {
+	dir := c.stage + "/" + name
+	if err := c.stageFS.MkdirAll(dir); err != nil {
+		return c.errf("stage", err)
+	}
+	c.cwd = dir
+	return nil
+}
+
+// StdCmakeArgs returns the cmake arguments Spack always injects.
+func (c *buildContext) StdCmakeArgs() []string {
+	return []string{
+		"-DCMAKE_INSTALL_PREFIX=" + c.prefix,
+		"-DCMAKE_BUILD_TYPE=RelWithDebInfo",
+	}
+}
+
+// writeBuildLog leaves the per-prefix command log (§3.4.3's provenance,
+// alongside the store's spec files): the isolated environment and every
+// recorded command, wrapper overhead included.
+func (c *buildContext) writeBuildLog() error {
+	meta := c.prefix + "/.spack"
+	if err := c.prefixFS.MkdirAll(meta); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("==> build environment\n")
+	b.WriteString(c.env.Serialize())
+	b.WriteString("==> commands\n")
+	for _, cmd := range c.commands {
+		b.WriteString(cmd)
+		b.WriteByte('\n')
+	}
+	if c.wrappers != nil {
+		fmt.Fprintf(&b, "==> wrapper overhead %v over %d invocations\n",
+			c.wrappers.TotalOverhead(), len(c.wrappers.Invocations()))
+	}
+	return c.prefixFS.WriteFile(meta+"/build.out", []byte(b.String()))
+}

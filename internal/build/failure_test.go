@@ -1,0 +1,113 @@
+package build
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMidDAGFailureRollsBackAndRetries is the fault-injection scenario
+// from §3.4.3: a build dies partway through writing into its prefix. The
+// store must roll the partial prefix back, already-installed dependencies
+// must stand, and retrying the same install on a healthy filesystem must
+// succeed and reuse the surviving sub-DAG.
+func TestMidDAGFailureRollsBackAndRetries(t *testing.T) {
+	b, c := newTestBuilder(t)
+	concrete := concretizeExpr(t, c, "libdwarf")
+	elf := concrete.Dep("libelf")
+
+	// Install the dependency cleanly so the injected fault lands inside
+	// the libdwarf node, mid-DAG.
+	if _, err := b.Build(elf); err != nil {
+		t.Fatal(err)
+	}
+	if b.Store.Len() != 1 {
+		t.Fatalf("store = %d after libelf", b.Store.Len())
+	}
+
+	healthy := b.Store.FS
+	// The 40th write after this point dies: past libdwarf's staged
+	// sources, inside its configure/compile file traffic.
+	b.Store.FS = healthy.FailAfter("write", 40)
+
+	_, err := b.Build(concrete)
+	if err == nil {
+		t.Fatal("injected fault did not fail the build")
+	}
+	if !strings.Contains(err.Error(), "injected I/O error") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	var berr *Error
+	if !asBuildError(err, &berr) || berr.Pkg != "libdwarf" {
+		t.Errorf("failure not attributed to libdwarf: %v", err)
+	}
+
+	// The store stayed consistent: only libelf is recorded, the partial
+	// libdwarf prefix is gone (Install's rollback runs RemoveAll, which
+	// is exempt from fault injection), and no stage residue survives.
+	b.Store.FS = healthy
+	if b.Store.Len() != 1 {
+		t.Errorf("store = %d records after failure, want 1", b.Store.Len())
+	}
+	if _, ok := b.Store.Lookup(concrete); ok {
+		t.Error("failed libdwarf left a store record")
+	}
+	if _, ok := b.Store.Lookup(elf); !ok {
+		t.Error("installed dependency lost after unrelated failure")
+	}
+	if ex, _ := healthy.Stat(b.Store.Prefix(concrete)); ex {
+		t.Error("partial prefix not rolled back")
+	}
+	if ex, _ := healthy.Stat(b.StageRoot); ex {
+		if files, _ := healthy.List(b.StageRoot); len(files) != 0 {
+			t.Errorf("stage residue after failure: %v", files)
+		}
+	}
+
+	// Retry on the healed filesystem: libelf is reused, libdwarf builds.
+	res, err := b.Build(concrete)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if !res.Report("libelf").Reused {
+		t.Error("retry rebuilt the surviving dependency")
+	}
+	if res.Report("libdwarf").Reused || res.Report("libdwarf").Time <= 0 {
+		t.Errorf("retry did not rebuild libdwarf: %+v", res.Report("libdwarf"))
+	}
+	if b.Store.Len() != 2 {
+		t.Errorf("store = %d records after retry, want 2", b.Store.Len())
+	}
+	if _, err := b.Store.FS.ReadFile(res.Report("libdwarf").Prefix + "/.spack/build.out"); err != nil {
+		t.Errorf("retried install missing provenance: %v", err)
+	}
+}
+
+// TestFaultInEveryPhase sweeps the injection point across the whole build
+// so the rollback invariant holds no matter where the failure lands.
+func TestFaultInEveryPhase(t *testing.T) {
+	for _, n := range []int{1, 5, 15, 30, 60, 120} {
+		b, c := newTestBuilder(t)
+		concrete := concretizeExpr(t, c, "libelf")
+		healthy := b.Store.FS
+		b.Store.FS = healthy.FailAfter("write", n)
+		_, err := b.Build(concrete)
+		b.Store.FS = healthy
+		if err == nil {
+			// The whole build took fewer writes than n — nothing to check.
+			if b.Store.Len() != 1 {
+				t.Errorf("n=%d: clean build but store = %d", n, b.Store.Len())
+			}
+			continue
+		}
+		if b.Store.Len() != 0 {
+			t.Errorf("n=%d: failed build left %d store records", n, b.Store.Len())
+		}
+		if ex, _ := healthy.Stat(b.Store.Prefix(concrete)); ex {
+			t.Errorf("n=%d: partial prefix survived", n)
+		}
+		// The store must accept the same spec afterwards.
+		if _, err := b.Build(concrete); err != nil {
+			t.Errorf("n=%d: retry failed: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package build
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// Report describes what happened to one node of a built DAG.
+type Report struct {
+	Name   string
+	Prefix string
+	// Time is this node's virtual build time: every filesystem operation
+	// on the stage and prefix plus simulated CPU and wrapper overhead,
+	// accumulated on the node's own meter.
+	Time time.Duration
+	// Reused marks nodes satisfied by an existing store record (§3.4.2's
+	// sub-DAG sharing) — no fetch, no build, zero time.
+	Reused bool
+	// External marks site-provided installations (§4.4): recorded with
+	// their configured path, never built.
+	External bool
+	// Fetched reports whether the source archive came off the mirror.
+	Fetched bool
+	// Order is the completion sequence number within this Build (0-based);
+	// a node always completes after all of its dependencies.
+	Order int
+	// WrapperOverhead is the portion of Time spent in compiler wrappers.
+	WrapperOverhead time.Duration
+	// Commands holds the representative rewritten command lines of the
+	// build (configure, first compile, link, install), as recorded in the
+	// prefix's build log.
+	Commands []string
+}
+
+// Result is the outcome of building one concrete DAG.
+type Result struct {
+	Root    *spec.Spec
+	Reports map[string]*Report
+	// WallTime is the virtual makespan: per-node virtual times scheduled
+	// over Jobs workers respecting dependency edges (list scheduling).
+	WallTime time.Duration
+	// TotalTime is the serial sum of per-node virtual times.
+	TotalTime time.Duration
+	// Jobs echoes the parallelism the result was computed with.
+	Jobs int
+}
+
+// Report returns the report for a package name; a zero-valued report (not
+// nil) when the name is not part of the result.
+func (r *Result) Report(name string) *Report {
+	if rep, ok := r.Reports[name]; ok {
+		return rep
+	}
+	return &Report{Name: name}
+}
+
+// Error reports a failed build of one DAG node.
+type Error struct {
+	Pkg   string
+	Phase string // "deps", "fetch", "stage", "configure", "compile", "install"
+	Err   error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("build: %s (%s): %v", e.Pkg, e.Phase, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
