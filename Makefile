@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench experiments examples vet clean
+.PHONY: all test race bench bench-concretize experiments examples vet clean
 
 all: vet test
 
@@ -16,6 +16,15 @@ vet:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Concretizer fast-path benchmarks: cold sweep, warm memo cache, parallel
+# batch, and the per-hit micro-benchmark, rendered to BENCH_concretize.json
+# (including the derived warm-cache and parallel speedups).
+bench-concretize:
+	go test -run '^$$' -bench 'Fig8|ConcretizeCacheHit' -benchmem . \
+		| tee bench_concretize.txt \
+		| go run ./cmd/benchjson -o BENCH_concretize.json
+	cat BENCH_concretize.json
+
 experiments:
 	go run ./cmd/experiments -all
 
@@ -27,4 +36,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt

@@ -155,6 +155,83 @@ func BenchmarkFig8ConcretizeAll(b *testing.B) {
 	b.ReportMetric(float64(nodes), "dag-nodes")
 }
 
+// BenchmarkFig8ConcretizeAllWarm is the same Fig. 8 sweep answered from a
+// pre-warmed memo cache: every Concretize is a fingerprint check plus one
+// DAG clone. The acceptance bar for the fast path is >= 10x over the cold
+// BenchmarkFig8ConcretizeAll.
+func BenchmarkFig8ConcretizeAllWarm(b *testing.B) {
+	path := fig8Path()
+	c := concretize.New(path, config.New(), compiler.LLNLRegistry())
+	c.Cache = concretize.NewCache(concretize.DefaultCacheSize)
+	names := path.Names()
+	abstracts := make([]*spec.Spec, len(names))
+	for i, name := range names {
+		abstracts[i] = spec.New(name)
+	}
+	// Warm every entry before timing.
+	for _, a := range abstracts {
+		if _, err := c.Concretize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes = 0
+		for _, a := range abstracts {
+			out, err := c.Concretize(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes += out.Size()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(names)), "packages")
+	b.ReportMetric(float64(nodes), "dag-nodes")
+	st := c.Cache.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit-rate")
+}
+
+// BenchmarkFig8ConcretizeAllParallel runs the cold Fig. 8 sweep through
+// the batch worker pool (no cache, so every iteration is all fresh
+// solves) — the wall-clock win of parallel batch concretization.
+func BenchmarkFig8ConcretizeAllParallel(b *testing.B) {
+	path := fig8Path()
+	c := concretize.New(path, config.New(), compiler.LLNLRegistry())
+	names := path.Names()
+	abstracts := make([]*spec.Spec, len(names))
+	for i, name := range names {
+		abstracts[i] = spec.New(name)
+	}
+	b.ReportMetric(float64(len(names)), "packages")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ConcretizeAll(abstracts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcretizeCacheHit isolates the per-hit cost of the memo
+// cache: one key derivation (spec hash + three fingerprints) and one
+// deep clone of the mpileaks DAG.
+func BenchmarkConcretizeCacheHit(b *testing.B) {
+	c := concretize.New(repo.NewPath(repo.Builtin()), config.New(), compiler.LLNLRegistry())
+	c.Cache = concretize.NewCache(concretize.DefaultCacheSize)
+	abstract := syntax.MustParse("mpileaks ^mvapich2")
+	if _, err := c.Concretize(abstract); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Concretize(abstract); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig8LargestDAG concretizes only the largest DAG in the
 // repository (the tail of Fig. 8's curve).
 func BenchmarkFig8LargestDAG(b *testing.B) {

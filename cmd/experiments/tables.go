@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/ares"
+	"repro/internal/concretize"
 	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/syntax"
 )
@@ -60,30 +62,42 @@ func runTable2() error {
 	return nil
 }
 
-// runTable3 concretizes every cell of the ARES nightly matrix (Table 3)
-// and prints the grid of configuration letters.
+// runTable3 concretizes every cell of the ARES nightly matrix (Table 3) —
+// all 36 configurations batch-concretized across the worker pool against
+// one shared memo cache — and prints the grid of configuration letters.
 func runTable3() error {
 	s := core.MustNew(core.WithRepos(ares.Repo()))
 
+	entries := ares.MatrixEntries()
+	abstracts := make([]*spec.Spec, len(entries))
+	for i, e := range entries {
+		abstracts[i] = e.Abstract
+	}
+	results, batchErr := s.Concretizer.ConcretizeAll(abstracts)
+	failures := make(map[int]error)
+	if be, isBatch := batchErr.(*concretize.BatchError); isBatch {
+		failures = be.Errors
+	} else if batchErr != nil {
+		return batchErr
+	}
+
 	type key struct{ compiler, mpi string }
 	grid := make(map[key]string)
+	letters := make(map[key][]string)
 	total, ok := 0, 0
-	for _, cell := range ares.Matrix() {
-		var letters []string
-		for _, cfg := range cell.Configs {
-			total++
-			expr := ares.SpecFor(cell, cfg)
-			concrete, err := s.Spec(expr)
-			if err != nil {
-				letters = append(letters, strings.ToLower(cfg.String())+"!")
-				fmt.Printf("    FAILED %s: %v\n", expr, err)
-				continue
-			}
-			_ = concrete
-			ok++
-			letters = append(letters, cfg.String())
+	for i, e := range entries {
+		total++
+		k := key{e.Cell.Compiler, e.Cell.MPI}
+		if results[i] == nil {
+			letters[k] = append(letters[k], strings.ToLower(e.Config.String())+"!")
+			fmt.Printf("    FAILED %s: %v\n", ares.SpecFor(e.Cell, e.Config), failures[i])
+			continue
 		}
-		grid[key{cell.Compiler, cell.MPI}] = strings.Join(letters, " ")
+		ok++
+		letters[k] = append(letters[k], e.Config.String())
+	}
+	for k, ls := range letters {
+		grid[k] = strings.Join(ls, " ")
 	}
 
 	compilers := []string{"gcc", "intel@14", "intel@15", "pgi", "clang", "xl"}

@@ -58,6 +58,7 @@ func main() {
 		flagAres     = flag.Bool("ares", true, "include the llnl.ares site repository")
 		flagSynth    = flag.Int("synthesize", 0, "add N synthetic packages to the repository")
 		flagProvider = flag.String("mpi-provider", "", "preferred MPI provider (site policy)")
+		flagCache    = flag.String("concretize-cache", "", "persist the concretization memo cache to this file across invocations")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -91,9 +92,20 @@ func main() {
 		s.Config.Site.SetProviderOrder("mpi", *flagProvider)
 	}
 
+	if *flagCache != "" {
+		if err := s.Concretizer.Cache.LoadFile(*flagCache); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: ignoring concretize cache %s: %v\n", *flagCache, err)
+		}
+	}
+
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	if err := run(os.Stdout, s, cmd, args); err != nil {
 		fatal(err)
+	}
+	if *flagCache != "" {
+		if err := s.Concretizer.Cache.SaveFile(*flagCache); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: could not save concretize cache %s: %v\n", *flagCache, err)
+		}
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"repro/internal/fetch"
 	"repro/internal/pkg"
 	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/syntax"
 	"repro/internal/version"
 )
 
@@ -257,4 +259,30 @@ func MatrixSize() int {
 // code config + compiler + architecture + forced MPI provider.
 func SpecFor(c Cell, cfg CodeConfig) string {
 	return cfg.Spec() + " %" + c.Compiler + " =" + c.Arch + " ^" + c.MPI
+}
+
+// MatrixEntry pairs one matrix configuration with its parsed abstract spec,
+// in the deterministic order Matrix enumerates cells.
+type MatrixEntry struct {
+	Cell     Cell
+	Config   CodeConfig
+	Abstract *spec.Spec
+}
+
+// MatrixEntries expands the Table 3 matrix into its 36 configurations with
+// pre-parsed abstract specs — the batch the nightly automation hands to
+// concretize.ConcretizeAll so independent configurations solve in parallel
+// against one shared memo cache.
+func MatrixEntries() []MatrixEntry {
+	var out []MatrixEntry
+	for _, cell := range Matrix() {
+		for _, cfg := range cell.Configs {
+			out = append(out, MatrixEntry{
+				Cell:     cell,
+				Config:   cfg,
+				Abstract: syntax.MustParse(SpecFor(cell, cfg)),
+			})
+		}
+	}
+	return out
 }

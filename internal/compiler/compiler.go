@@ -7,6 +7,8 @@
 package compiler
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -146,6 +148,20 @@ func (r *Registry) Default(arch string) (Toolchain, bool) {
 		return all[0], true
 	}
 	return Toolchain{}, false
+}
+
+// Fingerprint returns a stable hash over every registered toolchain —
+// name, version, targets, and features — the compiler-registry component of
+// the concretizer's memo-cache key: registering or replacing a toolchain
+// invalidates cached concretization results automatically.
+func (r *Registry) Fingerprint() string {
+	var b strings.Builder
+	for _, t := range r.All() {
+		fmt.Fprintf(&b, "%s@%s targets=%s features=%s\n",
+			t.Name, t.Version, strings.Join(t.Targets, ","), strings.Join(t.Features, ","))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
 }
 
 // Len reports the number of registered toolchains.

@@ -1,0 +1,150 @@
+package concretize
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/syntax"
+)
+
+// TestConcretizeAllMatchesSequential verifies the parallel batch produces
+// exactly the DAGs the sequential path produces, index-aligned.
+func TestConcretizeAllMatchesSequential(t *testing.T) {
+	exprs := []string{
+		"mpileaks", "mpileaks ^mvapich2", "dyninst", "libdwarf", "zlib",
+		"mpileaks ^openmpi", "gerris ^mpich",
+	}
+	seq := testEnv()
+	want := make([]string, len(exprs))
+	for i, e := range exprs {
+		want[i] = mustConcretize(t, seq, e).FullHash()
+	}
+
+	par := testEnv()
+	par.Cache = NewCache(DefaultCacheSize)
+	par.Parallelism = 4
+	abstracts := make([]*spec.Spec, len(exprs))
+	for i, e := range exprs {
+		abstracts[i] = syntax.MustParse(e)
+	}
+	got, err := par.ConcretizeAll(abstracts)
+	if err != nil {
+		t.Fatalf("ConcretizeAll: %v", err)
+	}
+	for i := range exprs {
+		if got[i] == nil {
+			t.Fatalf("result %d (%s) is nil", i, exprs[i])
+		}
+		if got[i].FullHash() != want[i] {
+			t.Errorf("result %d (%s): batch %s, sequential %s",
+				i, exprs[i], got[i].FullHash(), want[i])
+		}
+	}
+}
+
+// TestConcretizeAllErrors verifies failures stay index-aligned: good specs
+// still concretize, bad ones surface through a *BatchError.
+func TestConcretizeAllErrors(t *testing.T) {
+	c := testEnv()
+	abstracts := []*spec.Spec{
+		syntax.MustParse("mpileaks"),
+		syntax.MustParse("no-such-package"),
+		syntax.MustParse("libelf"),
+		syntax.MustParse("gerris ^mpich@1.4.1"), // mpich 1.x only provides mpi@:1
+	}
+	out, err := c.ConcretizeAll(abstracts)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v, want *BatchError", err)
+	}
+	if len(be.Errors) != 2 || be.Errors[1] == nil || be.Errors[3] == nil {
+		t.Fatalf("BatchError.Errors = %v, want failures at 1 and 3", be.Errors)
+	}
+	if out[0] == nil || out[2] == nil {
+		t.Errorf("successful specs returned nil alongside failures")
+	}
+	if out[1] != nil || out[3] != nil {
+		t.Errorf("failed specs returned non-nil results")
+	}
+	if !strings.Contains(err.Error(), "spec 1") {
+		t.Errorf("BatchError message %q does not name the failing index", err)
+	}
+	if be.Unwrap() == nil {
+		t.Errorf("Unwrap returned nil with failures present")
+	}
+}
+
+// TestConcretizeAllEmpty verifies the degenerate batch.
+func TestConcretizeAllEmpty(t *testing.T) {
+	c := testEnv()
+	out, err := c.ConcretizeAll(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("ConcretizeAll(nil) = %v, %v", out, err)
+	}
+}
+
+// TestConcretizeAllSharedCacheStats runs a duplicate-heavy batch through
+// the shared cache and verifies the atomic counters stay consistent under
+// concurrency: every call is either a hit or a miss, and a second pass is
+// all hits. Run with -race this also exercises cache thread safety.
+func TestConcretizeAllSharedCacheStats(t *testing.T) {
+	c := testEnv()
+	c.Cache = NewCache(DefaultCacheSize)
+	c.Parallelism = 8
+
+	const copies = 8
+	uniques := []string{"mpileaks", "dyninst", "libdwarf", "libelf", "zlib"}
+	var abstracts []*spec.Spec
+	for i := 0; i < copies; i++ {
+		for _, e := range uniques {
+			abstracts = append(abstracts, syntax.MustParse(e))
+		}
+	}
+	out, err := c.ConcretizeAll(abstracts)
+	if err != nil {
+		t.Fatalf("ConcretizeAll: %v", err)
+	}
+	for i, s := range out {
+		if s == nil || !s.Concrete() {
+			t.Fatalf("result %d not concrete", i)
+		}
+	}
+	hits, misses := c.Stats.CacheHits(), c.Stats.CacheMisses()
+	if hits+misses != len(abstracts) {
+		t.Errorf("hits(%d)+misses(%d) != calls(%d)", hits, misses, len(abstracts))
+	}
+	// Duplicates may race past each other on a cold cache, so misses can
+	// exceed the unique count, but never the call count — and the bulk of
+	// the batch must have been answered from memory.
+	if misses < len(uniques) {
+		t.Errorf("misses = %d, want >= %d uniques", misses, len(uniques))
+	}
+
+	// A second identical pass over the warmed cache is all hits.
+	before := c.Stats.CacheMisses()
+	if _, err := c.ConcretizeAll(abstracts); err != nil {
+		t.Fatalf("warm ConcretizeAll: %v", err)
+	}
+	if after := c.Stats.CacheMisses(); after != before {
+		t.Errorf("warm pass recorded %d new misses", after-before)
+	}
+	// Identical abstract specs collapse to identical concrete DAGs.
+	want := out[0].FullHash()
+	for i := 0; i < len(abstracts); i += len(uniques) {
+		if out[i].FullHash() != want {
+			t.Errorf("duplicate spec %d concretized differently", i)
+		}
+	}
+}
+
+// TestConcretizeAllDefaultParallelism verifies the zero value selects a
+// sane worker count and still completes.
+func TestConcretizeAllDefaultParallelism(t *testing.T) {
+	c := testEnv()
+	out, err := c.ConcretizeAll([]*spec.Spec{syntax.MustParse("mpileaks")})
+	if err != nil || out[0] == nil {
+		t.Fatalf("ConcretizeAll = %v, %v", out, err)
+	}
+}

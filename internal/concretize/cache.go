@@ -1,0 +1,222 @@
+package concretize
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/spec"
+	"repro/internal/syntax"
+)
+
+// Key identifies one memoized concretization. Two calls share a cache entry
+// only when all four components match:
+//
+//   - Spec: the FullHash of the abstract input DAG (canonical: covers every
+//     node parameter and the edge structure, so differently-shaped abstract
+//     DAGs never collide);
+//   - Repo / Config / Compilers: fingerprints of the package repositories,
+//     the preference configuration, and the compiler registry — the three
+//     inputs besides the spec that determine the concretizer's choices;
+//   - Mode: "greedy" or "backtracking", because the two algorithms can
+//     legitimately return different DAGs for the same abstract spec.
+//
+// Mutating a repository, a configuration scope, or the registry changes the
+// corresponding fingerprint, so stale entries are never returned; they age
+// out of the LRU instead of being collected eagerly.
+type Key struct {
+	Spec      string `json:"spec"`
+	Repo      string `json:"repo"`
+	Config    string `json:"config"`
+	Compilers string `json:"compilers"`
+	Mode      string `json:"mode"`
+}
+
+// CacheStats reports cumulative cache traffic.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Cache memoizes concretization results keyed by (abstract spec, repo
+// fingerprint, config fingerprint, compiler fingerprint, mode), bounded by
+// an LRU policy. It is safe for concurrent use; ConcretizeAll's worker pool
+// shares one instance.
+//
+// Entries are insulated from callers in both directions: Put stores a deep
+// clone and Get returns a fresh deep clone, so mutating either the spec that
+// was inserted or a returned hit cannot poison the cache.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[Key]*list.Element
+	stats   CacheStats
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key      Key
+	concrete *spec.Spec
+}
+
+// DefaultCacheSize bounds caches created without an explicit capacity. It
+// comfortably holds the full 245-package Fig. 8 sweep plus the 36 ARES
+// configurations.
+const DefaultCacheSize = 512
+
+// NewCache returns an empty cache holding at most max entries (max <= 0
+// selects DefaultCacheSize).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns a deep clone of the cached concrete DAG for a key, if present.
+func (c *Cache) Get(key Key) (*spec.Spec, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*cacheEntry).concrete.Clone(), true
+}
+
+// Put stores a deep clone of a concrete DAG under a key, evicting the least
+// recently used entry when the bound is exceeded. It returns the number of
+// evictions this insertion caused (0 or 1), so callers can fold the count
+// into their own statistics.
+func (c *Cache) Put(key Key, concrete *spec.Spec) int64 {
+	clone := concrete.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).concrete = clone
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, concrete: clone})
+	var evicted int64
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of cumulative hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// persistEntry is the serialized form of one cache slot: the key plus the
+// concrete DAG in the store-database spec-JSON encoding (full edge
+// fidelity, so DAG hashes survive the round trip).
+type persistEntry struct {
+	Key      Key             `json:"key"`
+	Concrete json.RawMessage `json:"concrete"`
+}
+
+// Save writes the cache contents as JSON, least recently used first, so a
+// later Load reconstructs both the entries and their recency order.
+// Fingerprint keys are saved verbatim: entries recorded under a repository
+// or configuration that no longer matches simply never hit.
+func (c *Cache) Save(w io.Writer) error {
+	c.mu.Lock()
+	var entries []persistEntry
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		data, err := syntax.EncodeJSON(e.concrete)
+		if err != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("concretize: encode cache entry: %w", err)
+		}
+		entries = append(entries, persistEntry{Key: e.key, Concrete: data})
+	}
+	c.mu.Unlock()
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Load merges previously saved entries into the cache (most recent last, so
+// recency order is preserved). Undecodable entries are skipped rather than
+// failing the whole load: a cache file is an optimization, never a source
+// of truth.
+func (c *Cache) Load(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	var entries []persistEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("concretize: bad cache file: %w", err)
+	}
+	for _, e := range entries {
+		concrete, err := syntax.DecodeJSON(e.Concrete)
+		if err != nil {
+			continue
+		}
+		c.Put(e.Key, concrete)
+	}
+	return nil
+}
+
+// SaveFile persists the cache to a file on the host filesystem — the
+// cross-process warm path the spack-go CLI uses (each invocation simulates
+// a fresh machine, so the simulated filesystem cannot carry the cache
+// across runs the way the store index carries installs within one).
+func (c *Cache) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a cache file written by SaveFile. A missing file is not an
+// error: the first run of a warm-cache workflow starts cold.
+func (c *Cache) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return c.Load(f)
+}

@@ -47,6 +47,16 @@ type Concretizer struct {
 	// converge in a handful of rounds).
 	MaxIters int
 
+	// Cache, when non-nil, memoizes Concretize results keyed by the
+	// abstract spec plus repository/configuration/compiler fingerprints
+	// (see cache.go). Repeated concretization of an identical abstract
+	// spec then costs one hash and one DAG clone instead of a full solve.
+	Cache *Cache
+
+	// Parallelism bounds ConcretizeAll's worker pool (<= 0 selects
+	// runtime.GOMAXPROCS(0)).
+	Parallelism int
+
 	// Stats accumulates counters across Concretize calls, for the
 	// experiment harness.
 	Stats Stats
@@ -55,10 +65,13 @@ type Concretizer struct {
 // Stats counts concretizer work. Counters are atomic so one Concretizer
 // may serve concurrent goroutines (parallel installs share an instance).
 type Stats struct {
-	runs         atomic.Int64
-	iterations   atomic.Int64
-	backtracks   atomic.Int64
-	virtualsSeen atomic.Int64
+	runs           atomic.Int64
+	iterations     atomic.Int64
+	backtracks     atomic.Int64
+	virtualsSeen   atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
 }
 
 // Runs reports completed Concretize calls.
@@ -72,6 +85,17 @@ func (s *Stats) Backtracks() int { return int(s.backtracks.Load()) }
 
 // VirtualsSeen reports virtual nodes resolved.
 func (s *Stats) VirtualsSeen() int { return int(s.virtualsSeen.Load()) }
+
+// CacheHits reports Concretize calls answered from the memo cache.
+func (s *Stats) CacheHits() int { return int(s.cacheHits.Load()) }
+
+// CacheMisses reports Concretize calls that required a full solve while a
+// cache was attached.
+func (s *Stats) CacheMisses() int { return int(s.cacheMisses.Load()) }
+
+// CacheEvictions reports LRU evictions caused by this concretizer's
+// insertions.
+func (s *Stats) CacheEvictions() int { return int(s.cacheEvictions.Load()) }
 
 // New returns a Concretizer with defaults.
 func New(path *repo.Path, cfg *config.Config, reg *compiler.Registry) *Concretizer {
@@ -178,7 +202,32 @@ func (e *UnknownVariantError) Error() string {
 // Concretize returns a new, fully concrete spec DAG satisfying the abstract
 // input, or an error describing the inconsistency or missing information.
 // The input is not modified.
+//
+// With a Cache attached, a repeated concretization of an identical abstract
+// spec under unchanged repositories, configuration, and compilers is a
+// cache hit: O(key hash + result clone) instead of a full solve. Failed
+// concretizations are never cached — the error path re-runs so callers
+// always see the current diagnosis.
 func (c *Concretizer) Concretize(abstract *spec.Spec) (*spec.Spec, error) {
+	if c.Cache == nil {
+		return c.concretizeUncached(abstract)
+	}
+	key := c.cacheKey(abstract)
+	if hit, ok := c.Cache.Get(key); ok {
+		c.Stats.cacheHits.Add(1)
+		return hit, nil
+	}
+	c.Stats.cacheMisses.Add(1)
+	out, err := c.concretizeUncached(abstract)
+	if err != nil {
+		return nil, err
+	}
+	c.Stats.cacheEvictions.Add(c.Cache.Put(key, out))
+	return out, nil
+}
+
+// concretizeUncached is the full solve behind Concretize.
+func (c *Concretizer) concretizeUncached(abstract *spec.Spec) (*spec.Spec, error) {
 	out, err := c.run(abstract, nil)
 	if err == nil {
 		return out, nil
@@ -187,6 +236,24 @@ func (c *Concretizer) Concretize(abstract *spec.Spec) (*spec.Spec, error) {
 		return nil, err
 	}
 	return c.backtrack(abstract, err)
+}
+
+// cacheKey derives the memo-cache key for an abstract spec: its canonical
+// DAG hash plus the fingerprints of every other concretization input, and
+// the algorithm mode (greedy and backtracking results must never be
+// conflated — the two can legitimately choose different providers).
+func (c *Concretizer) cacheKey(abstract *spec.Spec) Key {
+	mode := "greedy"
+	if c.Backtracking {
+		mode = "backtracking"
+	}
+	return Key{
+		Spec:      abstract.FullHash(),
+		Repo:      c.Path.Fingerprint(),
+		Config:    c.Config.Fingerprint(),
+		Compilers: c.Registry.Fingerprint(),
+		Mode:      mode,
+	}
 }
 
 // run performs one greedy concretization. forced maps virtual names to the
@@ -212,15 +279,24 @@ func (c *Concretizer) run(abstract *spec.Spec, forced map[string]string) (*spec.
 		return nil, &Error{Spec: abstract.String(), Err: nameErr}
 	}
 
+	// The fixed-point cycle of Fig. 6, made incremental: the first pass
+	// visits every node and seeds a dirty-node worklist; later passes
+	// revisit only nodes whose constraints may have moved (freshly attached
+	// deps, constrained providers, nodes with when= gated directives).
+	// Convergence is declared only after a FULL pass reports no change, so
+	// the fixed point reached is identical to re-scanning every node every
+	// iteration — the worklist is purely a work-skipping device.
+	var dirty map[string]bool // nil = full pass over every node
 	for iter := 0; ; iter++ {
 		if iter >= c.MaxIters {
 			return nil, &Error{Spec: abstract.String(),
 				Err: fmt.Errorf("no fixed point after %d iterations", c.MaxIters)}
 		}
 		c.Stats.iterations.Add(1)
+		touched := make(map[string]bool) // nodes whose state changed this pass
 		changed := false
 
-		ch, err := c.applyPackageConstraints(root)
+		ch, err := c.applyPackageConstraints(root, dirty, touched)
 		if err != nil {
 			return nil, &Error{Spec: abstract.String(), Err: err}
 		}
@@ -230,21 +306,27 @@ func (c *Concretizer) run(abstract *spec.Spec, forced map[string]string) (*spec.
 		// and irrevocable, so it should see the architecture and compiler
 		// context (a vendor MPI conditioned on "=bgq" must not be chosen
 		// for a Linux build).
-		ch, err = c.concretizeParams(root)
+		ch, err = c.concretizeParams(root, dirty, touched)
 		if err != nil {
 			return nil, &Error{Spec: abstract.String(), Err: err}
 		}
 		changed = changed || ch
 
-		ch, err = c.resolveVirtuals(root, forced)
+		ch, err = c.resolveVirtuals(root, forced, touched)
 		if err != nil {
 			return nil, &Error{Spec: abstract.String(), Err: err}
 		}
 		changed = changed || ch
 
 		if !changed {
-			break
+			if dirty == nil {
+				break // a full pass was quiescent: fixed point
+			}
+			// The worklist drained; confirm quiescence with a full pass.
+			dirty = nil
+			continue
 		}
+		dirty = c.nextWorklist(root, touched)
 	}
 
 	// Circular dependencies are rejected (§3.2.1 footnote).
@@ -328,11 +410,71 @@ func (c *Concretizer) rankProviderNames(virtual string) []string {
 	return names
 }
 
+// nextWorklist computes the nodes the next iteration must revisit: every
+// node that changed this pass, the dependents of changed nodes (a parent's
+// provider checks and constraint intersections react to a child's
+// configuration), and every node whose package definition carries when=
+// gated directives. The last group is the conservative part: a when=
+// predicate is evaluated with Satisfies, which may reference arbitrary DAG
+// state (e.g. when="^mpich"), so those nodes are re-examined whenever
+// anything moved. Packages without conditional directives — the vast
+// majority — drop out of the worklist as soon as they converge.
+func (c *Concretizer) nextWorklist(root *spec.Spec, touched map[string]bool) map[string]bool {
+	dirty := make(map[string]bool, 2*len(touched))
+	for name := range touched {
+		dirty[name] = true
+	}
+	for _, n := range root.Nodes() {
+		if dirty[n.Name] {
+			continue
+		}
+		if c.hasConditionalDirectives(n.Name) {
+			dirty[n.Name] = true
+			continue
+		}
+		for depName := range n.Deps {
+			if touched[depName] {
+				dirty[n.Name] = true
+				break
+			}
+		}
+	}
+	return dirty
+}
+
+// hasConditionalDirectives reports whether a package definition carries any
+// when= gated dependency, provides, or feature directive — the directives
+// whose activation can flip as other nodes concretize.
+func (c *Concretizer) hasConditionalDirectives(name string) bool {
+	def, _, ok := c.Path.Get(name)
+	if !ok {
+		return false // virtual node; resolveVirtuals scans the DAG anyway
+	}
+	for _, d := range def.Dependencies {
+		if d.When != nil {
+			return true
+		}
+	}
+	for _, pr := range def.Provides {
+		if pr.When != nil {
+			return true
+		}
+	}
+	for _, f := range def.Features {
+		if f.When != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // applyPackageConstraints merges directive constraints from package files
 // into the DAG: for every resolved (non-virtual) node, the dependencies
 // active under its current configuration are intersected in, with new edges
-// attached (Fig. 6's "Intersect Constraints").
-func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
+// attached (Fig. 6's "Intersect Constraints"). A nil dirty set means a full
+// pass; otherwise only worklist nodes (plus nodes touched earlier in this
+// pass) are visited. Changed nodes are recorded in touched.
+func (c *Concretizer) applyPackageConstraints(root *spec.Spec, dirty, touched map[string]bool) (bool, error) {
 	changed := false
 	// Snapshot nodes first: attaching deps during traversal would mutate
 	// the structure being walked.
@@ -342,6 +484,9 @@ func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
 		index[n.Name] = n
 	}
 	for _, n := range nodes {
+		if dirty != nil && !dirty[n.Name] && !touched[n.Name] {
+			continue
+		}
 		def, ns, ok := c.Path.Get(n.Name)
 		if !ok {
 			continue // virtual; resolved separately
@@ -349,6 +494,7 @@ func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
 		if n.Namespace == "" {
 			n.Namespace = ns
 			changed = true
+			touched[n.Name] = true
 		}
 		for _, d := range def.DependenciesFor(n) {
 			depName := d.Constraint.Name
@@ -369,6 +515,7 @@ func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
 					n.Deps[prov.Name] = prov
 					n.SetDepType(prov.Name, edgeType)
 					changed = true
+					touched[n.Name] = true
 				}
 				continue
 			}
@@ -377,7 +524,10 @@ func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
 				if err != nil {
 					return changed, err
 				}
-				changed = changed || ch
+				if ch {
+					changed = true
+					touched[depName] = true
+				}
 				if n.Deps == nil {
 					n.Deps = make(map[string]*spec.Spec)
 				}
@@ -385,6 +535,7 @@ func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
 					n.Deps[depName] = existing
 					n.SetDepType(depName, edgeType)
 					changed = true
+					touched[n.Name] = true
 				}
 			} else {
 				node := d.Constraint.Clone()
@@ -395,6 +546,7 @@ func (c *Concretizer) applyPackageConstraints(root *spec.Spec) (bool, error) {
 				n.SetDepType(depName, edgeType)
 				index[depName] = node
 				changed = true
+				touched[depName] = true
 			}
 		}
 	}
@@ -449,8 +601,9 @@ func (c *Concretizer) dagProviderFor(index map[string]*spec.Spec, dep *spec.Spec
 // resolveVirtuals replaces virtual nodes with providers (Fig. 6's "Resolve
 // Virtual Deps"). If a package already in the DAG provides the interface,
 // it is reused (this is how `^mpich` forces the MPI choice); otherwise the
-// best provider by site/user policy is selected greedily.
-func (c *Concretizer) resolveVirtuals(root *spec.Spec, forced map[string]string) (bool, error) {
+// best provider by site/user policy is selected greedily. Replaced
+// providers and rewired parents are recorded in touched.
+func (c *Concretizer) resolveVirtuals(root *spec.Spec, forced map[string]string, touched map[string]bool) (bool, error) {
 	changed := false
 	for {
 		vnode := c.findVirtualNode(root)
@@ -462,7 +615,8 @@ func (c *Concretizer) resolveVirtuals(root *spec.Spec, forced map[string]string)
 		if err != nil {
 			return changed, err
 		}
-		c.replaceNode(root, vnode, provider)
+		c.replaceNode(root, vnode, provider, touched)
+		touched[provider.Name] = true
 		changed = true
 	}
 }
@@ -585,8 +739,9 @@ func (c *Concretizer) constrainProviderForVirtual(provider, vnode *spec.Spec) er
 
 // replaceNode rewires every edge pointing at old to point at repl. If the
 // DAG already contains a node named repl.Name elsewhere, constraints merge
-// into that node to preserve the one-node-per-name invariant.
-func (c *Concretizer) replaceNode(root, old, repl *spec.Spec) {
+// into that node to preserve the one-node-per-name invariant. Rewired
+// parents are recorded in touched.
+func (c *Concretizer) replaceNode(root, old, repl *spec.Spec, touched map[string]bool) {
 	root.Traverse(func(n *spec.Spec) bool {
 		if n.Deps == nil {
 			return true
@@ -597,6 +752,7 @@ func (c *Concretizer) replaceNode(root, old, repl *spec.Spec) {
 			n.SetDepType(old.Name, spec.DepDefault) // clear old entry
 			n.Deps[repl.Name] = repl
 			n.SetDepType(repl.Name, t)
+			touched[n.Name] = true
 		}
 		return true
 	})
@@ -614,8 +770,11 @@ func (c *Concretizer) replaceNode(root, old, repl *spec.Spec) {
 // concretizeParams pins the five parameters of every resolved node
 // (Fig. 6's "Concretize Parameters"): architecture, externals, version,
 // compiler, variants — consulting preferences so sites make "consistent,
-// repeatable choices" (§3.4.4).
-func (c *Concretizer) concretizeParams(root *spec.Spec) (bool, error) {
+// repeatable choices" (§3.4.4). The cheap whole-DAG propagation steps
+// (architecture defaulting, compiler inheritance) always run in full; the
+// expensive per-node pinning honors the dirty worklist. Changed nodes are
+// recorded in touched.
+func (c *Concretizer) concretizeParams(root *spec.Spec, dirty, touched map[string]bool) (bool, error) {
 	changed := false
 
 	// Architecture: the root adopts the default; dependencies inherit the
@@ -623,21 +782,26 @@ func (c *Concretizer) concretizeParams(root *spec.Spec) (bool, error) {
 	if root.Arch == "" {
 		root.Arch = c.Config.DefaultArch()
 		changed = true
+		touched[root.Name] = true
 	}
 	for _, n := range root.Nodes() {
 		if n.Arch == "" {
 			n.Arch = root.Arch
 			changed = true
+			touched[n.Name] = true
 		}
 	}
 
 	// Compiler inheritance: children without a constraint build with their
 	// parent's compiler, so one toolchain is used consistently across a DAG
 	// unless overridden per node.
-	ch := c.inheritCompilers(root)
+	ch := c.inheritCompilers(root, touched)
 	changed = changed || ch
 
 	for _, n := range root.Nodes() {
+		if dirty != nil && !dirty[n.Name] && !touched[n.Name] {
+			continue
+		}
 		def, _, ok := c.Path.Get(n.Name)
 		if !ok {
 			continue // unresolved virtual: next iteration
@@ -653,6 +817,7 @@ func (c *Concretizer) concretizeParams(root *spec.Spec) (bool, error) {
 				n.External = true
 				n.Path = ext.Path
 				changed = true
+				touched[n.Name] = true
 			}
 		}
 
@@ -660,28 +825,38 @@ func (c *Concretizer) concretizeParams(root *spec.Spec) (bool, error) {
 		if err != nil {
 			return changed, err
 		}
-		changed = changed || ch
+		if ch {
+			changed = true
+			touched[n.Name] = true
+		}
 
 		if !n.External {
 			ch, err = c.concretizeCompiler(n, def.FeaturesFor(n))
 			if err != nil {
 				return changed, err
 			}
-			changed = changed || ch
+			if ch {
+				changed = true
+				touched[n.Name] = true
+			}
 		}
 
 		ch, err = c.concretizeVariants(n, def)
 		if err != nil {
 			return changed, err
 		}
-		changed = changed || ch
+		if ch {
+			changed = true
+			touched[n.Name] = true
+		}
 	}
 	return changed, nil
 }
 
 // inheritCompilers propagates compiler constraints from parents to
-// children that have none. Returns whether anything changed.
-func (c *Concretizer) inheritCompilers(root *spec.Spec) bool {
+// children that have none. Returns whether anything changed; changed nodes
+// are recorded in touched.
+func (c *Concretizer) inheritCompilers(root *spec.Spec, touched map[string]bool) bool {
 	changed := false
 	type inh struct {
 		comp spec.Compiler
@@ -698,6 +873,7 @@ func (c *Concretizer) inheritCompilers(root *spec.Spec) bool {
 		if n.Compiler.IsZero() && !inherited.comp.IsZero() && !n.External && sameArch {
 			n.Compiler = inherited.comp
 			changed = true
+			touched[n.Name] = true
 		}
 		if seen[n.Name] {
 			return

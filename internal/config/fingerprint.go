@@ -1,0 +1,62 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a stable hash over every setting that can influence
+// concretization: default architecture, compiler order, provider order,
+// preferred versions, variant overrides, and external registrations, per
+// scope in precedence order. It is the configuration component of the
+// concretizer's memo-cache key, so editing a preference invalidates cached
+// results automatically. View link rules and architecture build
+// descriptions are excluded: they affect views and builds, never the
+// concretizer's choices.
+//
+// Scopes are small and mutable in place (fields are public), so the
+// serialization is recomputed on every call rather than cached.
+func (c *Config) Fingerprint() string {
+	var b strings.Builder
+	for i, s := range c.scopes() {
+		fmt.Fprintf(&b, "scope %d\n", i)
+		fingerprintScope(&b, s)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func fingerprintScope(b *strings.Builder, s *Scope) {
+	fmt.Fprintf(b, "  default_arch %s\n", s.DefaultArch)
+	for _, comp := range s.CompilerOrder {
+		fmt.Fprintf(b, "  compiler_order %s\n", comp)
+	}
+	for _, virtual := range sortedKeys(s.ProviderOrder) {
+		fmt.Fprintf(b, "  provider_order %s = %s\n",
+			virtual, strings.Join(s.ProviderOrder[virtual], ","))
+	}
+	for _, name := range sortedKeys(s.PreferredVersions) {
+		fmt.Fprintf(b, "  preferred_version %s @%s\n", name, s.PreferredVersions[name])
+	}
+	for _, name := range sortedKeys(s.VariantDefaults) {
+		m := s.VariantDefaults[name]
+		for _, variant := range sortedKeys(m) {
+			fmt.Fprintf(b, "  variant_default %s %s=%v\n", name, variant, m[variant])
+		}
+	}
+	for _, e := range s.Externals {
+		fmt.Fprintf(b, "  external %s arch=%s path=%s\n", e.Constraint, e.Arch, e.Path)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

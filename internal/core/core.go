@@ -56,6 +56,8 @@ type options struct {
 	noWrappers  bool
 	storeLayout store.Layout
 	jobs        int
+	cacheSize   int
+	noCache     bool
 }
 
 // WithRepos prepends site repositories (highest precedence first) ahead of
@@ -83,6 +85,13 @@ func WithLayout(l store.Layout) Option { return func(o *options) { o.storeLayout
 // WithJobs sets build parallelism.
 func WithJobs(n int) Option { return func(o *options) { o.jobs = n } }
 
+// WithConcretizeCacheSize bounds the concretizer memo cache (entries).
+func WithConcretizeCacheSize(n int) Option { return func(o *options) { o.cacheSize = n } }
+
+// WithoutConcretizeCache disables concretizer memoization, forcing every
+// Concretize call through a full solve (benchmark baselines).
+func WithoutConcretizeCache() Option { return func(o *options) { o.noCache = true } }
+
 // New assembles a Spack instance.
 func New(opts ...Option) (*Spack, error) {
 	o := &options{
@@ -108,6 +117,12 @@ func New(opts ...Option) (*Spack, error) {
 	repo.PublishAll(mirror, append(o.repos, builtin)...)
 
 	conc := concretize.New(path, o.cfg, o.registry)
+	if !o.noCache {
+		// Memoize concretizations by default: repeated installs of an
+		// identical abstract spec under unchanged repos/config are O(1)
+		// cache hits instead of fresh quadratic solves.
+		conc.Cache = concretize.NewCache(o.cacheSize)
+	}
 
 	b := build.NewBuilder(st, path, o.registry)
 	b.Mirror = mirror
@@ -159,6 +174,23 @@ func (s *Spack) Spec(expr string) (*spec.Spec, error) {
 		return nil, err
 	}
 	return s.Concretizer.Concretize(abstract)
+}
+
+// SpecAll concretizes a batch of spec expressions across the concretizer's
+// worker pool, sharing one memo cache — the entry point nightly-matrix
+// automation uses (Table 3's 36 ARES configurations). Results align with
+// the input; failures are collected into the returned error (see
+// concretize.BatchError) with nil placeholders in the slice.
+func (s *Spack) SpecAll(exprs []string) ([]*spec.Spec, error) {
+	abstracts := make([]*spec.Spec, len(exprs))
+	for i, expr := range exprs {
+		a, err := syntax.Parse(expr)
+		if err != nil {
+			return nil, fmt.Errorf("core: spec %d %q: %w", i, expr, err)
+		}
+		abstracts[i] = a
+	}
+	return s.Concretizer.ConcretizeAll(abstracts)
 }
 
 // Install concretizes and builds a spec expression (`spack install`),

@@ -8,6 +8,8 @@ package repo
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/pkg"
 	"repro/internal/spec"
@@ -17,6 +19,9 @@ import (
 type Repo struct {
 	Namespace string
 	packages  map[string]*pkg.Package
+	// gen counts mutations (Add calls), letting Path.Fingerprint cache its
+	// serialization until a repository actually changes.
+	gen atomic.Uint64
 }
 
 // NewRepo creates an empty repository with a namespace like "builtin" or
@@ -32,8 +37,13 @@ func (r *Repo) Add(p *pkg.Package) error {
 		return err
 	}
 	r.packages[p.Name] = p
+	r.gen.Add(1)
 	return nil
 }
+
+// generation returns the mutation counter, used for fingerprint cache
+// invalidation.
+func (r *Repo) generation() uint64 { return r.gen.Load() }
 
 // MustAdd is Add for package-set construction code; it panics on error.
 func (r *Repo) MustAdd(p *pkg.Package) {
@@ -67,6 +77,12 @@ func (r *Repo) Len() int { return len(r.packages) }
 // Spack's default packages").
 type Path struct {
 	repos []*Repo
+
+	// Fingerprint cache (see fingerprint.go): the serialized-and-hashed
+	// path contents, valid while every repo's generation matches fpGens.
+	fpMu    sync.Mutex
+	fpCache string
+	fpGens  []uint64
 }
 
 // NewPath builds a search path; earlier repositories take precedence.

@@ -3,6 +3,7 @@ package spec
 import (
 	"crypto/sha256"
 	"encoding/base32"
+	"sort"
 	"strings"
 )
 
@@ -11,14 +12,14 @@ import (
 // covers every parameter of every node plus the edge structure, so two
 // builds that differ only in, say, the version of one dependency hash
 // differently, while dependency insertion order does not matter (the
-// canonical string already sorts nodes and variants).
+// canonical string already sorts nodes and variants). DAGHash is a prefix
+// of FullHash, so the two never disagree about identity.
 func (s *Spec) DAGHash() string {
-	sum := sha256.Sum256([]byte(s.canonicalDAG()))
-	enc := base32.StdEncoding.WithPadding(base32.NoPadding)
-	return strings.ToLower(enc.EncodeToString(sum[:]))[:8]
+	return s.FullHash()[:8]
 }
 
-// FullHash is DAGHash at full length, for provenance records.
+// FullHash is the full-length configuration hash, for provenance records
+// and as the spec component of concretizer memo-cache keys.
 func (s *Spec) FullHash() string {
 	sum := sha256.Sum256([]byte(s.canonicalDAG()))
 	enc := base32.StdEncoding.WithPadding(base32.NoPadding)
@@ -49,12 +50,9 @@ func (s *Spec) canonicalDAG() string {
 
 func sortedNodes(s *Spec) []*Spec {
 	nodes := s.Nodes()
-	// Keep root first; sort the rest by name for stability.
+	// Keep root first; sort the rest by name for stability (names are
+	// unique within a DAG, so the order is total).
 	rest := nodes[1:]
-	for i := 1; i < len(rest); i++ {
-		for j := i; j > 0 && rest[j].Name < rest[j-1].Name; j-- {
-			rest[j], rest[j-1] = rest[j-1], rest[j]
-		}
-	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
 	return nodes
 }
