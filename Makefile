@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench bench-concretize experiments examples vet clean
+.PHONY: all test race bench bench-concretize bench-store experiments examples vet clean
 
 all: vet test
 
@@ -25,6 +25,15 @@ bench-concretize:
 		| go run ./cmd/benchjson -o BENCH_concretize.json
 	cat BENCH_concretize.json
 
+# Store contention benchmarks: mutex vs. sharded index under 1/2/4/8
+# concurrent builders (install+save) and readers (lookup), rendered to
+# BENCH_store.json with the derived per-worker-count sharded speedups.
+bench-store:
+	go test -run '^$$' -bench 'StoreContention|StoreLookupContention' -benchmem . \
+		| tee bench_store.txt \
+		| go run ./cmd/benchjson -o BENCH_store.json
+	cat BENCH_store.json
+
 experiments:
 	go run ./cmd/experiments -all
 
@@ -36,4 +45,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt

@@ -1,0 +1,190 @@
+// Store-sharding benchmarks (run via `make bench-store` → BENCH_store.json):
+//
+//	BenchmarkStoreContention/{mutex,sharded}/wN — N concurrent builders
+//	    each installing distinct specs into one store and persisting the
+//	    database after every install (real Spack's discipline). The
+//	    single-mutex baseline rewrites the whole monolithic index on every
+//	    Save — O(records) spec encodings per install, serialized behind
+//	    one lock — while the sharded index rewrites only the dirty hash-
+//	    prefix shard and stripes all index traffic, so throughput scales
+//	    with worker count instead of collapsing on the global lock.
+//	BenchmarkStoreLookupContention/{mutex,sharded}/wN — the executor-style
+//	    read side: N workers hammering IsInstalled/Lookup on a populated
+//	    store. Sharded reads take per-stripe RLocks and proceed in
+//	    parallel; the mutex baseline serializes every probe.
+//
+// cmd/benchjson derives store_sharded_speedup_w{1,2,4,8} (and the lookup
+// equivalents) from the paired results; the acceptance bar is sharded
+// beating mutex at ≥4 workers with ≥2x at 8.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/concretize"
+	"repro/internal/config"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// storePoolSize is how many distinct configurations the contention
+// workload installs. Big enough that the monolithic index's O(records)
+// save cost shows, small enough for quick iterations.
+const storePoolSize = 64
+
+var (
+	storePoolOnce sync.Once
+	storePool     []*spec.Spec
+)
+
+// storeSpecPool concretizes storePoolSize distinct packages once and
+// reuses the concrete DAG roots across iterations (the store only reads
+// them).
+func storeSpecPool(b *testing.B) []*spec.Spec {
+	storePoolOnce.Do(func() {
+		path := fig8Path()
+		c := concretize.New(path, config.New(), compiler.LLNLRegistry())
+		names := path.Names()
+		if len(names) > storePoolSize {
+			names = names[:storePoolSize]
+		}
+		for _, name := range names {
+			out, err := c.Concretize(spec.New(name))
+			if err != nil {
+				panic(fmt.Sprintf("store bench pool: %s: %v", name, err))
+			}
+			storePool = append(storePool, out)
+		}
+	})
+	if len(storePool) == 0 {
+		b.Fatal("store bench pool failed to build")
+	}
+	return storePool
+}
+
+var storeIndexImpls = []struct {
+	name string
+	mk   func() store.Index
+}{
+	{"mutex", func() store.Index { return store.NewMutexIndex() }},
+	{"sharded", func() store.Index { return store.NewShardedIndex() }},
+}
+
+var storeWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkStoreContention is the concurrent-builder workload: workers
+// split the spec pool, and each install is followed by dependency probes
+// and a database Save — the §3.4.2 store under the access pattern the
+// parallel executor produces.
+func BenchmarkStoreContention(b *testing.B) {
+	pool := storeSpecPool(b)
+	payload := []byte("simulated install payload")
+	for _, impl := range storeIndexImpls {
+		for _, workers := range storeWorkerCounts {
+			b.Run(fmt.Sprintf("%s/w%d", impl.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					fs := simfs.New(simfs.TempFS)
+					st, err := store.New(fs, "/spack/opt", store.SpackLayout{},
+						store.WithIndex(impl.mk()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+
+					errCh := make(chan error, workers)
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						w := w
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for j := w; j < len(pool); j += workers {
+								s := pool[j]
+								if _, _, err := st.Install(s, true, func(prefix string) error {
+									return st.FS.WriteFile(prefix+"/payload", payload)
+								}); err != nil {
+									errCh <- err
+									return
+								}
+								// Executor-style probes: is my dependency
+								// installed yet?
+								st.IsInstalled(pool[(j*7+1)%len(pool)])
+								st.IsInstalled(pool[(j*13+3)%len(pool)])
+								// Persist after every install, as real
+								// builders must for crash recovery.
+								if err := st.Save(); err != nil {
+									errCh <- err
+									return
+								}
+							}
+						}()
+					}
+					wg.Wait()
+					close(errCh)
+					for err := range errCh {
+						b.Fatal(err)
+					}
+					if st.Len() != len(pool) {
+						b.Fatalf("store holds %d of %d records", st.Len(), len(pool))
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(len(pool)), "installs")
+				b.ReportMetric(
+					float64(len(pool))*float64(b.N)/b.Elapsed().Seconds(),
+					"installs/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkStoreLookupContention measures the read side alone: a
+// populated store probed concurrently, the hot path of `spack find`, view
+// refreshes and executor reuse checks.
+func BenchmarkStoreLookupContention(b *testing.B) {
+	pool := storeSpecPool(b)
+	const probesPerWorker = 2048
+	for _, impl := range storeIndexImpls {
+		for _, workers := range storeWorkerCounts {
+			b.Run(fmt.Sprintf("%s/w%d", impl.name, workers), func(b *testing.B) {
+				fs := simfs.New(simfs.TempFS)
+				st, err := store.New(fs, "/spack/opt", store.SpackLayout{},
+					store.WithIndex(impl.mk()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range pool {
+					if _, _, err := st.Install(s, false, func(string) error { return nil }); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						w := w
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for j := 0; j < probesPerWorker; j++ {
+								if !st.IsInstalled(pool[(w+j)%len(pool)]) {
+									b.Error("probe missed an installed spec")
+									return
+								}
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				total := float64(workers) * probesPerWorker
+				b.ReportMetric(total*float64(b.N)/b.Elapsed().Seconds(), "lookups/sec")
+			})
+		}
+	}
+}

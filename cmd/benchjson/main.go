@@ -136,6 +136,20 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 	if par := ns("BenchmarkFig8ConcretizeAllParallel"); cold > 0 && par > 0 {
 		d["fig8_parallel_speedup"] = cold / par
 	}
+	// Store sharding: sharded-index speedup over the single-mutex baseline
+	// at each worker count, for the install (contention) and lookup sides.
+	for _, w := range []int{1, 2, 4, 8} {
+		mutex := ns(fmt.Sprintf("BenchmarkStoreContention/mutex/w%d", w))
+		sharded := ns(fmt.Sprintf("BenchmarkStoreContention/sharded/w%d", w))
+		if mutex > 0 && sharded > 0 {
+			d[fmt.Sprintf("store_sharded_speedup_w%d", w)] = mutex / sharded
+		}
+		mutex = ns(fmt.Sprintf("BenchmarkStoreLookupContention/mutex/w%d", w))
+		sharded = ns(fmt.Sprintf("BenchmarkStoreLookupContention/sharded/w%d", w))
+		if mutex > 0 && sharded > 0 {
+			d[fmt.Sprintf("store_lookup_speedup_w%d", w)] = mutex / sharded
+		}
+	}
 	if len(d) == 0 {
 		return nil
 	}

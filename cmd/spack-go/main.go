@@ -211,7 +211,7 @@ func cmdFind(w io.Writer, s *core.Spack, args []string) error {
 	var recs []*store.Record
 	var err error
 	if query == "" {
-		recs = s.Store.All()
+		recs = s.Store.Select(nil)
 	} else {
 		recs, err = s.Find(query)
 		if err != nil {

@@ -245,8 +245,8 @@ func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
 	// Sub-DAG reuse (§3.4.2): an identical configuration is never rebuilt.
 	if rec, ok := b.Store.Lookup(n); ok {
 		if explicit {
-			// Re-record explicitness through the store's own path.
-			_, _, _ = b.Store.Install(n, true, func(string) error { return nil })
+			// Re-record explicitness under the store's shard lock.
+			b.Store.MarkExplicit(n)
 		}
 		return &Report{Name: n.Name, Prefix: rec.Prefix, Reused: true, External: n.External}, nil
 	}
@@ -324,8 +324,10 @@ func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
 		Commands:        ctx.commands,
 	}
 	if !ran {
-		// A concurrent Build on the same store won the race; our work was
-		// discarded and the surviving record is shared.
+		// A concurrent Build on the same store led the install of this
+		// configuration: the store's singleflight ran the leader's install
+		// procedure once and we shared its record; only our staging work
+		// was redundant.
 		rep.Reused = true
 		rep.Time = 0
 	}

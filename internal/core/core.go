@@ -55,6 +55,7 @@ type options struct {
 	stageNFS    bool
 	noWrappers  bool
 	storeLayout store.Layout
+	storeIndex  store.Index
 	jobs        int
 	cacheSize   int
 	noCache     bool
@@ -82,6 +83,11 @@ func WithoutWrappers() Option { return func(o *options) { o.noWrappers = true } 
 // WithLayout selects a store directory layout (Table 1 conventions).
 func WithLayout(l store.Layout) Option { return func(o *options) { o.storeLayout = l } }
 
+// WithStoreIndex selects the store's index implementation (default: the
+// lock-striped sharded index; store.NewMutexIndex() restores the
+// single-mutex baseline, e.g. for contention comparisons).
+func WithStoreIndex(ix store.Index) Option { return func(o *options) { o.storeIndex = ix } }
+
 // WithJobs sets build parallelism.
 func WithJobs(n int) Option { return func(o *options) { o.jobs = n } }
 
@@ -108,7 +114,11 @@ func New(opts ...Option) (*Spack, error) {
 	path := repo.NewPath(append(o.repos, builtin)...)
 
 	fs := simfs.New(simfs.TempFS)
-	st, err := store.New(fs, "/spack/opt", o.storeLayout)
+	var storeOpts []store.Option
+	if o.storeIndex != nil {
+		storeOpts = append(storeOpts, store.WithIndex(o.storeIndex))
+	}
+	st, err := store.New(fs, "/spack/opt", o.storeLayout, storeOpts...)
 	if err != nil {
 		return nil, err
 	}

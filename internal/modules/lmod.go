@@ -86,14 +86,11 @@ func (g *LmodGenerator) Generate(s *spec.Spec, prefix string) (string, error) {
 	return path, nil
 }
 
-// GenerateAll builds the full hierarchy for a store, returning the module
-// paths sorted.
-func (g *LmodGenerator) GenerateAll(st *store.Store) ([]string, error) {
+// GenerateAll builds the full hierarchy for a store (snapshot taken
+// through the Querier seam), returning the module paths sorted.
+func (g *LmodGenerator) GenerateAll(st store.Querier) ([]string, error) {
 	var out []string
-	for _, r := range st.All() {
-		if r.Spec.External {
-			continue
-		}
+	for _, r := range st.Select(func(r *store.Record) bool { return !r.Spec.External }) {
 		p, err := g.Generate(r.Spec, r.Prefix)
 		if err != nil {
 			return nil, err

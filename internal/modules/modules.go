@@ -109,14 +109,11 @@ func (g *Generator) Generate(s *spec.Spec, prefix string) (string, error) {
 	return path, nil
 }
 
-// GenerateAll writes module files for every record in a store, returning
-// the paths sorted.
-func (g *Generator) GenerateAll(st *store.Store) ([]string, error) {
+// GenerateAll writes module files for every record in a store (snapshot
+// taken through the Querier seam), returning the paths sorted.
+func (g *Generator) GenerateAll(st store.Querier) ([]string, error) {
 	var out []string
-	for _, r := range st.All() {
-		if r.Spec.External {
-			continue
-		}
+	for _, r := range st.Select(func(r *store.Record) bool { return !r.Spec.External }) {
 		p, err := g.Generate(r.Spec, r.Prefix)
 		if err != nil {
 			return nil, err

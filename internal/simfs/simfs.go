@@ -166,8 +166,8 @@ type FS struct {
 
 // FailAfter returns a handle on the same tree whose n-th-and-later
 // operations of the given kind ("write", "read", "mkdir", "symlink",
-// "remove") fail with a PathError — a fault-injection hook for testing
-// failure handling. n=0 fails immediately.
+// "remove", "rename") fail with a PathError — a fault-injection hook for
+// testing failure handling. n=0 fails immediately.
 func (fs *FS) FailAfter(op string, n int) *FS {
 	return &FS{store: fs.store, lat: fs.lat, meter: fs.meter,
 		fail: &failurePlan{op: op, countdown: n}}
@@ -374,6 +374,38 @@ func (fs *FS) IsSymlink(p string) bool {
 	defer fs.store.mu.RUnlock()
 	n, ok := fs.store.files[p]
 	return ok && n.symlink != ""
+}
+
+// Rename atomically moves a file or symlink to a new path, replacing any
+// existing file there (POSIX rename semantics) — the primitive crash-safe
+// database saves rely on: readers observe either the old or the new
+// content, never a truncated file. Directories cannot be renamed.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = clean(oldpath), clean(newpath)
+	if err := fs.maybeFail("rename", newpath); err != nil {
+		return err
+	}
+	fs.store.mu.Lock()
+	defer fs.store.mu.Unlock()
+	if fs.store.dirs[oldpath] {
+		return &PathError{Op: "rename", Path: oldpath, Msg: "is a directory"}
+	}
+	n, ok := fs.store.files[oldpath]
+	if !ok {
+		return &PathError{Op: "rename", Path: oldpath, Msg: "no such file"}
+	}
+	if fs.store.dirs[newpath] {
+		return &PathError{Op: "rename", Path: newpath, Msg: "is a directory"}
+	}
+	if !fs.store.dirs[path.Dir(newpath)] {
+		return &PathError{Op: "rename", Path: newpath, Msg: "parent directory does not exist"}
+	}
+	if oldpath != newpath {
+		fs.store.files[newpath] = n
+		delete(fs.store.files, oldpath)
+	}
+	fs.meter.add("rename", fs.lat.Create)
+	return nil
 }
 
 // Remove deletes a file or symlink (not a directory).

@@ -334,3 +334,86 @@ func TestPathCleaning(t *testing.T) {
 		t.Error("path cleaning failed")
 	}
 }
+
+func TestRename(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/old", []byte("content"))
+	if err := fs.Rename("/d/old", "/d/new"); err != nil {
+		t.Fatal(err)
+	}
+	if ex, _ := fs.Stat("/d/old"); ex {
+		t.Error("source survived rename")
+	}
+	data, err := fs.ReadFile("/d/new")
+	if err != nil || string(data) != "content" {
+		t.Errorf("renamed content = %q, %v", data, err)
+	}
+}
+
+func TestRenameReplacesExisting(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/tmp", []byte("fresh"))
+	fs.WriteFile("/d/target", []byte("stale"))
+	if err := fs.Rename("/d/tmp", "/d/target"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/d/target")
+	if string(data) != "fresh" {
+		t.Errorf("target = %q after replacing rename", data)
+	}
+	if fs.FileCount() != 1 {
+		t.Errorf("FileCount = %d", fs.FileCount())
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d/sub")
+	fs.WriteFile("/d/f", []byte("x"))
+	if err := fs.Rename("/d/missing", "/d/out"); err == nil {
+		t.Error("rename of missing source should fail")
+	}
+	if err := fs.Rename("/d/sub", "/d/out"); err == nil {
+		t.Error("rename of a directory should fail")
+	}
+	if err := fs.Rename("/d/f", "/d/sub"); err == nil {
+		t.Error("rename onto a directory should fail")
+	}
+	if err := fs.Rename("/d/f", "/nodir/out"); err == nil {
+		t.Error("rename into a missing parent should fail")
+	}
+	if data, _ := fs.ReadFile("/d/f"); string(data) != "x" {
+		t.Error("failed renames must not disturb the source")
+	}
+}
+
+func TestRenameSymlink(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/target", []byte("x"))
+	fs.Symlink("/d/target", "/d/link")
+	if err := fs.Rename("/d/link", "/d/link2"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.IsSymlink("/d/link2") {
+		t.Error("rename dropped symlink-ness")
+	}
+	if got, _ := fs.Readlink("/d/link2"); got != "/d/target" {
+		t.Errorf("link target = %q", got)
+	}
+}
+
+func TestRenameFaultInjection(t *testing.T) {
+	fs := New(TempFS)
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/a", []byte("x"))
+	failing := fs.FailAfter("rename", 0)
+	if err := failing.Rename("/d/a", "/d/b"); err == nil {
+		t.Error("injected rename fault did not fire")
+	}
+	if ex, _ := fs.Stat("/d/a"); !ex {
+		t.Error("failed rename moved the file")
+	}
+}

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/simfs"
+	"repro/internal/spec"
+)
+
+// Entry is a field-by-field snapshot of one installed record, copied under
+// the index lock so persistence never reads Explicit (which a concurrent
+// Install may promote) through an unsynchronized pointer. The spec pointer
+// is shared: specs are cloned on insert and never mutated afterwards, so
+// only the mutable scalar fields need copying.
+type Entry struct {
+	Hash     string
+	Spec     *spec.Spec
+	Prefix   string
+	Explicit bool
+}
+
+// Index is the seam between the store and its installation database: a
+// map from full DAG hash to record. Implementations must be safe for
+// concurrent use; Snapshot and Select copy the mutable record fields (or
+// hand out records only for reading) under their own locking so callers
+// never race with Promote. Persistence is part of the seam so layouts can
+// differ per implementation (monolithic vs. per-shard files).
+type Index interface {
+	// Lookup returns the record for a DAG hash.
+	Lookup(hash string) (*Record, bool)
+	// Insert adds a record for a hash. When a record already exists the
+	// existing one wins and is returned with inserted=false.
+	Insert(hash string, r *Record) (winner *Record, inserted bool)
+	// Promote marks an installed hash explicit (§3.4.3's user-asked-for
+	// flag), reporting whether the hash was present. The flip happens
+	// under the index lock so snapshots never observe a torn record.
+	Promote(hash string) bool
+	// Remove deletes a hash; missing hashes are a no-op.
+	Remove(hash string)
+	// Len counts records.
+	Len() int
+	// Select returns records accepted by filter (nil accepts everything),
+	// sorted by prefix — the snapshot iterator consumers use instead of
+	// copying the whole index.
+	Select(filter func(*Record) bool) []*Record
+	// Snapshot returns every entry with scalar fields copied under the
+	// lock, sorted by prefix. This is the persistence-safe view.
+	Snapshot() []Entry
+	// Replace swaps the entire contents (Load/Reindex) and marks
+	// everything dirty for the next Save.
+	Replace(records map[string]*Record)
+	// Save persists the index under dbDir on fs; implementations write
+	// atomically (temp file + rename) and may skip clean state.
+	Save(fs *simfs.FS, dbDir string) error
+	// Load replaces the contents from dbDir, returning ErrNoDatabase
+	// when nothing has been saved there yet.
+	Load(fs *simfs.FS, dbDir string) error
+}
+
+// MutexIndex is the historical baseline: one map, one mutex, one
+// monolithic index.json. It remains as the contention baseline for the
+// store benchmarks and as the reader/writer of the legacy on-disk layout.
+type MutexIndex struct {
+	mu       sync.Mutex
+	records  map[string]*Record
+	gen      uint64 // bumped on every mutation
+	savedGen uint64 // gen at the last successful Save
+}
+
+// NewMutexIndex returns an empty single-lock index.
+func NewMutexIndex() *MutexIndex {
+	return &MutexIndex{records: make(map[string]*Record)}
+}
+
+func (ix *MutexIndex) Lookup(hash string) (*Record, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r, ok := ix.records[hash]
+	return r, ok
+}
+
+func (ix *MutexIndex) Insert(hash string, r *Record) (*Record, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if existing, ok := ix.records[hash]; ok {
+		return existing, false
+	}
+	ix.records[hash] = r
+	ix.gen++
+	return r, true
+}
+
+func (ix *MutexIndex) Promote(hash string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r, ok := ix.records[hash]
+	if !ok {
+		return false
+	}
+	if !r.Explicit {
+		r.Explicit = true
+		ix.gen++
+	}
+	return true
+}
+
+func (ix *MutexIndex) Remove(hash string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.records[hash]; ok {
+		delete(ix.records, hash)
+		ix.gen++
+	}
+}
+
+func (ix *MutexIndex) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.records)
+}
+
+func (ix *MutexIndex) Select(filter func(*Record) bool) []*Record {
+	ix.mu.Lock()
+	out := make([]*Record, 0, len(ix.records))
+	for _, r := range ix.records {
+		if filter == nil || filter(r) {
+			out = append(out, r)
+		}
+	}
+	ix.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+func (ix *MutexIndex) Snapshot() []Entry {
+	ix.mu.Lock()
+	out := make([]Entry, 0, len(ix.records))
+	for h, r := range ix.records {
+		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit})
+	}
+	ix.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+func (ix *MutexIndex) Replace(records map[string]*Record) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.records = records
+	ix.gen++
+}
+
+// Save writes the whole index to the legacy monolithic index.json
+// atomically. Clean state (no mutations since the last Save) is skipped.
+func (ix *MutexIndex) Save(fs *simfs.FS, dbDir string) error {
+	ix.mu.Lock()
+	gen := ix.gen
+	clean := gen == ix.savedGen
+	ix.mu.Unlock()
+	if clean {
+		return nil
+	}
+	data, err := encodeEntries(ix.Snapshot())
+	if err != nil {
+		return err
+	}
+	if err := fs.MkdirAll(dbDir); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(fs, dbDir+"/"+legacyIndexFile, data); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	ix.savedGen = gen
+	ix.mu.Unlock()
+	return nil
+}
+
+// Load reads either layout: the legacy monolithic file, or — so a site can
+// switch back after trying the sharded index — a sharded manifest.
+func (ix *MutexIndex) Load(fs *simfs.FS, dbDir string) error {
+	records, err := loadAnyLayout(fs, dbDir)
+	if err != nil {
+		return err
+	}
+	ix.Replace(records)
+	return nil
+}

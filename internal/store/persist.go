@@ -2,11 +2,34 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/simfs"
 	"repro/internal/syntax"
 )
+
+// On-disk layout under <root>/.spack-db:
+//
+//	index.json          — legacy monolithic database (read + auto-migrated)
+//	manifest.json       — sharded layout's table of contents
+//	shards/<prefix>.json — one file per hash-prefix shard
+const (
+	dbDirName            = ".spack-db"
+	legacyIndexFile      = "index.json"
+	manifestFile         = "manifest.json"
+	shardsDirName        = "shards"
+	shardedLayoutVersion = 1
+)
+
+// ErrNoDatabase reports that no database — legacy or sharded — has been
+// saved under the store root yet.
+var ErrNoDatabase = errors.New("store: no database")
+
+// errNoManifest distinguishes "sharded layout absent" (fall back to the
+// legacy file) from real read failures.
+var errNoManifest = errors.New("store: no manifest")
 
 // dbEntry is the serialized form of one installed record. The spec is
 // stored in spec syntax — the same provenance format as .spack/spec — so
@@ -21,72 +44,149 @@ type dbEntry struct {
 	Explicit bool            `json:"explicit"`
 }
 
-// dbFile is the on-(simulated-)disk database path under the store root.
-func (st *Store) dbFile() string { return st.Root + "/.spack-db/index.json" }
-
-// Save persists the installation database, so a new Store handle (a new
-// process in real Spack) can pick up the installed state.
-func (st *Store) Save() error {
-	st.mu.Lock()
-	records := make([]*Record, 0, len(st.installed))
-	for _, r := range st.installed {
-		records = append(records, r)
-	}
-	st.mu.Unlock()
-	entries := make([]dbEntry, 0, len(records))
-	for _, r := range records {
-		encoded, err := syntax.EncodeJSON(r.Spec)
+// encodeEntries renders snapshot entries to the JSON database format
+// (shared by the monolithic file and each shard file).
+func encodeEntries(entries []Entry) ([]byte, error) {
+	out := make([]dbEntry, 0, len(entries))
+	for _, e := range entries {
+		encoded, err := syntax.EncodeJSON(e.Spec)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		entries = append(entries, dbEntry{
-			Spec:     r.Spec.String(),
+		out = append(out, dbEntry{
+			Spec:     e.Spec.String(),
 			SpecJSON: encoded,
-			Prefix:   r.Prefix,
-			Explicit: r.Explicit,
+			Prefix:   e.Prefix,
+			Explicit: e.Explicit,
 		})
 	}
+	return json.MarshalIndent(out, "", "  ")
+}
 
-	data, err := json.MarshalIndent(entries, "", "  ")
+// decodeEntries parses a database file back into records keyed by hash.
+func decodeEntries(data []byte) (map[string]*Record, error) {
+	var entries []dbEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("store: corrupt database: %w", err)
+	}
+	records := make(map[string]*Record, len(entries))
+	for _, e := range entries {
+		s, err := syntax.DecodeJSON(e.SpecJSON)
+		if err != nil {
+			return nil, fmt.Errorf("store: bad spec in database (%q): %w", e.Spec, err)
+		}
+		records[s.FullHash()] = &Record{Spec: s, Prefix: e.Prefix, Explicit: e.Explicit}
+	}
+	return records, nil
+}
+
+func encodeManifest(m manifest) ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// readManifest loads the sharded layout's manifest, errNoManifest when the
+// sharded layout was never written.
+func readManifest(fs *simfs.FS, dbDir string) (manifest, error) {
+	var m manifest
+	if ex, _ := fs.Stat(dbDir + "/" + manifestFile); !ex {
+		return m, errNoManifest
+	}
+	data, err := fs.ReadFile(dbDir + "/" + manifestFile)
 	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Version != shardedLayoutVersion {
+		return m, fmt.Errorf("store: manifest version %d not supported", m.Version)
+	}
+	return m, nil
+}
+
+// loadLegacy reads the monolithic index.json, ErrNoDatabase when absent.
+func loadLegacy(fs *simfs.FS, dbDir string) (map[string]*Record, error) {
+	path := dbDir + "/" + legacyIndexFile
+	if ex, _ := fs.Stat(path); !ex {
+		return nil, fmt.Errorf("%w at %s", ErrNoDatabase, path)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: no database at %s: %w", path, err)
+	}
+	return decodeEntries(data)
+}
+
+// loadAnyLayout prefers the sharded layout and falls back to the legacy
+// monolithic file, so either index implementation can read either format.
+func loadAnyLayout(fs *simfs.FS, dbDir string) (map[string]*Record, error) {
+	man, err := readManifest(fs, dbDir)
+	if err == errNoManifest {
+		return loadLegacy(fs, dbDir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	records := make(map[string]*Record)
+	for _, ms := range man.Shards {
+		data, err := fs.ReadFile(dbDir + "/" + shardsDirName + "/" + ms.Prefix + ".json")
+		if err != nil {
+			return nil, fmt.Errorf("store: manifest names missing shard %s: %w", ms.Prefix, err)
+		}
+		entries, err := decodeEntries(data)
+		if err != nil {
+			return nil, fmt.Errorf("store: corrupt shard %s: %w", ms.Prefix, err)
+		}
+		for h, r := range entries {
+			records[h] = r
+		}
+	}
+	return records, nil
+}
+
+// tmpSeq disambiguates concurrent atomic writers targeting the same path.
+var tmpSeq uint64
+
+// writeFileAtomic writes data to a temp path in the target's directory and
+// renames it into place, so a crash or injected I/O failure mid-write
+// never leaves a truncated file at the final path.
+func writeFileAtomic(fs *simfs.FS, path string, data []byte) error {
+	tmp := fmt.Sprintf("%s.tmp.%d", path, atomic.AddUint64(&tmpSeq, 1))
+	if err := fs.WriteFile(tmp, data); err != nil {
 		return err
 	}
-	if err := st.FS.MkdirAll(st.Root + "/.spack-db"); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
 		return err
 	}
-	return st.FS.WriteFile(st.dbFile(), data)
+	return nil
+}
+
+// dbDir is the database directory under the store root.
+func (st *Store) dbDir() string { return st.Root + "/" + dbDirName }
+
+// Save persists the installation database, so a new Store handle (a new
+// process in real Spack) can pick up the installed state. With the default
+// sharded index only shards dirtied since the last Save are rewritten, and
+// every file is written atomically (temp + rename).
+func (st *Store) Save() error {
+	return st.index.Save(st.FS, st.dbDir())
 }
 
 // Load reads a previously saved database into this (empty or stale)
 // handle, replacing its in-memory index. Specs are re-parsed from spec
-// syntax; entries that no longer parse are reported.
+// syntax; entries that no longer parse are reported. A legacy monolithic
+// index.json is auto-migrated to the sharded layout when the default
+// sharded index loads it.
 func (st *Store) Load() error {
-	data, err := st.FS.ReadFile(st.dbFile())
-	if err != nil {
-		return fmt.Errorf("store: no database at %s: %w", st.dbFile(), err)
-	}
-	var entries []dbEntry
-	if err := json.Unmarshal(data, &entries); err != nil {
-		return fmt.Errorf("store: corrupt database: %w", err)
-	}
-	installed := make(map[string]*Record, len(entries))
-	for _, e := range entries {
-		s, err := syntax.DecodeJSON(e.SpecJSON)
-		if err != nil {
-			return fmt.Errorf("store: bad spec in database (%q): %w", e.Spec, err)
-		}
-		installed[s.FullHash()] = &Record{Spec: s, Prefix: e.Prefix, Explicit: e.Explicit}
-	}
-	st.mu.Lock()
-	st.installed = installed
-	st.mu.Unlock()
-	return nil
+	return st.index.Load(st.FS, st.dbDir())
 }
 
 // Reindex rebuilds the database by scanning install prefixes for their
 // provenance files — Spack's recovery path when the index is lost. It
 // walks the store tree for .spack/spec files and reconstructs records
-// (explicit flags are lost; every entry becomes implicit).
+// (explicit flags are lost; every entry becomes implicit). All shards are
+// marked dirty, so the next Save rewrites the full on-disk layout.
 func (st *Store) Reindex() (int, error) {
 	installed := make(map[string]*Record)
 	count := 0
@@ -111,23 +211,19 @@ func (st *Store) Reindex() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	st.mu.Lock()
-	st.installed = installed
-	st.mu.Unlock()
+	st.index.Replace(installed)
 	return count, nil
 }
 
 // Open creates a Store handle on an existing tree and loads its database
 // if one exists (otherwise the handle starts empty).
-func Open(fs *simfs.FS, root string, layout Layout) (*Store, error) {
-	st, err := New(fs, root, layout)
+func Open(fs *simfs.FS, root string, layout Layout, opts ...Option) (*Store, error) {
+	st, err := New(fs, root, layout, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if ex, _ := fs.Stat(st.dbFile()); ex {
-		if err := st.Load(); err != nil {
-			return nil, err
-		}
+	if err := st.Load(); err != nil && !errors.Is(err, ErrNoDatabase) {
+		return nil, err
 	}
 	return st, nil
 }

@@ -86,6 +86,102 @@ func TestLoadCorruptDatabase(t *testing.T) {
 	}
 }
 
+// TestSaveCrashSafety: a write failure mid-Save must never corrupt the
+// on-disk database — the temp-file-plus-rename protocol leaves the
+// previous state loadable. Exercised for both index implementations.
+func TestSaveCrashSafety(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Index
+	}{
+		{"sharded", func() Index { return NewShardedIndex() }},
+		{"mutex", func() Index { return NewMutexIndex() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := simfs.New(simfs.TempFS)
+			st, err := New(fs, "/spack/opt", SpackLayout{}, WithIndex(tc.mk()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := mustConcrete(t, "libelf@0.8.13")
+			if _, _, err := st.Install(a, true, noopBuilder); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Every write now fails: the incremental Save must error out
+			// without touching the final files.
+			b := mustConcrete(t, "zlib")
+			if _, _, err := st.Install(b, false, noopBuilder); err != nil {
+				t.Fatal(err)
+			}
+			healthy := st.FS
+			st.FS = healthy.FailAfter("write", 0)
+			if err := st.Save(); err == nil {
+				t.Fatal("Save with failing writes should error")
+			}
+			st.FS = healthy
+
+			// A fresh handle still loads the pre-failure state cleanly.
+			st2, err := Open(fs, "/spack/opt", SpackLayout{}, WithIndex(tc.mk()))
+			if err != nil {
+				t.Fatalf("database corrupted by failed save: %v", err)
+			}
+			if !st2.IsInstalled(a) {
+				t.Error("pre-failure record lost")
+			}
+
+			// And once writes heal, Save persists the new record too.
+			if err := st.Save(); err != nil {
+				t.Fatal(err)
+			}
+			st3, err := Open(fs, "/spack/opt", SpackLayout{}, WithIndex(tc.mk()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st3.IsInstalled(a) || !st3.IsInstalled(b) {
+				t.Error("post-recovery save incomplete")
+			}
+		})
+	}
+}
+
+// TestRenameFailureKeepsOldIndex: the rename itself failing also leaves
+// the previous database intact (the temp file is cleaned up best-effort).
+func TestRenameFailureKeepsOldIndex(t *testing.T) {
+	fs := simfs.New(simfs.TempFS)
+	st, err := New(fs, "/spack/opt", SpackLayout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustConcrete(t, "libelf@0.8.13")
+	if _, _, err := st.Install(a, true, noopBuilder); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	b := mustConcrete(t, "zlib")
+	if _, _, err := st.Install(b, false, noopBuilder); err != nil {
+		t.Fatal(err)
+	}
+	healthy := st.FS
+	st.FS = healthy.FailAfter("rename", 0)
+	if err := st.Save(); err == nil {
+		t.Fatal("Save with failing renames should error")
+	}
+	st.FS = healthy
+	st2, err := Open(fs, "/spack/opt", SpackLayout{})
+	if err != nil {
+		t.Fatalf("database corrupted by failed rename: %v", err)
+	}
+	if !st2.IsInstalled(a) {
+		t.Error("pre-failure record lost")
+	}
+}
+
 func TestReindexFromProvenance(t *testing.T) {
 	st := newStore(t)
 	a := mustConcrete(t, "libelf@0.8.13")

@@ -1,0 +1,342 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simfs"
+)
+
+// hashAlphabet is the character set of spec.FullHash (lowercase base32).
+// One shard owns each leading character, so a shard's on-disk file is
+// literally named after the hash prefix it covers.
+const hashAlphabet = "abcdefghijklmnopqrstuvwxyz234567"
+
+// NumShards is the stripe count of ShardedIndex: one shard per possible
+// first hash character.
+const NumShards = len(hashAlphabet)
+
+// shardOf maps a full DAG hash to its shard number. Hashes are uniform
+// (SHA-256), so the stripes are statistically balanced; anything that is
+// not a well-formed hash lands deterministically in shard 0.
+func shardOf(hash string) int {
+	if hash == "" {
+		return 0
+	}
+	c := hash[0]
+	switch {
+	case c >= 'a' && c <= 'z':
+		return int(c - 'a')
+	case c >= '2' && c <= '7':
+		return 26 + int(c-'2')
+	default:
+		return 0
+	}
+}
+
+// shard is one stripe: its own lock, map, and generation counters, so
+// builders touching different hash prefixes never contend.
+type shard struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+	// gen increments on every mutation; savedGen records the generation
+	// last persisted. gen != savedGen means the shard is dirty and Save
+	// must rewrite its file.
+	gen      uint64
+	savedGen uint64
+}
+
+// ShardedIndex is the lock-striped installation database: NumShards
+// independent shards keyed by hash prefix, each persisted to its own file
+// .spack-db/shards/<prefix>.json plus a manifest, so concurrent builders
+// working on different specs share no lock and Save only rewrites shards
+// that changed since the last Save.
+type ShardedIndex struct {
+	shards [NumShards]shard
+	// saveMu serializes Save/Load so concurrent savers do not interleave
+	// shard files and the manifest. Mutations do not take it.
+	saveMu sync.Mutex
+}
+
+// NewShardedIndex returns an empty lock-striped index.
+func NewShardedIndex() *ShardedIndex {
+	ix := &ShardedIndex{}
+	for i := range ix.shards {
+		ix.shards[i].records = make(map[string]*Record)
+	}
+	return ix
+}
+
+func (ix *ShardedIndex) Lookup(hash string) (*Record, bool) {
+	sh := &ix.shards[shardOf(hash)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.records[hash]
+	return r, ok
+}
+
+func (ix *ShardedIndex) Insert(hash string, r *Record) (*Record, bool) {
+	sh := &ix.shards[shardOf(hash)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if existing, ok := sh.records[hash]; ok {
+		return existing, false
+	}
+	sh.records[hash] = r
+	sh.gen++
+	return r, true
+}
+
+func (ix *ShardedIndex) Promote(hash string) bool {
+	sh := &ix.shards[shardOf(hash)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.records[hash]
+	if !ok {
+		return false
+	}
+	if !r.Explicit {
+		r.Explicit = true
+		sh.gen++
+	}
+	return true
+}
+
+func (ix *ShardedIndex) Remove(hash string) {
+	sh := &ix.shards[shardOf(hash)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.records[hash]; ok {
+		delete(sh.records, hash)
+		sh.gen++
+	}
+}
+
+func (ix *ShardedIndex) Len() int {
+	n := 0
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		n += len(sh.records)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+func (ix *ShardedIndex) Select(filter func(*Record) bool) []*Record {
+	var out []*Record
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.records {
+			if filter == nil || filter(r) {
+				out = append(out, r)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+func (ix *ShardedIndex) Snapshot() []Entry {
+	var out []Entry
+	for i := range ix.shards {
+		out = append(out, ix.snapshotShard(i)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// snapshotShard copies one shard's entries under its read lock.
+func (ix *ShardedIndex) snapshotShard(i int) []Entry {
+	sh := &ix.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]Entry, 0, len(sh.records))
+	for h, r := range sh.records {
+		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit})
+	}
+	return out
+}
+
+func (ix *ShardedIndex) Replace(records map[string]*Record) {
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		sh.records = make(map[string]*Record)
+		sh.gen++
+	}
+	for h, r := range records {
+		sh := &ix.shards[shardOf(h)]
+		sh.records[h] = r
+	}
+	for i := range ix.shards {
+		ix.shards[i].mu.Unlock()
+	}
+}
+
+// manifest is the sharded layout's table of contents: which shard files
+// exist, how many records each holds, and its generation at save time.
+type manifest struct {
+	Version int             `json:"version"`
+	Shards  []manifestShard `json:"shards"`
+}
+
+type manifestShard struct {
+	Prefix string `json:"prefix"`
+	Count  int    `json:"count"`
+	Gen    uint64 `json:"gen"`
+}
+
+// Save rewrites only dirty shards (temp file + rename each) and then the
+// manifest. A shard emptied by uninstalls keeps an empty file so Load and
+// the manifest stay consistent.
+func (ix *ShardedIndex) Save(fs *simfs.FS, dbDir string) error {
+	ix.saveMu.Lock()
+	defer ix.saveMu.Unlock()
+
+	shardsDir := dbDir + "/" + shardsDirName
+	mkdirDone := false
+	var man manifest
+	man.Version = shardedLayoutVersion
+	dirtyWritten := false
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		gen, saved, count := sh.gen, sh.savedGen, len(sh.records)
+		sh.mu.RUnlock()
+		if count == 0 && gen == saved {
+			continue // never-populated (or already-persisted-empty) shard
+		}
+		prefix := string(hashAlphabet[i])
+		if gen != saved {
+			entries := ix.snapshotShard(i)
+			data, err := encodeEntries(entries)
+			if err != nil {
+				return err
+			}
+			if !mkdirDone {
+				if err := fs.MkdirAll(shardsDir); err != nil {
+					return err
+				}
+				mkdirDone = true
+			}
+			if err := writeFileAtomic(fs, shardsDir+"/"+prefix+".json", data); err != nil {
+				return err
+			}
+			count = len(entries)
+			sh.mu.Lock()
+			sh.savedGen = gen
+			sh.mu.Unlock()
+			dirtyWritten = true
+		}
+		man.Shards = append(man.Shards, manifestShard{Prefix: prefix, Count: count, Gen: gen})
+	}
+	if !dirtyWritten {
+		// Nothing changed since the last Save; the manifest on disk is
+		// still accurate — unless nothing was ever written, in which case
+		// an empty store still persists an empty manifest.
+		if ex, _ := fs.Stat(dbDir + "/" + manifestFile); ex {
+			return nil
+		}
+	}
+	if err := fs.MkdirAll(dbDir); err != nil {
+		return err
+	}
+	data, err := encodeManifest(man)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(fs, dbDir+"/"+manifestFile, data)
+}
+
+// Load replaces the contents from the sharded layout. When no manifest
+// exists but a legacy monolithic index.json does, the legacy database is
+// loaded and auto-migrated: the sharded layout is written and the legacy
+// file removed, so the next process starts on shards directly.
+func (ix *ShardedIndex) Load(fs *simfs.FS, dbDir string) error {
+	ix.saveMu.Lock()
+	man, err := readManifest(fs, dbDir)
+	ix.saveMu.Unlock()
+	if err == errNoManifest {
+		records, lerr := loadLegacy(fs, dbDir)
+		if lerr != nil {
+			return lerr
+		}
+		ix.Replace(records)
+		// Migrate: persist the sharded layout and retire the legacy file
+		// so both never coexist (a stale index.json would shadow newer
+		// shard state for legacy readers).
+		if err := ix.Save(fs, dbDir); err != nil {
+			return fmt.Errorf("store: migrating legacy index: %w", err)
+		}
+		_ = fs.Remove(dbDir + "/" + legacyIndexFile)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	records := make(map[string]*Record)
+	for _, ms := range man.Shards {
+		path := dbDir + "/" + shardsDirName + "/" + ms.Prefix + ".json"
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: manifest names missing shard %s: %w", ms.Prefix, err)
+		}
+		entries, err := decodeEntries(data)
+		if err != nil {
+			return fmt.Errorf("store: corrupt shard %s: %w", ms.Prefix, err)
+		}
+		if len(entries) != ms.Count {
+			return fmt.Errorf("store: shard %s holds %d records, manifest says %d",
+				ms.Prefix, len(entries), ms.Count)
+		}
+		for h, r := range entries {
+			records[h] = r
+		}
+	}
+	ix.Replace(records)
+	// Adopt the manifest's generations so an immediately following Save
+	// rewrites nothing.
+	ix.saveMu.Lock()
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		sh.gen = 0
+		sh.savedGen = 0
+		sh.mu.Unlock()
+	}
+	for _, ms := range man.Shards {
+		sh := &ix.shards[shardOf(ms.Prefix)]
+		sh.mu.Lock()
+		sh.gen = ms.Gen
+		sh.savedGen = ms.Gen
+		sh.mu.Unlock()
+	}
+	ix.saveMu.Unlock()
+	return nil
+}
+
+// DistributionStats reports how records spread over the stripes — used by
+// tests and the contention benchmark to confirm the hash prefixes balance.
+func (ix *ShardedIndex) DistributionStats() (nonEmpty, maxLoad int) {
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		n := len(sh.records)
+		sh.mu.RUnlock()
+		if n > 0 {
+			nonEmpty++
+		}
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	return nonEmpty, maxLoad
+}
+
+var _ Index = (*ShardedIndex)(nil)
+var _ Index = (*MutexIndex)(nil)

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentInstallBuildsExactlyOnce: the duplicate-build regression
+// test — N goroutines installing the same spec must run the builder
+// exactly once; everyone shares the single record. (Before singleflight,
+// racers all ran the builder and the losers' prefix/provenance work was
+// discarded.)
+func TestConcurrentInstallBuildsExactlyOnce(t *testing.T) {
+	st := newStore(t)
+	s := mustConcrete(t, "zlib")
+	var builds int32
+	var wg sync.WaitGroup
+	prefixes := make([]string, 16)
+	rans := make([]bool, 16)
+	for i := range prefixes {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec, ran, err := st.Install(s, false, func(prefix string) error {
+				atomic.AddInt32(&builds, 1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return st.FS.WriteFile(prefix+"/marker", []byte("x"))
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			prefixes[i] = rec.Prefix
+			rans[i] = ran
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&builds); got != 1 {
+		t.Fatalf("builder ran %d times, want exactly 1", got)
+	}
+	leaders := 0
+	for i, ran := range rans {
+		if ran {
+			leaders++
+		}
+		if prefixes[i] != prefixes[0] {
+			t.Errorf("caller %d got prefix %q, others %q", i, prefixes[i], prefixes[0])
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers reported ran=true, want 1", leaders)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}
+
+// TestSingleflightWaiterPromotesExplicit: a waiting explicit install must
+// leave the shared record explicit even when the leader was implicit.
+func TestSingleflightWaiterPromotesExplicit(t *testing.T) {
+	st := newStore(t)
+	s := mustConcrete(t, "zlib")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // implicit leader, parked inside the builder
+		defer wg.Done()
+		_, _, err := st.Install(s, false, func(string) error {
+			close(started)
+			<-release
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	wg.Add(1)
+	go func() { // explicit waiter
+		defer wg.Done()
+		if _, _, err := st.Install(s, true, func(string) error {
+			t.Error("waiter must not run the builder")
+			return nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Give the waiter a moment to park on the flight, then release.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	rec, ok := st.Lookup(s)
+	if !ok || !rec.Explicit {
+		t.Errorf("record explicit = %v, want true", ok && rec.Explicit)
+	}
+}
+
+// TestSingleflightFailureShared: a failed leader build propagates the
+// error to every waiter, records nothing, and a later retry starts fresh.
+func TestSingleflightFailureShared(t *testing.T) {
+	st := newStore(t)
+	s := mustConcrete(t, "zlib")
+	var builds int32
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := st.Install(s, false, func(string) error {
+				atomic.AddInt32(&builds, 1)
+				time.Sleep(2 * time.Millisecond)
+				return fmt.Errorf("synthetic build failure")
+			})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Error("a caller saw success from a failed build")
+		}
+	}
+	if got := atomic.LoadInt32(&builds); got != 1 {
+		t.Errorf("builder ran %d times, want 1", got)
+	}
+	if st.Len() != 0 || st.IsInstalled(s) {
+		t.Error("failed install left a record")
+	}
+	// Retry succeeds and builds exactly once more.
+	if _, ran, err := st.Install(s, false, noopBuilder); err != nil || !ran {
+		t.Errorf("retry after failure: ran=%v err=%v", ran, err)
+	}
+}
+
+// TestSingleflightDistinctSpecsRunConcurrently: deduplication is per-hash;
+// different configurations never wait on each other's flights.
+func TestSingleflightDistinctSpecsRunConcurrently(t *testing.T) {
+	st := newStore(t)
+	a := mustConcrete(t, "libelf@0.8.13")
+	b := mustConcrete(t, "libelf@0.8.12")
+	aInside := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := st.Install(a, false, func(string) error {
+			close(aInside)
+			<-release
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-aInside
+	// While a's build is parked, b must complete without blocking.
+	done := make(chan struct{})
+	go func() {
+		if _, _, err := st.Install(b, false, noopBuilder); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("install of a distinct spec blocked behind another flight")
+	}
+	close(release)
+	wg.Wait()
+	if st.Len() != 2 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}

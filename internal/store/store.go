@@ -136,7 +136,9 @@ func (l TACCLayout) RelPath(s *spec.Spec) string {
 	return comp + "/" + mpiName + "/" + mpiVer + "/" + s.Name + "/" + versionString(s)
 }
 
-// Record describes one installed configuration.
+// Record describes one installed configuration. The Explicit field is
+// mutated only through Index.Promote (under the index's lock); every other
+// field is immutable once the record is inserted.
 type Record struct {
 	Spec   *spec.Spec // the full concrete spec (cloned; do not mutate)
 	Prefix string
@@ -145,25 +147,64 @@ type Record struct {
 	Explicit bool
 }
 
+// Querier is the read-only face of the store: the snapshot iterator
+// consumers (views, module generators, CLI listings) use instead of
+// holding a copy of the whole database.
+type Querier interface {
+	// Select returns installed records accepted by filter (nil accepts
+	// everything), sorted by prefix.
+	Select(filter func(*Record) bool) []*Record
+	// Len reports how many configurations are installed.
+	Len() int
+}
+
+// flight tracks one in-progress Install of a hash, so concurrent installs
+// of the same spec run the builder once and share the outcome.
+type flight struct {
+	done chan struct{}
+	rec  *Record
+	err  error
+}
+
 // Store is the installation database plus the on-(simulated-)disk tree.
 type Store struct {
 	FS     *simfs.FS
 	Root   string
 	Layout Layout
 
-	mu        sync.Mutex
-	installed map[string]*Record // DAG hash -> record
+	index Index
+
+	flightMu sync.Mutex
+	flights  map[string]*flight // hash -> in-progress install
 }
 
+// Option customizes New/Open.
+type Option func(*Store)
+
+// WithIndex selects the index implementation; the default is the
+// lock-striped ShardedIndex. NewMutexIndex restores the historical
+// single-lock behaviour (and the legacy monolithic on-disk layout).
+func WithIndex(ix Index) Option { return func(st *Store) { st.index = ix } }
+
 // New creates a store rooted at root (e.g. "/spack/opt") on a filesystem.
-func New(fs *simfs.FS, root string, layout Layout) (*Store, error) {
+func New(fs *simfs.FS, root string, layout Layout, opts ...Option) (*Store, error) {
 	st := &Store{FS: fs, Root: strings.TrimSuffix(root, "/"), Layout: layout,
-		installed: make(map[string]*Record)}
+		flights: make(map[string]*flight)}
+	for _, fn := range opts {
+		fn(st)
+	}
+	if st.index == nil {
+		st.index = NewShardedIndex()
+	}
 	if err := fs.MkdirAll(st.Root); err != nil {
 		return nil, err
 	}
 	return st, nil
 }
+
+// Index exposes the store's installation index (the seam tests and
+// benchmarks inspect; consumers should stay on the Store/Querier API).
+func (st *Store) Index() Index { return st.index }
 
 // Prefix returns the unique install prefix for a concrete spec.
 func (st *Store) Prefix(s *spec.Spec) string {
@@ -172,18 +213,19 @@ func (st *Store) Prefix(s *spec.Spec) string {
 
 // IsInstalled reports whether this exact configuration is present.
 func (st *Store) IsInstalled(s *spec.Spec) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	_, ok := st.installed[s.FullHash()]
+	_, ok := st.index.Lookup(s.FullHash())
 	return ok
 }
 
 // Lookup returns the record for a concrete spec, if installed.
 func (st *Store) Lookup(s *spec.Spec) (*Record, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, ok := st.installed[s.FullHash()]
-	return r, ok
+	return st.index.Lookup(s.FullHash())
+}
+
+// MarkExplicit promotes an installed configuration to an explicit install,
+// reporting whether it was present.
+func (st *Store) MarkExplicit(s *spec.Spec) bool {
+	return st.index.Promote(s.FullHash())
 }
 
 // InstallError reports a failed installation.
@@ -204,20 +246,69 @@ func (e *InstallError) Unwrap() error { return e.Err }
 // sub-DAG's installation"). The spec must be concrete. On success a
 // provenance record is written under <prefix>/.spack (§3.4.3). Returns the
 // record and whether a build actually ran.
+//
+// Concurrent installs of the same configuration are deduplicated
+// per-hash: one caller becomes the leader and runs builder, the rest wait
+// and share its outcome (including failure), so the builder runs exactly
+// once instead of racing to build twice and discarding the loser's work.
 func (st *Store) Install(s *spec.Spec, explicit bool, builder func(prefix string) error) (*Record, bool, error) {
 	if !s.NodeConcrete() {
 		return nil, false, &InstallError{Spec: s.String(), Err: fmt.Errorf("spec is not concrete")}
 	}
 	hash := s.FullHash()
-	st.mu.Lock()
-	if r, ok := st.installed[hash]; ok {
-		if explicit && !r.Explicit {
-			r.Explicit = true
-		}
-		st.mu.Unlock()
+	if r, ok := st.lookupPromote(hash, explicit); ok {
 		return r, false, nil
 	}
-	st.mu.Unlock()
+
+	st.flightMu.Lock()
+	if f, ok := st.flights[hash]; ok {
+		// Another goroutine is already building this configuration: wait
+		// for it and share the result.
+		st.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		if explicit {
+			st.index.Promote(hash)
+		}
+		return f.rec, false, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	st.flights[hash] = f
+	st.flightMu.Unlock()
+
+	rec, ran, err := st.installLeader(s, hash, explicit, builder)
+	f.rec, f.err = rec, err
+	st.flightMu.Lock()
+	delete(st.flights, hash)
+	st.flightMu.Unlock()
+	close(f.done)
+	return rec, ran, err
+}
+
+// lookupPromote is the reuse fast path: present configurations are
+// returned immediately, promoted to explicit under the shard lock when
+// the caller asked for an explicit install.
+func (st *Store) lookupPromote(hash string, explicit bool) (*Record, bool) {
+	r, ok := st.index.Lookup(hash)
+	if !ok {
+		return nil, false
+	}
+	if explicit {
+		st.index.Promote(hash)
+	}
+	return r, true
+}
+
+// installLeader performs the actual build + record insertion for the
+// single flight leader of a hash.
+func (st *Store) installLeader(s *spec.Spec, hash string, explicit bool, builder func(prefix string) error) (*Record, bool, error) {
+	// Re-check under the flight: a previous leader may have finished
+	// between our fast-path miss and flight registration.
+	if r, ok := st.lookupPromote(hash, explicit); ok {
+		return r, false, nil
+	}
 
 	prefix := st.Prefix(s)
 	ran := false
@@ -240,14 +331,10 @@ func (st *Store) Install(s *spec.Spec, explicit bool, builder func(prefix string
 	}
 
 	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: explicit}
-	st.mu.Lock()
-	// Double-check under the lock: a concurrent build may have won.
-	if existing, ok := st.installed[hash]; ok {
-		st.mu.Unlock()
-		return existing, false, nil
+	if winner, inserted := st.index.Insert(hash, r); !inserted {
+		// A concurrent writer (e.g. Reindex) beat us to the hash; reuse.
+		return winner, false, nil
 	}
-	st.installed[hash] = r
-	st.mu.Unlock()
 	return r, ran, nil
 }
 
@@ -287,38 +374,31 @@ func (st *Store) ReadProvenance(prefix string) (string, error) {
 	return strings.TrimSpace(string(data)), nil
 }
 
+// Select returns installed records accepted by filter (nil accepts
+// everything), sorted by prefix — the snapshot iterator consumers use
+// instead of copying the whole index and re-filtering.
+func (st *Store) Select(filter func(*Record) bool) []*Record {
+	return st.index.Select(filter)
+}
+
 // All returns every installed record sorted by prefix.
 func (st *Store) All() []*Record {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make([]*Record, 0, len(st.installed))
-	for _, r := range st.installed {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
-	return out
+	return st.index.Select(nil)
 }
 
 // Find returns installed records whose spec satisfies the query — the
 // engine behind `spack find mpileaks@1.1 %gcc`.
 func (st *Store) Find(query *spec.Spec) []*Record {
-	var out []*Record
-	for _, r := range st.All() {
-		if r.Spec.Satisfies(query) {
-			out = append(out, r)
-		}
-	}
-	return out
+	return st.index.Select(func(r *Record) bool { return r.Spec.Satisfies(query) })
 }
 
 // DependentsOf returns the installed records whose DAGs contain the given
 // configuration (other than itself).
 func (st *Store) DependentsOf(s *spec.Spec) []*Record {
 	hash := s.FullHash()
-	var out []*Record
-	for _, r := range st.All() {
+	return st.index.Select(func(r *Record) bool {
 		if r.Spec.FullHash() == hash {
-			continue
+			return false
 		}
 		found := false
 		r.Spec.Traverse(func(n *spec.Spec) bool {
@@ -328,11 +408,8 @@ func (st *Store) DependentsOf(s *spec.Spec) []*Record {
 			}
 			return true
 		})
-		if found {
-			out = append(out, r)
-		}
-	}
-	return out
+		return found
+	})
 }
 
 // UninstallError reports a refused or failed uninstall.
@@ -353,9 +430,8 @@ func (e *UninstallError) Error() string {
 // Uninstall removes an installed configuration. It refuses when other
 // installed specs depend on it, unless force is set.
 func (st *Store) Uninstall(s *spec.Spec, force bool) error {
-	st.mu.Lock()
-	r, ok := st.installed[s.FullHash()]
-	st.mu.Unlock()
+	hash := s.FullHash()
+	r, ok := st.index.Lookup(hash)
 	if !ok {
 		return &UninstallError{Spec: s.String(), Err: fmt.Errorf("not installed")}
 	}
@@ -374,15 +450,13 @@ func (st *Store) Uninstall(s *spec.Spec, force bool) error {
 			return &UninstallError{Spec: s.String(), Err: err}
 		}
 	}
-	st.mu.Lock()
-	delete(st.installed, s.FullHash())
-	st.mu.Unlock()
+	st.index.Remove(hash)
 	return nil
 }
 
 // Len reports how many configurations are installed.
 func (st *Store) Len() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return len(st.installed)
+	return st.index.Len()
 }
+
+var _ Querier = (*Store)(nil)

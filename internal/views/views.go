@@ -101,14 +101,14 @@ func (m *Manager) prefer(a, b *store.Record) bool {
 
 // Compute maps every installed record through every matching rule and
 // resolves conflicts, returning the final link set sorted by path. It does
-// not touch the filesystem.
-func (m *Manager) Compute(st *store.Store) []Link {
+// not touch the filesystem. One snapshot is taken from the store (via the
+// Querier seam) and reused across rules, instead of copying the whole
+// index once per rule.
+func (m *Manager) Compute(st store.Querier) []Link {
+	recs := st.Select(func(r *store.Record) bool { return !r.Spec.External })
 	best := make(map[string]*store.Record)
 	for _, rule := range m.Config.LinkRules() {
-		for _, rec := range st.All() {
-			if rec.Spec.External {
-				continue
-			}
+		for _, rec := range recs {
 			if rule.Constraint != nil && !rec.Spec.Satisfies(rule.Constraint) {
 				continue
 			}
@@ -129,7 +129,7 @@ func (m *Manager) Compute(st *store.Store) []Link {
 // Refresh synchronizes the filesystem with the computed link set: stale
 // managed links are removed, new ones created, changed ones retargeted
 // (the automatic update on install/removal of §4.3.1).
-func (m *Manager) Refresh(st *store.Store) ([]Link, error) {
+func (m *Manager) Refresh(st store.Querier) ([]Link, error) {
 	desired := m.Compute(st)
 	want := make(map[string]Link, len(desired))
 	for _, l := range desired {
