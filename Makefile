@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench bench-concretize bench-store experiments examples vet clean
+.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-check experiments examples vet clean
 
 all: vet test
 
@@ -34,6 +34,21 @@ bench-store:
 		| go run ./cmd/benchjson -o BENCH_store.json
 	cat BENCH_store.json
 
+# Binary-cache benchmarks: the 47-package ARES stack installed from
+# source vs. pulled from a seeded cache at Jobs=8, rendered to
+# BENCH_buildcache.json with the derived cached-install speedup.
+bench-buildcache:
+	go test -run '^$$' -bench 'BuildcacheARES' -benchmem . \
+		| tee bench_buildcache.txt \
+		| go run ./cmd/benchjson -o BENCH_buildcache.json
+	cat BENCH_buildcache.json
+
+# Regression gate: every committed benchmark report must clear its
+# declared acceptance bar (warm concretize ≥10x, sharded store ≥2x at 8
+# workers, cached ARES install ≥5x).
+bench-check:
+	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json
+
 experiments:
 	go run ./cmd/experiments -all
 
@@ -45,4 +60,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// bar is one acceptance bar a benchmark suite declares: a derived metric
+// that must stay at or above its floor. CI runs `benchjson -check` over
+// every BENCH_*.json so a regression that erodes a speedup fails the
+// build instead of rotting silently.
+type bar struct {
+	key string
+	min float64
+}
+
+// bars lists every known acceptance bar. A report is matched by whichever
+// keys its Derived map carries; a report carrying none of them fails the
+// check outright — a bench suite without a bar is not a quality gate.
+var bars = []bar{
+	// Concretizer memo cache: warm Fig. 8 sweep ≥10x over cold.
+	{"fig8_warm_cache_speedup", 10},
+	// Sharded store index: ≥2x over the single mutex at 8 workers.
+	{"store_sharded_speedup_w8", 2},
+	// Binary cache: cached ARES install ≥5x faster (simulated install
+	// time) than building from source at Jobs=8.
+	{"buildcache_speedup_j8", 5},
+}
+
+// checkReport evaluates one parsed report against the declared bars,
+// returning human-readable pass lines and failures.
+func checkReport(name string, rep *Report) (passes, failures []string) {
+	matched := false
+	for _, b := range bars {
+		v, ok := rep.Derived[b.key]
+		if !ok {
+			continue
+		}
+		matched = true
+		if v < b.min {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s = %.2f, below the %.0fx bar", name, b.key, v, b.min))
+			continue
+		}
+		passes = append(passes,
+			fmt.Sprintf("%s: %s = %.2f (bar %.0fx)", name, b.key, v, b.min))
+	}
+	if !matched {
+		known := make([]string, len(bars))
+		for i, b := range bars {
+			known[i] = b.key
+		}
+		failures = append(failures,
+			fmt.Sprintf("%s: no known acceptance bar among derived metrics (want one of %s)",
+				name, strings.Join(known, ", ")))
+	}
+	return passes, failures
+}
+
+// runCheck loads each JSON report and fails if any declared bar is
+// missed (or a report declares none).
+func runCheck(files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("-check needs at least one BENCH_*.json file")
+	}
+	var failures []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		passes, fails := checkReport(file, &rep)
+		for _, p := range passes {
+			fmt.Println("ok  ", p)
+		}
+		failures = append(failures, fails...)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d bar(s) missed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(derived map[string]float64) *Report {
+	return &Report{Derived: derived}
+}
+
+func TestCheckReportPassesAtOrAboveBar(t *testing.T) {
+	passes, fails := checkReport("x.json", report(map[string]float64{
+		"fig8_warm_cache_speedup": 10.0, // exactly at the bar
+		"buildcache_speedup_j8":   96.5,
+	}))
+	if len(fails) != 0 {
+		t.Fatalf("failures = %v", fails)
+	}
+	if len(passes) != 2 {
+		t.Fatalf("passes = %v, want 2 lines", passes)
+	}
+}
+
+func TestCheckReportFailsBelowBar(t *testing.T) {
+	_, fails := checkReport("x.json", report(map[string]float64{
+		"store_sharded_speedup_w8": 1.4,
+	}))
+	if len(fails) != 1 {
+		t.Fatalf("failures = %v, want 1", fails)
+	}
+}
+
+func TestCheckReportRequiresAKnownBar(t *testing.T) {
+	_, fails := checkReport("x.json", report(map[string]float64{
+		"some_other_metric": 99,
+	}))
+	if len(fails) != 1 {
+		t.Fatalf("a report without a known bar must fail: %v", fails)
+	}
+	_, fails = checkReport("x.json", report(nil))
+	if len(fails) != 1 {
+		t.Fatalf("a report without derived metrics must fail: %v", fails)
+	}
+}
+
+func TestCheckReportMixedBars(t *testing.T) {
+	_, fails := checkReport("x.json", report(map[string]float64{
+		"fig8_warm_cache_speedup": 55,
+		"buildcache_speedup_j8":   2.5, // below its 5x bar
+	}))
+	if len(fails) != 1 {
+		t.Fatalf("failures = %v, want only the missed bar", fails)
+	}
+}
+
+func TestRunCheckOnFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", report(map[string]float64{"buildcache_speedup_j8": 40}))
+	bad := write("bad.json", report(map[string]float64{"buildcache_speedup_j8": 3}))
+
+	if err := runCheck([]string{good}); err != nil {
+		t.Errorf("passing report failed: %v", err)
+	}
+	if err := runCheck([]string{good, bad}); err == nil {
+		t.Error("missed bar did not fail the check")
+	}
+	if err := runCheck(nil); err == nil {
+		t.Error("no files should be an error")
+	}
+	if err := runCheck([]string{filepath.Join(dir, "absent.json")}); err == nil {
+		t.Error("unreadable file should be an error")
+	}
+}
+
+func TestDeriveBuildcacheSpeedup(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkBuildcacheARES/source/j8",
+			Metrics: map[string]float64{"ns/op": 40e6, "virtual-sec": 6.0}},
+		{Name: "BenchmarkBuildcacheARES/cached/j8",
+			Metrics: map[string]float64{"ns/op": 32e6, "virtual-sec": 0.06}},
+	}
+	d := derive(benches)
+	if got := d["buildcache_speedup_j8"]; got != 100 {
+		t.Errorf("buildcache_speedup_j8 = %v, want 100", got)
+	}
+	if got := d["buildcache_real_speedup_j8"]; got != 1.25 {
+		t.Errorf("buildcache_real_speedup_j8 = %v, want 1.25", got)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	b, procs, ok := parseLine("BenchmarkBuildcacheARES/cached/j8-8 \t 3\t  33796699 ns/op\t 47.00 dag-nodes\t 0.058 virtual-sec")
+	if !ok {
+		t.Fatal("parseLine failed")
+	}
+	if b.Name != "BenchmarkBuildcacheARES/cached/j8" || procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, procs)
+	}
+	if b.Metrics["virtual-sec"] != 0.058 || b.Metrics["dag-nodes"] != 47 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+}

@@ -44,7 +44,16 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	check := flag.Bool("check", false,
+		"check mode: treat arguments as BENCH_*.json reports and fail if any declared acceptance bar is missed")
 	flag.Parse()
+
+	if *check {
+		if err := runCheck(flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	rep := Report{Date: time.Now().UTC().Format(time.RFC3339)}
 	sc := bufio.NewScanner(os.Stdin)
@@ -120,14 +129,15 @@ func parseLine(line string) (Benchmark, int, bool) {
 
 // derive computes cross-benchmark figures of merit.
 func derive(benchmarks []Benchmark) map[string]float64 {
-	ns := func(name string) float64 {
+	metric := func(name, unit string) float64 {
 		for _, b := range benchmarks {
 			if b.Name == name {
-				return b.Metrics["ns/op"]
+				return b.Metrics[unit]
 			}
 		}
 		return 0
 	}
+	ns := func(name string) float64 { return metric(name, "ns/op") }
 	d := map[string]float64{}
 	cold := ns("BenchmarkFig8ConcretizeAll")
 	if warm := ns("BenchmarkFig8ConcretizeAllWarm"); cold > 0 && warm > 0 {
@@ -149,6 +159,20 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 		if mutex > 0 && sharded > 0 {
 			d[fmt.Sprintf("store_lookup_speedup_w%d", w)] = mutex / sharded
 		}
+	}
+	// Binary cache: cached ARES install vs. from-source at Jobs=8. The
+	// headline speedup compares simulated install time (the virtual-sec
+	// metric, as in Fig. 10) — what a user's install wall clock would do;
+	// the real-time ratio of the simulator itself rides along as context.
+	srcV := metric("BenchmarkBuildcacheARES/source/j8", "virtual-sec")
+	cachedV := metric("BenchmarkBuildcacheARES/cached/j8", "virtual-sec")
+	if srcV > 0 && cachedV > 0 {
+		d["buildcache_speedup_j8"] = srcV / cachedV
+	}
+	srcNs := ns("BenchmarkBuildcacheARES/source/j8")
+	cachedNs := ns("BenchmarkBuildcacheARES/cached/j8")
+	if srcNs > 0 && cachedNs > 0 {
+		d["buildcache_real_speedup_j8"] = srcNs / cachedNs
 	}
 	if len(d) == 0 {
 		return nil

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/ares"
+	"repro/internal/build"
 	"repro/internal/core"
 	"repro/internal/modules"
 	"repro/internal/repo"
@@ -44,6 +45,10 @@ commands:
   diff <specA> <specB>   compare two concretized configurations
   lmod <spec>...         install specs and generate an Lmod hierarchy
   table1 <spec>          render a concretized spec under each site layout
+  buildcache push <spec>...   install specs and pack them as binary archives
+  buildcache pull <spec>...   install specs from binary archives only
+  buildcache list             list cached binary archives
+  buildcache keys             print archive SHA-256 checksums
 
 flags:
 `)
@@ -52,13 +57,15 @@ flags:
 
 func main() {
 	var (
-		flagNFS      = flag.Bool("nfs-stage", false, "stage builds on the NFS latency profile")
-		flagNoWrap   = flag.Bool("no-wrappers", false, "disable compiler wrappers")
-		flagJobs     = flag.Int("jobs", 4, "parallel build jobs")
-		flagAres     = flag.Bool("ares", true, "include the llnl.ares site repository")
-		flagSynth    = flag.Int("synthesize", 0, "add N synthetic packages to the repository")
-		flagProvider = flag.String("mpi-provider", "", "preferred MPI provider (site policy)")
-		flagCache    = flag.String("concretize-cache", "", "persist the concretization memo cache to this file across invocations")
+		flagNFS       = flag.Bool("nfs-stage", false, "stage builds on the NFS latency profile")
+		flagNoWrap    = flag.Bool("no-wrappers", false, "disable compiler wrappers")
+		flagJobs      = flag.Int("jobs", 4, "parallel build jobs")
+		flagAres      = flag.Bool("ares", true, "include the llnl.ares site repository")
+		flagSynth     = flag.Int("synthesize", 0, "add N synthetic packages to the repository")
+		flagProvider  = flag.String("mpi-provider", "", "preferred MPI provider (site policy)")
+		flagCache     = flag.String("concretize-cache", "", "persist the concretization memo cache to this file across invocations")
+		flagNoBinary  = flag.Bool("no-cache", false, "never install from the binary build cache")
+		flagOnlyCache = flag.Bool("cache-only", false, "install from the binary build cache only; never build from source")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -75,6 +82,15 @@ func main() {
 		opts = append(opts, core.WithoutWrappers())
 	}
 	opts = append(opts, core.WithJobs(*flagJobs))
+	if *flagNoBinary && *flagOnlyCache {
+		fatal(fmt.Errorf("-no-cache and -cache-only are mutually exclusive"))
+	}
+	if *flagNoBinary {
+		opts = append(opts, core.WithCachePolicy(build.CacheNever))
+	}
+	if *flagOnlyCache {
+		opts = append(opts, core.WithCachePolicy(build.CacheOnly))
+	}
 	if *flagAres {
 		opts = append(opts, core.WithRepos(ares.Repo()))
 	}
@@ -150,6 +166,8 @@ func run(w io.Writer, s *core.Spack, cmd string, args []string) error {
 		return cmdLmod(w, s, args)
 	case "table1":
 		return cmdTable1(w, s, args)
+	case "buildcache":
+		return cmdBuildcache(w, s, args)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -192,12 +210,18 @@ func cmdInstall(w io.Writer, s *core.Spack, args []string) error {
 		for _, n := range res.Root.TopoOrder() {
 			rep := res.Report(n.Name)
 			status := "built"
-			if rep.Reused {
+			if rep.FromCache {
+				status = "cached"
+			} else if rep.Reused {
 				status = "reused"
 			} else if n.External {
 				status = "external"
 			}
 			fmt.Fprintf(w, "    %-8s %-14s %s\n", status, n.Name, rep.Prefix)
+		}
+		if res.CacheHits+res.CacheMisses+res.CacheFallbacks > 0 {
+			fmt.Fprintf(w, "    buildcache: %d hits, %d misses, %d fallbacks\n",
+				res.CacheHits, res.CacheMisses, res.CacheFallbacks)
 		}
 	}
 	return nil
@@ -474,6 +498,90 @@ func cmdLmod(w io.Writer, s *core.Spack, args []string) error {
 		fmt.Fprintf(w, "    %s\n", p)
 	}
 	return nil
+}
+
+func cmdBuildcache(w io.Writer, s *core.Spack, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("buildcache needs a subcommand: push, pull, list, or keys")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "push":
+		if len(rest) == 0 {
+			return fmt.Errorf("buildcache push needs at least one spec")
+		}
+		for _, expr := range rest {
+			res, err := s.Install(expr)
+			if err != nil {
+				return err
+			}
+			entries, err := s.BuildCache.PushDAG(s.Store, res.Root)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "==> pushed %d archives for %s\n", len(entries), expr)
+			for _, e := range entries {
+				fmt.Fprintf(w, "    %-14s @%-8s %s  sha256=%s (%d files)\n",
+					e.Package, e.Version, e.FullHash[:8], e.Checksum[:8], e.Files)
+			}
+		}
+		return nil
+	case "pull":
+		if len(rest) == 0 {
+			return fmt.Errorf("buildcache pull needs at least one spec")
+		}
+		for _, expr := range rest {
+			concrete, err := s.Spec(expr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "==> pulling %s (%d packages)\n", expr, concrete.Size())
+			for _, n := range concrete.TopoOrder() {
+				if n.External {
+					fmt.Fprintf(w, "    external %-14s %s\n", n.Name, n.Path)
+					continue
+				}
+				pr, err := s.BuildCache.Pull(s.Store, n, n == concrete)
+				if err != nil {
+					return err
+				}
+				status := "pulled"
+				if !pr.Ran {
+					status = "present"
+				}
+				fmt.Fprintf(w, "    %-8s %-14s %s\n", status, n.Name, pr.Record.Prefix)
+			}
+		}
+		return nil
+	case "list":
+		entries, err := s.BuildCache.List()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "==> %d cached archives\n", len(entries))
+		for _, e := range entries {
+			fmt.Fprintf(w, "    %-14s @%-8s %s (%d files)\n",
+				e.Package, e.Version, e.FullHash[:8], e.Files)
+		}
+		return nil
+	case "keys":
+		keys, err := s.BuildCache.Keys()
+		if err != nil {
+			return err
+		}
+		hashes := make([]string, 0, len(keys))
+		for h := range keys {
+			hashes = append(hashes, h)
+		}
+		sort.Strings(hashes)
+		fmt.Fprintf(w, "==> %d archive checksums\n", len(hashes))
+		for _, h := range hashes {
+			fmt.Fprintf(w, "    %s  sha256=%s\n", h[:8], keys[h])
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown buildcache subcommand %q (want push, pull, list, or keys)", sub)
+	}
 }
 
 func cmdTable1(w io.Writer, s *core.Spack, args []string) error {

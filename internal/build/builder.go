@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildcache"
 	"repro/internal/buildenv"
 	"repro/internal/compiler"
 	"repro/internal/config"
@@ -26,6 +27,33 @@ import (
 	"repro/internal/store"
 )
 
+// CachePolicy selects how Build consults the binary build cache.
+type CachePolicy int
+
+const (
+	// CacheAuto (the default) installs from the cache when an archive
+	// exists and falls back to a source build on miss, checksum mismatch,
+	// or relocation failure — per node, so a stale cache degrades
+	// gracefully instead of failing the DAG.
+	CacheAuto CachePolicy = iota
+	// CacheNever ignores the cache entirely (`spack-go install -no-cache`).
+	CacheNever
+	// CacheOnly refuses to build from source: any node whose archive is
+	// missing or unusable fails the build (`-cache-only`).
+	CacheOnly
+)
+
+func (p CachePolicy) String() string {
+	switch p {
+	case CacheNever:
+		return "never"
+	case CacheOnly:
+		return "only"
+	default:
+		return "auto"
+	}
+}
+
 // Builder drives installs of concrete DAGs into one store.
 type Builder struct {
 	Store     *store.Store
@@ -35,6 +63,11 @@ type Builder struct {
 	// Mirror serves source archives; nil means archives are synthesized
 	// locally without a fetch (offline source cache).
 	Mirror *fetch.Mirror
+	// Cache is the binary build cache; nil disables the install-from-
+	// binary fast path entirely.
+	Cache *buildcache.Cache
+	// CachePolicy governs the cache-first path when Cache is set.
+	CachePolicy CachePolicy
 	// Config supplies architecture descriptions (configure args, wrapper
 	// flags) when set.
 	Config *config.Config
@@ -173,6 +206,15 @@ func (b *Builder) Build(root *spec.Spec) (*Result, error) {
 	for name, rep := range reports {
 		durations[name] = rep.Time
 		res.TotalTime += rep.Time
+		if rep.FromCache {
+			res.CacheHits++
+		}
+		if rep.CacheMissed {
+			res.CacheMisses++
+		}
+		if rep.CacheFallback != "" {
+			res.CacheFallbacks++
+		}
 	}
 	res.WallTime = scheduleMakespan(nodes, durations, jobs)
 	return res, nil
@@ -260,6 +302,41 @@ func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
 		return &Report{Name: n.Name, Prefix: rec.Prefix, External: true}, nil
 	}
 
+	// Binary-cache fast path (§3.4.2's shareable prefixes as Spack
+	// buildcaches use them): a node whose full hash is archived installs
+	// by checksum-verified relocation instead of fetch/stage/compile.
+	// Failures degrade per node — the source path below still runs.
+	cacheFallback := ""
+	cacheMissed := false
+	if b.Cache != nil && b.CachePolicy != CacheNever {
+		if b.Cache.Has(n.FullHash()) {
+			pr, err := b.Cache.Pull(b.Store, n, explicit)
+			if err == nil {
+				rep := &Report{
+					Name: n.Name, Prefix: pr.Record.Prefix,
+					FromCache: true, Time: pr.Time,
+				}
+				if !pr.Ran {
+					// A concurrent installer of this hash led through the
+					// store's singleflight; we shared its record.
+					rep.Reused = true
+					rep.Time = 0
+				}
+				return rep, nil
+			}
+			if b.CachePolicy == CacheOnly {
+				return nil, &Error{Pkg: n.Name, Phase: "cache", Err: err}
+			}
+			cacheFallback = err.Error()
+		} else {
+			if b.CachePolicy == CacheOnly {
+				return nil, &Error{Pkg: n.Name, Phase: "cache",
+					Err: fmt.Errorf("no binary archive for hash %s and cache-only is set", n.FullHash())}
+			}
+			cacheMissed = true
+		}
+	}
+
 	def, _, ok := b.Repos.Get(n.Name)
 	if !ok {
 		return nil, &Error{Pkg: n.Name, Phase: "deps", Err: fmt.Errorf("unknown package")}
@@ -322,6 +399,8 @@ func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
 		Fetched:         fetched,
 		WrapperOverhead: ctx.wrappers.TotalOverhead(),
 		Commands:        ctx.commands,
+		CacheMissed:     cacheMissed,
+		CacheFallback:   cacheFallback,
 	}
 	if !ran {
 		// A concurrent Build on the same store led the install of this

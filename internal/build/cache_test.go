@@ -1,0 +1,161 @@
+package build
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/buildcache"
+	"repro/internal/fetch"
+)
+
+// seedCache builds expr on a throwaway machine and returns a cache
+// holding its full DAG.
+func seedCache(t *testing.T, expr string) *buildcache.Cache {
+	t.Helper()
+	b, c := newTestBuilder(t)
+	concrete := concretizeExpr(t, c, expr)
+	if _, err := b.Build(concrete); err != nil {
+		t.Fatal(err)
+	}
+	cache := buildcache.New(buildcache.NewMirrorBackend(fetch.NewMirror()))
+	if _, err := cache.PushDAG(b.Store, concrete); err != nil {
+		t.Fatal(err)
+	}
+	return cache
+}
+
+func TestBuildFromCacheCountsHits(t *testing.T) {
+	cache := seedCache(t, "libdwarf")
+	b, c := newTestBuilder(t)
+	b.Cache = cache
+	res, err := b.Build(concretizeExpr(t, c, "libdwarf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 2 || res.CacheMisses != 0 || res.CacheFallbacks != 0 {
+		t.Fatalf("cache counters = %d/%d/%d (hits/misses/fallbacks), want 2/0/0",
+			res.CacheHits, res.CacheMisses, res.CacheFallbacks)
+	}
+	for _, name := range []string{"libelf", "libdwarf"} {
+		rep := res.Report(name)
+		if !rep.FromCache {
+			t.Errorf("%s not marked FromCache", name)
+		}
+		if rep.Fetched {
+			t.Errorf("%s fetched a source archive despite the cache hit", name)
+		}
+		if rep.Time == 0 {
+			t.Errorf("%s has zero virtual time; relocation should be charged", name)
+		}
+	}
+}
+
+func TestBuildEmptyCacheCountsMisses(t *testing.T) {
+	b, c := newTestBuilder(t)
+	b.Cache = buildcache.New(buildcache.NewMirrorBackend(fetch.NewMirror()))
+	res, err := b.Build(concretizeExpr(t, c, "libdwarf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 2 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 0/2", res.CacheHits, res.CacheMisses)
+	}
+	if rep := res.Report("libdwarf"); !rep.CacheMissed || rep.FromCache {
+		t.Errorf("report = {CacheMissed:%v FromCache:%v}, want a recorded miss", rep.CacheMissed, rep.FromCache)
+	}
+}
+
+func TestCacheNeverSkipsCacheEntirely(t *testing.T) {
+	cache := seedCache(t, "libelf")
+	b, c := newTestBuilder(t)
+	b.Cache = cache
+	b.CachePolicy = CacheNever
+	res, err := b.Build(concretizeExpr(t, c, "libelf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 0 || res.CacheFallbacks != 0 {
+		t.Fatalf("CacheNever consulted the cache: %d/%d/%d",
+			res.CacheHits, res.CacheMisses, res.CacheFallbacks)
+	}
+	if res.Report("libelf").FromCache {
+		t.Error("CacheNever installed from cache")
+	}
+}
+
+func TestCacheOnlyMissIsBuildError(t *testing.T) {
+	b, c := newTestBuilder(t)
+	b.Cache = buildcache.New(buildcache.NewMirrorBackend(fetch.NewMirror()))
+	b.CachePolicy = CacheOnly
+	_, err := b.Build(concretizeExpr(t, c, "libelf"))
+	var be *Error
+	if !errors.As(err, &be) || be.Phase != "cache" {
+		t.Fatalf("err = %v, want a build error in the cache phase", err)
+	}
+}
+
+func TestCorruptCacheEntryFallsBackToSource(t *testing.T) {
+	// Seed a cache, then corrupt every archive: the builder must fall
+	// back to a source build per node, never fail the install.
+	b0, c0 := newTestBuilder(t)
+	concrete0 := concretizeExpr(t, c0, "libdwarf")
+	if _, err := b0.Build(concrete0); err != nil {
+		t.Fatal(err)
+	}
+	mirror := fetch.NewMirror()
+	cache := buildcache.New(buildcache.NewMirrorBackend(mirror))
+	if _, err := cache.PushDAG(b0.Store, concrete0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range mirror.Blobs() {
+		if !strings.HasSuffix(name, ".spack.json") {
+			continue
+		}
+		data, _ := mirror.Blob(name)
+		data[0] ^= 0xff
+		mirror.PutBlob(name, data)
+	}
+
+	b, c := newTestBuilder(t)
+	b.Cache = cache
+	res, err := b.Build(concretizeExpr(t, c, "libdwarf"))
+	if err != nil {
+		t.Fatalf("corrupt cache must not fail the install: %v", err)
+	}
+	if res.CacheFallbacks != 2 || res.CacheHits != 0 {
+		t.Fatalf("counters = %d hits / %d fallbacks, want 0/2", res.CacheHits, res.CacheFallbacks)
+	}
+	rep := res.Report("libdwarf")
+	if rep.FromCache {
+		t.Error("corrupt entry reported as cache hit")
+	}
+	if !strings.Contains(rep.CacheFallback, "checksum") {
+		t.Errorf("fallback reason %q does not name the checksum failure", rep.CacheFallback)
+	}
+	if _, ok := b.Store.Lookup(concretizeExpr(t, c, "libdwarf")); !ok {
+		t.Error("fallback build did not install")
+	}
+}
+
+func TestCacheOnlyPullsWholeDAG(t *testing.T) {
+	cache := seedCache(t, "libdwarf")
+	b, c := newTestBuilder(t)
+	b.Cache = cache
+	b.CachePolicy = CacheOnly
+	res, err := b.Build(concretizeExpr(t, c, "libdwarf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 2 {
+		t.Fatalf("CacheHits = %d, want 2", res.CacheHits)
+	}
+}
+
+func TestCachePolicyString(t *testing.T) {
+	for p, want := range map[CachePolicy]string{CacheAuto: "auto", CacheNever: "never", CacheOnly: "only"} {
+		if got := p.String(); got != want {
+			t.Errorf("CachePolicy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -28,6 +28,16 @@ type Report struct {
 	Order int
 	// WrapperOverhead is the portion of Time spent in compiler wrappers.
 	WrapperOverhead time.Duration
+	// FromCache marks nodes installed from the binary build cache:
+	// checksum-verified relocation instead of fetch/stage/compile.
+	FromCache bool
+	// CacheMissed reports that the binary cache was consulted and had no
+	// archive for this node's hash (the node then built from source).
+	CacheMissed bool
+	// CacheFallback is the reason a present cache entry could not be
+	// used (checksum mismatch, relocation failure, …); the node then
+	// built from source. Empty when the cache worked or was not tried.
+	CacheFallback string
 	// Commands holds the representative rewritten command lines of the
 	// build (configure, first compile, link, install), as recorded in the
 	// prefix's build log.
@@ -45,6 +55,14 @@ type Result struct {
 	TotalTime time.Duration
 	// Jobs echoes the parallelism the result was computed with.
 	Jobs int
+	// CacheHits counts nodes installed from the binary build cache;
+	// CacheMisses counts nodes the cache was consulted for but had no
+	// archive; CacheFallbacks counts nodes whose archive existed but
+	// could not be used (corruption, relocation failure) and that built
+	// from source instead. All zero when no cache is configured.
+	CacheHits      int
+	CacheMisses    int
+	CacheFallbacks int
 }
 
 // Report returns the report for a package name; a zero-valued report (not

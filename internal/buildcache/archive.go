@@ -1,0 +1,183 @@
+package buildcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"strings"
+)
+
+// archiveFormatVersion is bumped whenever the serialized archive layout
+// changes incompatibly; Pull refuses archives from other versions.
+const archiveFormatVersion = 1
+
+// archiveFile is one packed file or symlink of an install prefix. Paths
+// are relative to the prefix; Data round-trips through base64 in JSON.
+type archiveFile struct {
+	Path    string `json:"path"`
+	Symlink string `json:"symlink,omitempty"`
+	Data    []byte `json:"data,omitempty"`
+}
+
+// archiveReloc is the relocation table entry for one packed file: how
+// many occurrences of each source path (store root, own prefix, each
+// dependency prefix) its contents carry. Pull re-counts while rewriting
+// and treats any disagreement as a relocation failure — the archive was
+// packed against a different tree than it claims.
+type archiveReloc struct {
+	Path        string         `json:"path"`
+	Occurrences map[string]int `json:"occurrences"`
+}
+
+// Archive is the deterministic relocatable form of one installed prefix:
+// a manifest of files, the full concrete spec as provenance, the recorded
+// compiler command lines of the original build, and a relocation table of
+// every path occurrence that must be rewritten on Pull.
+type Archive struct {
+	Format   int    `json:"format"`
+	Package  string `json:"package"`
+	Version  string `json:"version"`
+	FullHash string `json:"full_hash"`
+	// Spec is the flat rendering for human readers; SpecJSON preserves
+	// the exact DAG edge structure so the hash survives the round trip.
+	Spec     string          `json:"spec"`
+	SpecJSON json.RawMessage `json:"spec_json"`
+	// StoreRoot and Prefix are the paths of the *source* store the
+	// archive was packed from; DepPrefixes maps each dependency's package
+	// name to its source prefix. Together they define the relocation
+	// sources.
+	StoreRoot   string            `json:"store_root"`
+	Prefix      string            `json:"prefix"`
+	DepPrefixes map[string]string `json:"dep_prefixes,omitempty"`
+	// Commands are the compiler command lines recorded in the original
+	// build log — provenance for how the binaries were produced, and the
+	// source of the expected rpath set.
+	Commands    []string       `json:"commands,omitempty"`
+	Files       []archiveFile  `json:"files"`
+	Relocations []archiveReloc `json:"relocations,omitempty"`
+}
+
+// encode renders the canonical archive bytes the checksum covers.
+func (a *Archive) encode() ([]byte, error) {
+	return json.MarshalIndent(a, "", " ")
+}
+
+// checksumOf is the cache's integrity hash over canonical archive bytes.
+func checksumOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ChecksumOf exposes the cache's integrity hash (hex SHA-256 over the
+// canonical archive bytes) for tools that verify or re-sign archives.
+func ChecksumOf(data []byte) string { return checksumOf(data) }
+
+// archiveName and checksumName are the backend object names for a full
+// spec hash. The checksum rides separately so verification does not
+// require parsing a possibly-corrupt archive.
+func archiveName(hash string) string  { return hash + ".spack.json" }
+func checksumName(hash string) string { return hash + ".sha256" }
+
+// reloc is one source→target path rewrite.
+type reloc struct{ from, to string }
+
+// relocTable orders rewrites longest-source-first so nested paths (a
+// dependency prefix inside the store root) are matched before their
+// parents — replacing the root first would corrupt every prefix
+// occurrence under it.
+func relocTable(pairs map[string]string) []reloc {
+	out := make([]reloc, 0, len(pairs))
+	for from, to := range pairs {
+		out = append(out, reloc{from: from, to: to})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].from) != len(out[j].from) {
+			return len(out[i].from) > len(out[j].from)
+		}
+		return out[i].from < out[j].from
+	})
+	return out
+}
+
+// relocateBytes rewrites every occurrence of the table's source paths in
+// one pass (leftmost match, longest source wins) and returns the result
+// plus per-source occurrence counts. Push uses it with an identity
+// mapping to record the counts; Pull uses it with the real mapping and
+// compares against the recorded table.
+func relocateBytes(data []byte, table []reloc) ([]byte, map[string]int) {
+	counts := make(map[string]int)
+	if len(table) == 0 {
+		return data, counts
+	}
+	// Fast path: no source occurs at all (bulk data files).
+	s := string(data)
+	any := false
+	for _, r := range table {
+		if strings.Contains(s, r.from) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return data, counts
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		matched := false
+		for _, r := range table {
+			if strings.HasPrefix(s[i:], r.from) {
+				b.WriteString(r.to)
+				counts[r.from]++
+				i += len(r.from)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return []byte(b.String()), counts
+}
+
+// relocateString rewrites a single string (symlink targets).
+func relocateString(s string, table []reloc) string {
+	out, _ := relocateBytes([]byte(s), table)
+	return string(out)
+}
+
+// countsEqual compares a re-count against the recorded table, ignoring
+// zero entries on either side.
+func countsEqual(got, want map[string]int) bool {
+	for k, v := range want {
+		if v != 0 && got[k] != v {
+			return false
+		}
+	}
+	for k, v := range got {
+		if v != 0 && want[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// parseBuildCommands extracts the recorded command lines from a
+// provenance build log (the "==> commands" section of .spack/build.out).
+func parseBuildCommands(log []byte) []string {
+	var out []string
+	in := false
+	for _, line := range strings.Split(string(log), "\n") {
+		if strings.HasPrefix(line, "==>") {
+			in = strings.TrimSpace(line) == "==> commands"
+			continue
+		}
+		if in && line != "" {
+			out = append(out, line)
+		}
+	}
+	return out
+}

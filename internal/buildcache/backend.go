@@ -1,0 +1,113 @@
+package buildcache
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/fetch"
+	"repro/internal/simfs"
+)
+
+// Backend is the byte transport a binary cache stores archives in. Put
+// must be atomic with respect to Get: a reader never observes a torn
+// payload. Names are flat (no directories).
+type Backend interface {
+	// Put stores (or replaces) a named payload.
+	Put(name string, data []byte) error
+	// Get returns a payload, reporting whether the name exists.
+	Get(name string) ([]byte, bool, error)
+	// List returns the stored names, sorted.
+	List() ([]string, error)
+}
+
+// MirrorBackend stores cache archives as blobs on a fetch.Mirror — the
+// shared-mirror deployment, where one site pushes and many pull.
+type MirrorBackend struct {
+	Mirror *fetch.Mirror
+}
+
+// NewMirrorBackend wraps a mirror as a cache transport.
+func NewMirrorBackend(m *fetch.Mirror) *MirrorBackend { return &MirrorBackend{Mirror: m} }
+
+func (b *MirrorBackend) Put(name string, data []byte) error {
+	b.Mirror.PutBlob(blobPrefix+name, data)
+	return nil
+}
+
+func (b *MirrorBackend) Get(name string) ([]byte, bool, error) {
+	data, ok := b.Mirror.Blob(blobPrefix + name)
+	return data, ok, nil
+}
+
+func (b *MirrorBackend) List() ([]string, error) {
+	var out []string
+	for _, name := range b.Mirror.Blobs() {
+		if rest, ok := strings.CutPrefix(name, blobPrefix); ok {
+			out = append(out, rest)
+		}
+	}
+	return out, nil
+}
+
+// blobPrefix namespaces cache archives among the mirror's blobs, the way
+// real Spack mirrors keep binaries under build_cache/.
+const blobPrefix = "build_cache/"
+
+// FSBackend stores cache archives as files in a directory of a simulated
+// filesystem — the file:// mirror deployment. Writes are temp + rename so
+// a crash mid-Put never leaves a truncated archive at the final name.
+type FSBackend struct {
+	FS   *simfs.FS
+	Root string
+
+	tmpSeq uint64
+}
+
+// NewFSBackend creates the directory (and parents) eagerly so later Puts
+// only pay the file writes.
+func NewFSBackend(fs *simfs.FS, root string) (*FSBackend, error) {
+	root = strings.TrimSuffix(root, "/")
+	if err := fs.MkdirAll(root); err != nil {
+		return nil, err
+	}
+	return &FSBackend{FS: fs, Root: root}, nil
+}
+
+func (b *FSBackend) Put(name string, data []byte) error {
+	final := b.Root + "/" + name
+	tmp := final + ".tmp" + strconv.FormatUint(atomic.AddUint64(&b.tmpSeq, 1), 10)
+	if err := b.FS.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	if err := b.FS.Rename(tmp, final); err != nil {
+		_ = b.FS.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (b *FSBackend) Get(name string) ([]byte, bool, error) {
+	data, err := b.FS.ReadFile(b.Root + "/" + name)
+	if err != nil {
+		if ex, _ := b.FS.Stat(b.Root + "/" + name); !ex {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (b *FSBackend) List() ([]string, error) {
+	names, err := b.FS.List(b.Root)
+	if err != nil {
+		return nil, err
+	}
+	out := names[:0]
+	for _, n := range names {
+		if !strings.Contains(n, ".tmp") {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,461 @@
+// Package buildcache implements a binary build cache for the install
+// store: the payoff of §3.4.2's hashed, shareable prefixes and §3.5's
+// rpath-based isolation. Push packs an installed prefix into a
+// deterministic relocatable archive — a manifest of files, the full
+// concrete spec as provenance, the recorded compiler command lines, a
+// SHA-256 checksum, and a relocation table of every occurrence of the
+// source store root and dependency prefixes. Pull verifies the checksum,
+// rewrites prefixes and rpaths through the relocation table, and installs
+// into the target store through the store.Index seam with the same
+// singleflight/promotion discipline as a real build — so build.Builder
+// can skip fetch/stage/compile for any DAG node whose full hash is
+// already cached, the way Spack's buildcaches do.
+package buildcache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/buildenv"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/syntax"
+)
+
+// relocateFileCPU is the simulated CPU cost of scanning and rewriting one
+// archived file during Pull — tiny next to the compile time it replaces.
+const relocateFileCPU = 40 * time.Microsecond
+
+// Kind classifies cache failures so the builder can report why a node
+// fell back to a source build.
+type Kind string
+
+const (
+	// KindMissing: no archive for the hash (a plain cache miss).
+	KindMissing Kind = "missing"
+	// KindChecksum: archive bytes do not match the recorded SHA-256.
+	KindChecksum Kind = "checksum"
+	// KindManifest: the archive parsed wrong or disagrees with the spec.
+	KindManifest Kind = "manifest"
+	// KindRelocation: path rewriting did not match the relocation table.
+	KindRelocation Kind = "relocation"
+	// KindDeps: a dependency prefix needed for relocation is not
+	// installed in the target store.
+	KindDeps Kind = "deps"
+	// KindIO: the backend or target filesystem failed.
+	KindIO Kind = "io"
+)
+
+// Error reports a failed cache operation.
+type Error struct {
+	Op   string // "push" or "pull"
+	Spec string
+	Kind Kind
+	Err  error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("buildcache: %s %s: %s: %v", e.Op, e.Spec, e.Kind, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// ErrorKind extracts the failure kind from any error chain; empty when
+// the error did not come from the cache.
+func ErrorKind(err error) Kind {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Kind
+	}
+	return ""
+}
+
+// Entry summarizes one cached archive for listings.
+type Entry struct {
+	Package  string
+	Version  string
+	FullHash string
+	Checksum string
+	Files    int
+}
+
+// PullResult reports a successful Pull.
+type PullResult struct {
+	Record *store.Record
+	// Ran is false when a concurrent installer of the same hash led
+	// through the store's singleflight and this call shared its outcome.
+	Ran bool
+	// Time is the virtual time charged for unpack + relocation.
+	Time time.Duration
+	// Files is how many files and symlinks the archive carried.
+	Files int
+}
+
+// Cache is a binary build cache over a byte-transport backend (a mirror's
+// build_cache/ area or a directory tree).
+type Cache struct {
+	be Backend
+}
+
+// New creates a cache on a backend.
+func New(be Backend) *Cache { return &Cache{be: be} }
+
+// Has reports whether an archive (and its checksum) exists for a full
+// spec hash — the builder's cheap pre-check before attempting a Pull.
+func (c *Cache) Has(hash string) bool {
+	_, ok, err := c.be.Get(checksumName(hash))
+	return ok && err == nil
+}
+
+// Push packs the installed prefix of a concrete spec into a relocatable
+// archive and stores it (with its SHA-256 checksum) on the backend. The
+// spec must be installed; externals cannot be cached — their prefixes are
+// site-owned and not relocatable.
+func (c *Cache) Push(st *store.Store, s *spec.Spec) (*Entry, error) {
+	fail := func(kind Kind, err error) (*Entry, error) {
+		return nil, &Error{Op: "push", Spec: s.String(), Kind: kind, Err: err}
+	}
+	rec, ok := st.Lookup(s)
+	if !ok {
+		return fail(KindMissing, fmt.Errorf("not installed"))
+	}
+	if rec.Spec.External {
+		return fail(KindManifest, fmt.Errorf("external packages cannot be cached"))
+	}
+	v, _ := s.ConcreteVersion()
+
+	ar := &Archive{
+		Format:    archiveFormatVersion,
+		Package:   s.Name,
+		Version:   v.String(),
+		FullHash:  s.FullHash(),
+		Spec:      s.String(),
+		StoreRoot: st.Root,
+		Prefix:    rec.Prefix,
+	}
+	specJSON, err := syntax.EncodeJSON(rec.Spec)
+	if err != nil {
+		return fail(KindManifest, err)
+	}
+	ar.SpecJSON = specJSON
+
+	// Dependency prefixes, resolved from the source store — the
+	// relocation sources alongside the store root and the own prefix.
+	sources := map[string]string{rec.Prefix: rec.Prefix, st.Root: st.Root}
+	for _, dn := range s.TopoOrder() {
+		if dn.Name == s.Name {
+			continue
+		}
+		var depPrefix string
+		if dn.External {
+			depPrefix = dn.Path
+		} else if drec, ok := st.Lookup(dn); ok {
+			depPrefix = drec.Prefix
+		} else {
+			return fail(KindDeps, fmt.Errorf("dependency %s is not installed", dn.Name))
+		}
+		if ar.DepPrefixes == nil {
+			ar.DepPrefixes = make(map[string]string)
+		}
+		ar.DepPrefixes[dn.Name] = depPrefix
+		sources[depPrefix] = depPrefix
+	}
+	table := relocTable(sources) // identity mapping: we only want counts
+
+	// Pack the prefix tree and record the relocation table.
+	err = st.FS.Walk(rec.Prefix, func(p string, isLink bool) error {
+		rel := strings.TrimPrefix(p, rec.Prefix+"/")
+		if isLink {
+			target, err := st.FS.Readlink(p)
+			if err != nil {
+				return err
+			}
+			ar.Files = append(ar.Files, archiveFile{Path: rel, Symlink: target})
+			return nil
+		}
+		data, err := st.FS.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		ar.Files = append(ar.Files, archiveFile{Path: rel, Data: data})
+		if _, counts := relocateBytes(data, table); len(counts) > 0 {
+			ar.Relocations = append(ar.Relocations, archiveReloc{Path: rel, Occurrences: counts})
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(KindIO, err)
+	}
+
+	// Recorded compiler command lines, from the build log provenance.
+	if log, err := st.FS.ReadFile(rec.Prefix + "/.spack/build.out"); err == nil {
+		ar.Commands = parseBuildCommands(log)
+	}
+
+	payload, err := ar.encode()
+	if err != nil {
+		return fail(KindManifest, err)
+	}
+	sum := checksumOf(payload)
+	if err := c.be.Put(archiveName(ar.FullHash), payload); err != nil {
+		return fail(KindIO, err)
+	}
+	if err := c.be.Put(checksumName(ar.FullHash), []byte(sum+"\n")); err != nil {
+		return fail(KindIO, err)
+	}
+	return &Entry{
+		Package: ar.Package, Version: ar.Version,
+		FullHash: ar.FullHash, Checksum: sum, Files: len(ar.Files),
+	}, nil
+}
+
+// PushDAG pushes every non-external node of a concrete DAG (dependencies
+// first) and returns the entries in push order.
+func (c *Cache) PushDAG(st *store.Store, root *spec.Spec) ([]*Entry, error) {
+	var out []*Entry
+	for _, n := range root.TopoOrder() {
+		if n.External {
+			continue
+		}
+		e, err := c.Push(st, n)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Pull installs a concrete spec from the cache into a store: it verifies
+// the archive checksum, rewrites every occurrence of the source store
+// root and dependency prefixes (and with them the embedded rpaths) for
+// the target store, and installs through store.InstallFrom — the same
+// singleflight, promotion, and provenance discipline as a source build.
+// Files land via temp + rename, so an I/O failure mid-unpack leaves the
+// partially written prefix to be rolled back by the store and the index
+// untouched. The spec's dependencies must already be installed.
+func (c *Cache) Pull(st *store.Store, s *spec.Spec, explicit bool) (*PullResult, error) {
+	fail := func(kind Kind, err error) (*PullResult, error) {
+		return nil, &Error{Op: "pull", Spec: s.String(), Kind: kind, Err: err}
+	}
+	// Reuse fast path: already installed — nothing to verify or unpack.
+	if rec, ok := st.Lookup(s); ok {
+		if explicit {
+			st.MarkExplicit(s)
+		}
+		return &PullResult{Record: rec, Ran: false}, nil
+	}
+
+	hash := s.FullHash()
+	payload, ok, err := c.be.Get(archiveName(hash))
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	if !ok {
+		return fail(KindMissing, fmt.Errorf("no archive for hash %s", hash))
+	}
+	sumData, ok, err := c.be.Get(checksumName(hash))
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	if !ok {
+		return fail(KindChecksum, fmt.Errorf("archive has no checksum"))
+	}
+	want := strings.TrimSpace(string(sumData))
+	if got := checksumOf(payload); got != want {
+		return fail(KindChecksum, fmt.Errorf("archive checksum %s does not match recorded %s", got[:12], want))
+	}
+
+	var ar Archive
+	if err := json.Unmarshal(payload, &ar); err != nil {
+		return fail(KindManifest, fmt.Errorf("corrupt archive: %w", err))
+	}
+	if ar.Format != archiveFormatVersion {
+		return fail(KindManifest, fmt.Errorf("archive format %d not supported", ar.Format))
+	}
+	if ar.FullHash != hash || ar.Package != s.Name {
+		return fail(KindManifest, fmt.Errorf("archive is for %s/%s, want %s/%s",
+			ar.Package, ar.FullHash, s.Name, hash))
+	}
+
+	// Build the relocation mapping: source store root, own prefix, and
+	// every dependency prefix map to their locations in the target store.
+	byName := make(map[string]*spec.Spec)
+	for _, dn := range s.TopoOrder() {
+		byName[dn.Name] = dn
+	}
+	pairs := map[string]string{
+		ar.Prefix:    st.Prefix(s),
+		ar.StoreRoot: st.Root,
+	}
+	for depName, srcPrefix := range ar.DepPrefixes {
+		dn, ok := byName[depName]
+		if !ok {
+			return fail(KindManifest, fmt.Errorf("archive names dependency %s absent from the spec DAG", depName))
+		}
+		if dn.External {
+			pairs[srcPrefix] = dn.Path
+			continue
+		}
+		drec, ok := st.Lookup(dn)
+		if !ok {
+			return fail(KindDeps, fmt.Errorf("dependency %s is not installed in the target store", depName))
+		}
+		pairs[srcPrefix] = drec.Prefix
+	}
+	table := relocTable(pairs)
+	wantCounts := make(map[string]map[string]int, len(ar.Relocations))
+	for _, r := range ar.Relocations {
+		wantCounts[r.Path] = r.Occurrences
+	}
+
+	// Unpack through the store's install discipline, charging a private
+	// meter so the report's virtual time reflects the cached fast path.
+	meter := simfs.NewMeter()
+	prefixFS := st.FS.WithMeter(meter)
+	files := 0
+	rec, ran, err := st.InstallFrom(s, explicit, store.OriginBinary, func(prefix string) error {
+		made := map[string]bool{prefix: true}
+		for _, f := range ar.Files {
+			target := prefix + "/" + f.Path
+			dir := path.Dir(target)
+			if !made[dir] {
+				if err := prefixFS.MkdirAll(dir); err != nil {
+					return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
+				}
+				made[dir] = true
+			}
+			if f.Symlink != "" {
+				if err := prefixFS.Symlink(relocateString(f.Symlink, table), target); err != nil {
+					return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
+				}
+				files++
+				continue
+			}
+			out, counts := relocateBytes(f.Data, table)
+			if want, recorded := wantCounts[f.Path]; recorded && !countsEqual(counts, want) {
+				return &Error{Op: "pull", Spec: s.String(), Kind: KindRelocation,
+					Err: fmt.Errorf("%s: relocation count mismatch (got %v, recorded %v)", f.Path, counts, want)}
+			}
+			if !recordedOrClean(wantCounts, f.Path, counts) {
+				return &Error{Op: "pull", Spec: s.String(), Kind: KindRelocation,
+					Err: fmt.Errorf("%s: unrecorded path occurrences %v", f.Path, counts)}
+			}
+			meter.Add("relocate", relocateFileCPU)
+			// Rpath sanity: after rewriting, no embedded rpath may still
+			// point into the source store (the isolation §3.5.2 bought).
+			if ar.StoreRoot != st.Root {
+				for _, rp := range buildenv.BinaryRPATHs(out) {
+					if strings.HasPrefix(rp, ar.StoreRoot+"/") || rp == ar.StoreRoot {
+						return &Error{Op: "pull", Spec: s.String(), Kind: KindRelocation,
+							Err: fmt.Errorf("%s: rpath %s still points into source store %s", f.Path, rp, ar.StoreRoot)}
+					}
+				}
+			}
+			// Temp + rename: a failure mid-write never leaves a torn file
+			// at the final path, and the store rolls the prefix back.
+			tmp := target + ".bctmp"
+			if err := prefixFS.WriteFile(tmp, out); err != nil {
+				return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
+			}
+			if err := prefixFS.Rename(tmp, target); err != nil {
+				_ = prefixFS.Remove(tmp)
+				return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
+			}
+			files++
+		}
+		return nil
+	})
+	if err != nil {
+		// Surface the cache-kinded error when the store wrapped ours;
+		// otherwise classify as IO.
+		if ErrorKind(err) != "" {
+			return nil, err
+		}
+		return fail(KindIO, err)
+	}
+	return &PullResult{Record: rec, Ran: ran, Time: meter.Cost(), Files: files}, nil
+}
+
+// recordedOrClean accepts a file whose occurrence counts are either
+// recorded in the relocation table or empty — occurrences the packer did
+// not record mean the archive and table disagree.
+func recordedOrClean(want map[string]map[string]int, path string, counts map[string]int) bool {
+	if _, recorded := want[path]; recorded {
+		return true
+	}
+	for _, v := range counts {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// List returns an Entry per cached archive, sorted by package, version,
+// then hash.
+func (c *Cache) List() ([]*Entry, error) {
+	names, err := c.be.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Entry
+	for _, name := range names {
+		hash, ok := strings.CutSuffix(name, ".spack.json")
+		if !ok {
+			continue
+		}
+		payload, ok, err := c.be.Get(name)
+		if err != nil || !ok {
+			continue
+		}
+		var ar Archive
+		if err := json.Unmarshal(payload, &ar); err != nil {
+			continue
+		}
+		sum := ""
+		if sd, ok, _ := c.be.Get(checksumName(hash)); ok {
+			sum = strings.TrimSpace(string(sd))
+		}
+		out = append(out, &Entry{
+			Package: ar.Package, Version: ar.Version,
+			FullHash: ar.FullHash, Checksum: sum, Files: len(ar.Files),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		if out[i].Version != out[j].Version {
+			return out[i].Version < out[j].Version
+		}
+		return out[i].FullHash < out[j].FullHash
+	})
+	return out, nil
+}
+
+// Keys returns hash → SHA-256 checksum for every cached archive — the
+// verification material `spack-go buildcache keys` prints.
+func (c *Cache) Keys() (map[string]string, error) {
+	names, err := c.be.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, name := range names {
+		hash, ok := strings.CutSuffix(name, ".sha256")
+		if !ok {
+			continue
+		}
+		if data, ok, _ := c.be.Get(name); ok {
+			out[hash] = strings.TrimSpace(string(data))
+		}
+	}
+	return out, nil
+}

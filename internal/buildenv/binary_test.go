@@ -1,0 +1,24 @@
+package buildenv
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBinaryRPATHs(t *testing.T) {
+	content := []byte("simulated executable libdwarf\n" +
+		"RPATH /spack/opt/libdwarf/lib\n" +
+		"RPATH /spack/opt/libelf/lib\n" +
+		"built with cc\nRPATH\n")
+	got := BinaryRPATHs(content)
+	want := []string{"/spack/opt/libdwarf/lib", "/spack/opt/libelf/lib"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BinaryRPATHs = %v, want %v", got, want)
+	}
+}
+
+func TestBinaryRPATHsNone(t *testing.T) {
+	if got := BinaryRPATHs([]byte("plain data\nno rpaths here\n")); got != nil {
+		t.Errorf("BinaryRPATHs = %v, want nil", got)
+	}
+}

@@ -207,6 +207,21 @@ func RPATHs(cmdline []string) []string {
 	return out
 }
 
+// BinaryRPATHs extracts the runtime search paths recorded in a simulated
+// installed binary or shared object (lines of the form "RPATH <dir>") —
+// the on-disk counterpart of RPATHs, which parses link command lines. The
+// binary build cache uses it to verify that relocation rewrote every
+// embedded rpath into the target store.
+func BinaryRPATHs(content []byte) []string {
+	var out []string
+	for _, line := range strings.Split(string(content), "\n") {
+		if rest, ok := strings.CutPrefix(line, "RPATH "); ok && rest != "" {
+			out = append(out, rest)
+		}
+	}
+	return out
+}
+
 // toolOrder fixes the iteration order of a WrapperSet.
 var toolOrder = []string{"cc", "c++", "f77", "fc"}
 

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/build"
+	"repro/internal/buildcache"
+	"repro/internal/fetch"
+	"repro/internal/store"
+)
+
+// TestSharedBackendAcrossInstances models the paper's shared-mirror
+// deployment: one machine builds from source and pushes; a second
+// machine, sharing only the cache backend, installs the whole DAG from
+// binaries.
+func TestSharedBackendAcrossInstances(t *testing.T) {
+	shared := buildcache.NewMirrorBackend(fetch.NewMirror())
+
+	a := MustNew(WithBuildCacheBackend(shared))
+	resA, err := a.Install("libdwarf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.CacheHits != 0 {
+		t.Fatalf("first machine hit the empty cache %d times", resA.CacheHits)
+	}
+	if _, err := a.BuildCache.PushDAG(a.Store, resA.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	b := MustNew(WithBuildCacheBackend(shared))
+	resB, err := b.Install("libdwarf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.CacheHits != 2 || resB.CacheMisses != 0 {
+		t.Fatalf("second machine counters = %d hits / %d misses, want 2/0",
+			resB.CacheHits, resB.CacheMisses)
+	}
+	rec, ok := b.Store.Lookup(resB.Root)
+	if !ok {
+		t.Fatal("cached install missing from second store")
+	}
+	if store.RecordOrigin(rec) != store.OriginBinary {
+		t.Errorf("origin = %q, want %q", store.RecordOrigin(rec), store.OriginBinary)
+	}
+	// Module files and views still get generated on the cached path.
+	if mods, err := b.FS.List("/spack/share"); err != nil || len(mods) == 0 {
+		t.Errorf("no module tree after cached install: %v %v", mods, err)
+	}
+}
+
+func TestDefaultBackendIsOwnMirror(t *testing.T) {
+	s := MustNew()
+	res, err := s.Install("libelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildCache.PushDAG(s.Store, res.Root); err != nil {
+		t.Fatal(err)
+	}
+	names := s.Mirror.Blobs()
+	if len(names) == 0 {
+		t.Fatal("push left no blobs on the instance mirror")
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "build_cache/") {
+			t.Errorf("blob %q outside build_cache/", n)
+		}
+	}
+}
+
+func TestWithCachePolicyOnly(t *testing.T) {
+	shared := buildcache.NewMirrorBackend(fetch.NewMirror())
+	a := MustNew(WithBuildCacheBackend(shared))
+	resA, err := a.Install("libelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.BuildCache.PushDAG(a.Store, resA.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	only := MustNew(WithBuildCacheBackend(shared), WithCachePolicy(build.CacheOnly))
+	res, err := only.Install("libelf")
+	if err != nil {
+		t.Fatalf("cache-only install with a populated cache: %v", err)
+	}
+	if res.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", res.CacheHits)
+	}
+
+	starved := MustNew(WithCachePolicy(build.CacheOnly))
+	if _, err := starved.Install("libelf"); err == nil {
+		t.Error("cache-only install with an empty cache should fail")
+	}
+}

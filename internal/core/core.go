@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/build"
+	"repro/internal/buildcache"
 	"repro/internal/compiler"
 	"repro/internal/concretize"
 	"repro/internal/config"
@@ -40,6 +41,7 @@ type Spack struct {
 	Store       *store.Store
 	Builder     *build.Builder
 	Mirror      *fetch.Mirror
+	BuildCache  *buildcache.Cache
 	Modules     *modules.Generator
 	Views       *views.Manager
 	Extensions  *extensions.Manager
@@ -59,6 +61,8 @@ type options struct {
 	jobs        int
 	cacheSize   int
 	noCache     bool
+	cacheBE     buildcache.Backend
+	cachePolicy build.CachePolicy
 }
 
 // WithRepos prepends site repositories (highest precedence first) ahead of
@@ -98,6 +102,21 @@ func WithConcretizeCacheSize(n int) Option { return func(o *options) { o.cacheSi
 // Concretize call through a full solve (benchmark baselines).
 func WithoutConcretizeCache() Option { return func(o *options) { o.noCache = true } }
 
+// WithBuildCacheBackend supplies the byte transport the binary build
+// cache uses — share one backend across instances to model several
+// machines pulling from one mirror. The default is the instance's own
+// mirror (blobs under build_cache/).
+func WithBuildCacheBackend(be buildcache.Backend) Option {
+	return func(o *options) { o.cacheBE = be }
+}
+
+// WithCachePolicy sets the builder's binary-cache policy: build.CacheAuto
+// (default), build.CacheNever (`-no-cache`), or build.CacheOnly
+// (`-cache-only`).
+func WithCachePolicy(p build.CachePolicy) Option {
+	return func(o *options) { o.cachePolicy = p }
+}
+
 // New assembles a Spack instance.
 func New(opts ...Option) (*Spack, error) {
 	o := &options{
@@ -134,8 +153,16 @@ func New(opts ...Option) (*Spack, error) {
 		conc.Cache = concretize.NewCache(o.cacheSize)
 	}
 
+	be := o.cacheBE
+	if be == nil {
+		be = buildcache.NewMirrorBackend(mirror)
+	}
+	bc := buildcache.New(be)
+
 	b := build.NewBuilder(st, path, o.registry)
 	b.Mirror = mirror
+	b.Cache = bc
+	b.CachePolicy = o.cachePolicy
 	b.Config = o.cfg
 	b.Jobs = o.jobs
 	if o.stageNFS {
@@ -154,6 +181,7 @@ func New(opts ...Option) (*Spack, error) {
 		Store:       st,
 		Builder:     b,
 		Mirror:      mirror,
+		BuildCache:  bc,
 		Modules:     &modules.Generator{FS: fs, Root: "/spack/share", Kind: modules.KindDotkit},
 	}
 	s.Views = views.NewManager(fs, o.cfg, s.IsMPI)

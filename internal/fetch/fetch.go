@@ -85,16 +85,26 @@ func VersionFromURL(url string) version.Version {
 }
 
 // Mirror is a simulated download server: it serves archives for the
-// releases registered against it and can list them for scraping.
+// releases registered against it and can list them for scraping. Beyond
+// source tarballs it also hosts opaque named blobs — the transport the
+// binary build cache (internal/buildcache) pushes its relocatable
+// archives through, mirroring how real Spack mirrors carry a
+// `build_cache/` directory next to the source tree.
 type Mirror struct {
-	mu       sync.RWMutex
-	releases map[string][]version.Version // package -> available versions
-	fetches  int
+	mu         sync.RWMutex
+	releases   map[string][]version.Version // package -> available versions
+	blobs      map[string][]byte            // name -> opaque payload
+	fetches    int
+	blobReads  int
+	blobWrites int
 }
 
 // NewMirror creates an empty mirror.
 func NewMirror() *Mirror {
-	return &Mirror{releases: make(map[string][]version.Version)}
+	return &Mirror{
+		releases: make(map[string][]version.Version),
+		blobs:    make(map[string][]byte),
+	}
 }
 
 // Publish registers a release so the mirror will serve it.
@@ -159,6 +169,58 @@ func (m *Mirror) Fetch(name string, v version.Version, expectMD5 string) ([]byte
 		}
 	}
 	return data, nil
+}
+
+// PutBlob stores (or replaces) an opaque named payload on the mirror.
+// The mirror copies the bytes, so callers may reuse their buffer.
+func (m *Mirror) PutBlob(name string, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	m.mu.Lock()
+	m.blobs[name] = buf
+	m.blobWrites++
+	m.mu.Unlock()
+}
+
+// Blob returns a copy of a named payload, reporting whether it exists.
+func (m *Mirror) Blob(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.blobs[name]
+	if !ok {
+		return nil, false
+	}
+	m.blobReads++
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, true
+}
+
+// DeleteBlob removes a named payload; missing names are a no-op.
+func (m *Mirror) DeleteBlob(name string) {
+	m.mu.Lock()
+	delete(m.blobs, name)
+	m.mu.Unlock()
+}
+
+// Blobs lists the stored blob names, sorted.
+func (m *Mirror) Blobs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.blobs))
+	for name := range m.blobs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlobCounts reports how many blob reads and writes the mirror served —
+// the cache-traffic counters benchmarks and tests assert on.
+func (m *Mirror) BlobCounts() (reads, writes int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.blobReads, m.blobWrites
 }
 
 // FetchCount reports how many successful fetches the mirror served.

@@ -18,6 +18,7 @@ type Entry struct {
 	Spec     *spec.Spec
 	Prefix   string
 	Explicit bool
+	Origin   string
 }
 
 // Index is the seam between the store and its installation database: a
@@ -137,7 +138,7 @@ func (ix *MutexIndex) Snapshot() []Entry {
 	ix.mu.Lock()
 	out := make([]Entry, 0, len(ix.records))
 	for h, r := range ix.records {
-		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit})
+		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit, Origin: r.Origin})
 	}
 	ix.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })

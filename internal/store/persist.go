@@ -42,6 +42,9 @@ type dbEntry struct {
 	SpecJSON json.RawMessage `json:"spec_json"`
 	Prefix   string          `json:"prefix"`
 	Explicit bool            `json:"explicit"`
+	// Origin distinguishes source builds from binary-cache pulls and
+	// externals; absent in databases written before origins were tracked.
+	Origin string `json:"origin,omitempty"`
 }
 
 // encodeEntries renders snapshot entries to the JSON database format
@@ -58,6 +61,7 @@ func encodeEntries(entries []Entry) ([]byte, error) {
 			SpecJSON: encoded,
 			Prefix:   e.Prefix,
 			Explicit: e.Explicit,
+			Origin:   e.Origin,
 		})
 	}
 	return json.MarshalIndent(out, "", "  ")
@@ -75,7 +79,7 @@ func decodeEntries(data []byte) (map[string]*Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: bad spec in database (%q): %w", e.Spec, err)
 		}
-		records[s.FullHash()] = &Record{Spec: s, Prefix: e.Prefix, Explicit: e.Explicit}
+		records[s.FullHash()] = &Record{Spec: s, Prefix: e.Prefix, Explicit: e.Explicit, Origin: e.Origin}
 	}
 	return records, nil
 }

@@ -136,6 +136,17 @@ func (l TACCLayout) RelPath(s *spec.Spec) string {
 	return comp + "/" + mpiName + "/" + mpiVer + "/" + s.Name + "/" + versionString(s)
 }
 
+// Origin values record how a configuration got into the store — compiled
+// from source, relocated out of a binary build cache, or registered as a
+// site-provided external. The distinction is provenance: a binary install
+// is bit-identical to the source build it was packed from, but auditors
+// (and `spack-go find`) want to know which path produced the prefix.
+const (
+	OriginSource   = "source"
+	OriginBinary   = "binary"
+	OriginExternal = "external"
+)
+
 // Record describes one installed configuration. The Explicit field is
 // mutated only through Index.Promote (under the index's lock); every other
 // field is immutable once the record is inserted.
@@ -145,6 +156,23 @@ type Record struct {
 	// Explicit marks installs the user asked for, as opposed to
 	// dependencies pulled in automatically.
 	Explicit bool
+	// Origin records the install path: OriginSource, OriginBinary, or
+	// OriginExternal. Empty in records loaded from pre-origin databases;
+	// readers treat empty as OriginSource (or OriginExternal for external
+	// specs).
+	Origin string
+}
+
+// RecordOrigin normalizes a record's origin for display: records written
+// before origins were tracked have the field empty.
+func RecordOrigin(r *Record) string {
+	if r.Origin != "" {
+		return r.Origin
+	}
+	if r.Spec != nil && r.Spec.External {
+		return OriginExternal
+	}
+	return OriginSource
 }
 
 // Querier is the read-only face of the store: the snapshot iterator
@@ -252,6 +280,15 @@ func (e *InstallError) Unwrap() error { return e.Err }
 // and share its outcome (including failure), so the builder runs exactly
 // once instead of racing to build twice and discarding the loser's work.
 func (st *Store) Install(s *spec.Spec, explicit bool, builder func(prefix string) error) (*Record, bool, error) {
+	return st.InstallFrom(s, explicit, OriginSource, builder)
+}
+
+// InstallFrom is Install with an explicit origin label (OriginSource,
+// OriginBinary). Binary-cache pulls use it so the database records which
+// installs were relocated from archives rather than compiled; the
+// singleflight/promotion discipline is identical. External specs are
+// always recorded as OriginExternal regardless of the requested origin.
+func (st *Store) InstallFrom(s *spec.Spec, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
 	if !s.NodeConcrete() {
 		return nil, false, &InstallError{Spec: s.String(), Err: fmt.Errorf("spec is not concrete")}
 	}
@@ -278,7 +315,7 @@ func (st *Store) Install(s *spec.Spec, explicit bool, builder func(prefix string
 	st.flights[hash] = f
 	st.flightMu.Unlock()
 
-	rec, ran, err := st.installLeader(s, hash, explicit, builder)
+	rec, ran, err := st.installLeader(s, hash, explicit, origin, builder)
 	f.rec, f.err = rec, err
 	st.flightMu.Lock()
 	delete(st.flights, hash)
@@ -303,7 +340,7 @@ func (st *Store) lookupPromote(hash string, explicit bool) (*Record, bool) {
 
 // installLeader performs the actual build + record insertion for the
 // single flight leader of a hash.
-func (st *Store) installLeader(s *spec.Spec, hash string, explicit bool, builder func(prefix string) error) (*Record, bool, error) {
+func (st *Store) installLeader(s *spec.Spec, hash string, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
 	// Re-check under the flight: a previous leader may have finished
 	// between our fast-path miss and flight registration.
 	if r, ok := st.lookupPromote(hash, explicit); ok {
@@ -315,6 +352,7 @@ func (st *Store) installLeader(s *spec.Spec, hash string, explicit bool, builder
 	if s.External {
 		// Externals are recorded but never built or written (§4.4).
 		prefix = s.Path
+		origin = OriginExternal
 	} else {
 		ran = true
 		if err := st.FS.MkdirAll(prefix); err != nil {
@@ -330,7 +368,7 @@ func (st *Store) installLeader(s *spec.Spec, hash string, explicit bool, builder
 		}
 	}
 
-	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: explicit}
+	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: explicit, Origin: origin}
 	if winner, inserted := st.index.Insert(hash, r); !inserted {
 		// A concurrent writer (e.g. Reindex) beat us to the hash; reuse.
 		return winner, false, nil
