@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-check experiments examples vet clean
+.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-check crash-race experiments examples vet clean
 
 all: vet test
 
@@ -43,11 +43,27 @@ bench-buildcache:
 		| go run ./cmd/benchjson -o BENCH_buildcache.json
 	cat BENCH_buildcache.json
 
+# Environment benchmarks: `env install` of a three-root manifest on a
+# fresh machine vs. re-run against the unchanged lockfile, rendered to
+# BENCH_env.json with the derived warm-lockfile speedup.
+bench-env:
+	go test -run '^$$' -bench 'EnvInstall' -benchmem . \
+		| tee bench_env.txt \
+		| go run ./cmd/benchjson -o BENCH_env.json
+	cat BENCH_env.json
+
 # Regression gate: every committed benchmark report must clear its
 # declared acceptance bar (warm concretize ≥10x, sharded store ≥2x at 8
-# workers, cached ARES install ≥5x).
+# workers, cached ARES install ≥5x, warm env lockfile ≥10x).
 bench-check:
-	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json
+	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json
+
+# The transactional-integrity suite under the race detector: every
+# crash-injection sweep (journal recovery, env apply/uninstall, view
+# refresh) across the packages that stage through internal/txn.
+crash-race:
+	go test -race -run 'Crash|Recover|Fault|HalfLink' \
+		./internal/txn/ ./internal/store/ ./internal/views/ ./internal/modules/ ./internal/env/ ./internal/buildcache/
 
 experiments:
 	go run ./cmd/experiments -all
@@ -60,4 +76,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt

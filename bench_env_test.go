@@ -1,0 +1,100 @@
+// Environment benchmarks (run via `make bench-env` → BENCH_env.json):
+//
+//	BenchmarkEnvInstall/cold — `env install` of a three-root manifest
+//	    (dyninst + libdwarf + zlib, seven packages) on a brand-new
+//	    machine: concretize every root, build the whole DAG, write the
+//	    module files, and commit the lockfile, all as one journaled
+//	    transaction.
+//	BenchmarkEnvInstall/warm — the same `env install` re-run against an
+//	    unchanged lockfile: read spack.lock, re-concretize through the
+//	    warm memo cache, diff against the installed roots, and conclude
+//	    there is nothing to do. The acceptance bar (enforced by
+//	    `benchjson -check`) is env_warm_lockfile_speedup ≥ 10 — the
+//	    no-op diff must be an order of magnitude cheaper than the
+//	    install it avoids repeating.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/env"
+)
+
+// envBenchSpecs is the benchmark manifest: dyninst fans out into libelf,
+// libdwarf, and boost, so the environment exercises shared dependencies
+// and multiple explicit roots.
+var envBenchSpecs = []string{"dyninst", "libdwarf", "zlib"}
+
+// envBenchInstall creates one fresh machine, creates the environment, and
+// applies it, returning the host and environment for warm re-use.
+func envBenchInstall(b *testing.B) (*env.Host, *env.Environment) {
+	b.Helper()
+	s := core.MustNew()
+	e, err := env.Create(s.FS, core.EnvRoot, "bench", envBenchSpecs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.EnvHost()
+	res, err := e.Apply(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Plan.Add) != len(envBenchSpecs) {
+		b.Fatalf("cold apply added %d roots, want %d", len(res.Plan.Add), len(envBenchSpecs))
+	}
+	return h, e
+}
+
+func BenchmarkEnvInstall(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		nodes := 0
+		for i := 0; i < b.N; i++ {
+			h, e := envBenchInstall(b)
+			nodes = h.Store.Len()
+			_ = e
+		}
+		b.ReportMetric(float64(nodes), "store-records")
+		b.ReportMetric(float64(len(envBenchSpecs)), "roots")
+	})
+	b.Run("warm", func(b *testing.B) {
+		h, e := envBenchInstall(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Apply(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Plan.NoOp() {
+				b.Fatalf("warm apply was not a no-op: %d add, %d remove",
+					len(res.Plan.Add), len(res.Plan.Remove))
+			}
+		}
+		b.ReportMetric(float64(len(envBenchSpecs)), "roots")
+	})
+}
+
+// TestEnvBenchSanity keeps the bench wiring honest under plain `go test`:
+// the warm leg must really be a lockfile-driven no-op, not a rebuild.
+func TestEnvBenchSanity(t *testing.T) {
+	s := core.MustNew()
+	e, err := env.Create(s.FS, core.EnvRoot, "bench", envBenchSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.EnvHost()
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	before := h.Store.Len()
+	res, err := e.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.NoOp() || len(res.Builds) != 0 {
+		t.Fatalf("second apply: NoOp=%v builds=%d", res.Plan.NoOp(), len(res.Builds))
+	}
+	if h.Store.Len() != before {
+		t.Fatalf("store changed across a no-op apply: %d -> %d", before, h.Store.Len())
+	}
+}

@@ -27,6 +27,9 @@ var bars = []bar{
 	// Binary cache: cached ARES install ≥5x faster (simulated install
 	// time) than building from source at Jobs=8.
 	{"buildcache_speedup_j8", 5},
+	// Environments: `env install` on an unchanged lockfile is a no-op
+	// diff ≥10x cheaper than the cold install it short-circuits.
+	{"env_warm_lockfile_speedup", 10},
 }
 
 // checkReport evaluates one parsed report against the declared bars,

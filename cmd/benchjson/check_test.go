@@ -103,6 +103,20 @@ func TestDeriveBuildcacheSpeedup(t *testing.T) {
 	}
 }
 
+func TestDeriveEnvWarmSpeedup(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkEnvInstall/cold", Metrics: map[string]float64{"ns/op": 50e6}},
+		{Name: "BenchmarkEnvInstall/warm", Metrics: map[string]float64{"ns/op": 1e6}},
+	}
+	d := derive(benches)
+	if got := d["env_warm_lockfile_speedup"]; got != 50 {
+		t.Errorf("env_warm_lockfile_speedup = %v, want 50", got)
+	}
+	if _, fails := checkReport("x.json", report(d)); len(fails) != 0 {
+		t.Errorf("derived env report should clear its bar: %v", fails)
+	}
+}
+
 func TestParseLineCustomMetrics(t *testing.T) {
 	b, procs, ok := parseLine("BenchmarkBuildcacheARES/cached/j8-8 \t 3\t  33796699 ns/op\t 47.00 dag-nodes\t 0.058 virtual-sec")
 	if !ok {

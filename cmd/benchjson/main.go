@@ -174,6 +174,13 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 	if srcNs > 0 && cachedNs > 0 {
 		d["buildcache_real_speedup_j8"] = srcNs / cachedNs
 	}
+	// Environments: re-running `env install` against an unchanged lockfile
+	// must be a cheap no-op diff, not a second install.
+	envCold := ns("BenchmarkEnvInstall/cold")
+	envWarm := ns("BenchmarkEnvInstall/warm")
+	if envCold > 0 && envWarm > 0 {
+		d["env_warm_lockfile_speedup"] = envCold / envWarm
+	}
 	if len(d) == 0 {
 		return nil
 	}

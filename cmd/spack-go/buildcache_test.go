@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buildcache"
+	"repro/internal/core"
+	"repro/internal/fetch"
+)
+
+func TestCmdBuildcachePushListKeys(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "buildcache", "push", "libdwarf")
+	if !strings.Contains(out, "==> pushed 2 archives") {
+		t.Errorf("push output:\n%s", out)
+	}
+
+	out = runCmd(t, s, "buildcache", "list")
+	if !strings.Contains(out, "==> 2 cached archives") ||
+		!strings.Contains(out, "libelf") || !strings.Contains(out, "libdwarf") {
+		t.Errorf("list output:\n%s", out)
+	}
+
+	out = runCmd(t, s, "buildcache", "keys")
+	if !strings.Contains(out, "==> 2 archive checksums") || !strings.Contains(out, "sha256=") {
+		t.Errorf("keys output:\n%s", out)
+	}
+}
+
+func TestCmdBuildcachePullAcrossInstances(t *testing.T) {
+	shared := buildcache.NewMirrorBackend(fetch.NewMirror())
+	pusher := core.MustNew(core.WithBuildCacheBackend(shared))
+	runCmd(t, pusher, "buildcache", "push", "libdwarf")
+
+	puller := core.MustNew(core.WithBuildCacheBackend(shared))
+	out := runCmd(t, puller, "buildcache", "pull", "libdwarf")
+	if !strings.Contains(out, "pulled") || !strings.Contains(out, "libdwarf") {
+		t.Errorf("pull output:\n%s", out)
+	}
+	if recs, _ := puller.Find("libdwarf"); len(recs) != 1 {
+		t.Errorf("pull did not install libdwarf: %d records", len(recs))
+	}
+
+	// A second pull finds everything present.
+	out = runCmd(t, puller, "buildcache", "pull", "libdwarf")
+	if !strings.Contains(out, "present") {
+		t.Errorf("re-pull output:\n%s", out)
+	}
+}
+
+func TestCmdInstallReportsCacheCounters(t *testing.T) {
+	shared := buildcache.NewMirrorBackend(fetch.NewMirror())
+	pusher := core.MustNew(core.WithBuildCacheBackend(shared))
+	runCmd(t, pusher, "buildcache", "push", "libdwarf")
+
+	puller := core.MustNew(core.WithBuildCacheBackend(shared))
+	out := runCmd(t, puller, "install", "libdwarf")
+	if !strings.Contains(out, "cached") {
+		t.Errorf("install output misses cached status:\n%s", out)
+	}
+	if !strings.Contains(out, "buildcache: 2 hits, 0 misses, 0 fallbacks") {
+		t.Errorf("install output misses counters:\n%s", out)
+	}
+}
+
+func TestCmdBuildcacheErrors(t *testing.T) {
+	s := newCLI(t)
+	for _, args := range [][]string{
+		{},
+		{"push"},
+		{"pull"},
+		{"frobnicate"},
+	} {
+		var b strings.Builder
+		if err := run(&b, s, "buildcache", args); err == nil {
+			t.Errorf("buildcache %v should fail", args)
+		}
+	}
+	// Pulling from an empty cache is a user-facing error, not a panic.
+	var b strings.Builder
+	if err := run(&b, s, "buildcache", []string{"pull", "libelf"}); err == nil {
+		t.Error("pull from empty cache should fail")
+	}
+}

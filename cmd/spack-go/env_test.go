@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestCmdEnvWorkflow(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "env", "create", "dev", "libdwarf")
+	if !strings.Contains(out, "created environment dev") {
+		t.Errorf("create output:\n%s", out)
+	}
+	out = runCmd(t, s, "env", "list")
+	if strings.TrimSpace(out) != "dev" {
+		t.Errorf("list output:\n%s", out)
+	}
+	out = runCmd(t, s, "env", "add", "dev", "zlib")
+	if !strings.Contains(out, "2 specs") {
+		t.Errorf("add output:\n%s", out)
+	}
+	out = runCmd(t, s, "env", "status", "dev")
+	if !strings.Contains(out, "pending: 2 to add") {
+		t.Errorf("status before install:\n%s", out)
+	}
+	out = runCmd(t, s, "env", "install", "-jobs", "2", "dev")
+	if !strings.Contains(out, "2 added, 0 kept, 0 removed") {
+		t.Errorf("install output:\n%s", out)
+	}
+	// Unchanged lockfile: the second install is a no-op diff.
+	out = runCmd(t, s, "env", "install", "dev")
+	if !strings.Contains(out, "lockfile up to date") {
+		t.Errorf("no-op install output:\n%s", out)
+	}
+	out = runCmd(t, s, "env", "status", "dev")
+	if !strings.Contains(out, "lockfile up to date: 2 roots installed") {
+		t.Errorf("status after install:\n%s", out)
+	}
+	// Removing a spec surfaces as a pending delta and a one-transaction rm.
+	runCmd(t, s, "env", "rm", "dev", "zlib")
+	out = runCmd(t, s, "env", "install", "dev")
+	if !strings.Contains(out, "0 added, 1 kept, 1 removed") {
+		t.Errorf("delta install output:\n%s", out)
+	}
+	out = runCmd(t, s, "env", "uninstall", "dev")
+	if !strings.Contains(out, "1 roots removed") {
+		t.Errorf("uninstall output:\n%s", out)
+	}
+	// Roots are gone; implicit dependencies stay (the repo's uninstall
+	// semantics — they were never owned by the environment alone).
+	explicit := s.Store.Select(func(r *store.Record) bool { return r.Explicit })
+	if len(explicit) != 0 {
+		t.Errorf("store still holds %d explicit records after env uninstall", len(explicit))
+	}
+}
+
+func TestCmdEnvOneShotInstallWithView(t *testing.T) {
+	s := newCLI(t)
+	out := runCmd(t, s, "env", "create", "-view", "/spack/envs/dev/view", "-projection", "${PACKAGE}", "dev")
+	if !strings.Contains(out, "created environment dev") {
+		t.Errorf("create output:\n%s", out)
+	}
+	// install with trailing specs adds them to the manifest first.
+	out = runCmd(t, s, "env", "install", "dev", "libelf")
+	if !strings.Contains(out, "1 added") || !strings.Contains(out, "view links under /spack/envs/dev/view") {
+		t.Errorf("install output:\n%s", out)
+	}
+	if !s.FS.IsSymlink("/spack/envs/dev/view/libelf") {
+		t.Error("view link /spack/envs/dev/view/libelf not created")
+	}
+}
+
+func TestCmdEnvErrors(t *testing.T) {
+	s := newCLI(t)
+	if err := run(&strings.Builder{}, s, "env", []string{"status", "nope"}); err == nil {
+		t.Error("status of missing environment should fail")
+	}
+	if err := run(&strings.Builder{}, s, "env", []string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run(&strings.Builder{}, s, "env", nil); err == nil {
+		t.Error("bare env should fail")
+	}
+}

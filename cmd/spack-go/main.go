@@ -49,6 +49,13 @@ commands:
   buildcache pull <spec>...   install specs from binary archives only
   buildcache list             list cached binary archives
   buildcache keys             print archive SHA-256 checksums
+  env create <name> [spec...]      create a named environment (-view PATH)
+  env add <name> <spec>...         add specs to an environment manifest
+  env rm <name> <spec>...          remove specs from an environment manifest
+  env install [-jobs N] <name>     concretize, lock, and apply as one transaction
+  env status <name>                show manifest, lockfile, and pending delta
+  env uninstall <name>             remove an environment's installs and view
+  env list                         list environments
 
 flags:
 `)
@@ -168,6 +175,8 @@ func run(w io.Writer, s *core.Spack, cmd string, args []string) error {
 		return cmdTable1(w, s, args)
 	case "buildcache":
 		return cmdBuildcache(w, s, args)
+	case "env":
+		return cmdEnv(w, s, args)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/simfs"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/txn"
 )
 
 // CachePolicy selects how Build consults the binary build cache.
@@ -105,7 +106,17 @@ func NewBuilder(st *store.Store, repos *repo.Path, reg *compiler.Registry) *Buil
 // Independent nodes run concurrently on up to Jobs workers; every node
 // starts only after all of its dependencies are installed. The first
 // failure stops new launches (in-flight nodes drain) and is returned.
+// Each node installs as its own transaction: finished work stands even
+// when a later node fails.
 func (b *Builder) Build(root *spec.Spec) (*Result, error) {
+	return b.BuildTxn(root, nil)
+}
+
+// BuildTxn is Build staging every install into a caller-owned transaction
+// (nil behaves like Build): environments use it to move a whole add/remove
+// delta — many DAGs — together, so a crash or rollback undoes all of them.
+// Workers share the transaction; its staging is concurrency-safe.
+func (b *Builder) BuildTxn(root *spec.Spec, t *txn.Txn) (*Result, error) {
 	if root == nil {
 		return nil, &Error{Pkg: "?", Phase: "deps", Err: fmt.Errorf("nil spec")}
 	}
@@ -165,7 +176,7 @@ func (b *Builder) Build(root *spec.Spec) (*Result, error) {
 				n := byName[name]
 				running++
 				go func() {
-					rep, err := b.buildOne(n, n == root)
+					rep, err := b.buildOne(n, n == root, t)
 					results <- outcome{name: n.Name, rep: rep, err: err}
 				}()
 			}
@@ -282,8 +293,9 @@ func scheduleMakespan(nodes []*spec.Spec, dur map[string]time.Duration, jobs int
 }
 
 // buildOne installs a single node, assuming its dependencies are already
-// in the store (the executor guarantees it).
-func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
+// in the store (the executor guarantees it). A non-nil transaction
+// receives the node's store mutations instead of each committing alone.
+func (b *Builder) buildOne(n *spec.Spec, explicit bool, t *txn.Txn) (*Report, error) {
 	// Sub-DAG reuse (§3.4.2): an identical configuration is never rebuilt.
 	if rec, ok := b.Store.Lookup(n); ok {
 		if explicit {
@@ -295,7 +307,7 @@ func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
 
 	// Externals are recorded with their site-configured path, never built.
 	if n.External {
-		rec, _, err := b.Store.Install(n, explicit, func(string) error { return nil })
+		rec, _, err := b.Store.InstallTxn(t, n, explicit, store.OriginExternal, func(string) error { return nil })
 		if err != nil {
 			return nil, &Error{Pkg: n.Name, Phase: "install", Err: err}
 		}
@@ -310,7 +322,7 @@ func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
 	cacheMissed := false
 	if b.Cache != nil && b.CachePolicy != CacheNever {
 		if b.Cache.Has(n.FullHash()) {
-			pr, err := b.Cache.Pull(b.Store, n, explicit)
+			pr, err := b.Cache.PullTxn(b.Store, t, n, explicit)
 			if err == nil {
 				rep := &Report{
 					Name: n.Name, Prefix: pr.Record.Prefix,
@@ -373,7 +385,7 @@ func (b *Builder) buildOne(n *spec.Spec, explicit bool) (*Report, error) {
 	ctx.setupEnvironment()
 
 	installFn := def.InstallFor(n)
-	rec, ran, err := b.Store.Install(n, explicit, func(prefix string) error {
+	rec, ran, err := b.Store.InstallTxn(t, n, explicit, store.OriginSource, func(prefix string) error {
 		ctx.prefix = prefix
 		for _, pa := range def.PatchesFor(n) {
 			if perr := ctx.ApplyPatch(pa.Name); perr != nil {

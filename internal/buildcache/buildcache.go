@@ -26,6 +26,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/syntax"
+	"repro/internal/txn"
 )
 
 // relocateFileCPU is the simulated CPU cost of scanning and rewriting one
@@ -241,6 +242,13 @@ func (c *Cache) PushDAG(st *store.Store, root *spec.Spec) ([]*Entry, error) {
 // partially written prefix to be rolled back by the store and the index
 // untouched. The spec's dependencies must already be installed.
 func (c *Cache) Pull(st *store.Store, s *spec.Spec, explicit bool) (*PullResult, error) {
+	return c.PullTxn(st, nil, s, explicit)
+}
+
+// PullTxn is Pull staging the install into a caller-owned transaction
+// (nil behaves like Pull): environments pull many archives under one
+// transaction so the whole delta commits or rolls back together.
+func (c *Cache) PullTxn(st *store.Store, t *txn.Txn, s *spec.Spec, explicit bool) (*PullResult, error) {
 	fail := func(kind Kind, err error) (*PullResult, error) {
 		return nil, &Error{Op: "pull", Spec: s.String(), Kind: kind, Err: err}
 	}
@@ -320,7 +328,7 @@ func (c *Cache) Pull(st *store.Store, s *spec.Spec, explicit bool) (*PullResult,
 	meter := simfs.NewMeter()
 	prefixFS := st.FS.WithMeter(meter)
 	files := 0
-	rec, ran, err := st.InstallFrom(s, explicit, store.OriginBinary, func(prefix string) error {
+	rec, ran, err := st.InstallTxn(t, s, explicit, store.OriginBinary, func(prefix string) error {
 		made := map[string]bool{prefix: true}
 		for _, f := range ar.Files {
 			target := prefix + "/" + f.Path

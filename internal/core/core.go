@@ -19,6 +19,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/concretize"
 	"repro/internal/config"
+	"repro/internal/env"
 	"repro/internal/extensions"
 	"repro/internal/fetch"
 	"repro/internal/modules"
@@ -185,6 +186,9 @@ func New(opts ...Option) (*Spack, error) {
 		Modules:     &modules.Generator{FS: fs, Root: "/spack/share", Kind: modules.KindDotkit},
 	}
 	s.Views = views.NewManager(fs, o.cfg, s.IsMPI)
+	// Views journal into the store's transaction directory so a crashed
+	// refresh is recovered together with everything else on Open.
+	s.Views.Journal = st.JournalDir()
 	s.Extensions = extensions.NewManager(fs)
 	s.Extensions.Merge = extensions.PythonMerge
 	return s, nil
@@ -197,6 +201,26 @@ func MustNew(opts ...Option) *Spack {
 		panic(err)
 	}
 	return s
+}
+
+// EnvRoot is where this instance keeps named environments.
+const EnvRoot = env.DefaultRoot
+
+// EnvHost exposes the instance's subsystems as an environment host, so
+// `spack env` operations run against the same store, builder, module
+// generator and concretization memo cache as plain installs.
+func (s *Spack) EnvHost() *env.Host {
+	return &env.Host{
+		FS:        s.FS,
+		Config:    s.Config,
+		Repos:     s.Repos,
+		Compilers: s.Compilers,
+		Cache:     s.Concretizer.Cache,
+		Store:     s.Store,
+		Builder:   s.Builder,
+		Modules:   s.Modules,
+		IsMPI:     s.IsMPI,
+	}
 }
 
 // IsMPI reports whether a package name provides the mpi virtual interface.

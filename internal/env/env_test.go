@@ -1,0 +1,495 @@
+package env_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/env"
+)
+
+func newHost(t *testing.T) (*core.Spack, *env.Host) {
+	t.Helper()
+	s := core.MustNew()
+	return s, s.EnvHost()
+}
+
+func TestCreateOpenAddRemoveList(t *testing.T) {
+	s, _ := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"zlib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Create(s.FS, core.EnvRoot, "dev", nil); err == nil {
+		t.Error("double create should fail")
+	}
+	if _, err := env.Create(s.FS, core.EnvRoot, "bad name", nil); err == nil {
+		t.Error("name with a space should be rejected")
+	}
+	if err := e.AddSpec("libelf@0.8.13"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddSpec("libelf@0.8.13"); err == nil {
+		t.Error("duplicate add should fail")
+	}
+	if err := e.AddSpec("!!nonsense"); err == nil {
+		t.Error("unparseable spec should be rejected")
+	}
+	if err := e.RemoveSpec("zlib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveSpec("zlib"); err == nil {
+		t.Error("removing an absent spec should fail")
+	}
+
+	// A fresh Open sees the saved manifest.
+	back, err := env.Open(s.FS, core.EnvRoot, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Manifest.Specs) != 1 || back.Manifest.Specs[0] != "libelf@0.8.13" {
+		t.Errorf("reloaded specs = %v", back.Manifest.Specs)
+	}
+
+	if _, err := env.Create(s.FS, core.EnvRoot, "aux", nil); err != nil {
+		t.Fatal(err)
+	}
+	if names := env.List(s.FS, core.EnvRoot); len(names) != 2 || names[0] != "aux" || names[1] != "dev" {
+		t.Errorf("list = %v", names)
+	}
+	if _, err := env.Open(s.FS, core.EnvRoot, "ghost"); err == nil {
+		t.Error("opening a missing environment should fail")
+	}
+}
+
+func TestApplyInstallsAndLocksAsOneUnit(t *testing.T) {
+	s, h := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"libdwarf", "zlib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Builds) != 2 {
+		t.Fatalf("builds = %d, want 2 roots", len(res.Builds))
+	}
+	lock, err := e.ReadLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lock.Roots) != 2 || lock.Roots[0].Expr != "libdwarf" || lock.Roots[1].Expr != "zlib" {
+		t.Fatalf("lock roots = %+v", lock.Roots)
+	}
+	for _, lr := range lock.Roots {
+		root, err := lock.Spec(lr.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range root.TopoOrder() {
+			rec, ok := s.Store.Lookup(n)
+			if !ok {
+				t.Fatalf("%s not installed", n.Name)
+			}
+			if exists, _ := s.FS.Stat(h.Modules.FileName(n)); !exists {
+				t.Errorf("module file missing for %s", n.Name)
+			}
+			_ = rec
+		}
+	}
+	// Roots are explicit; dependencies are not.
+	libdwarf, _ := lock.Spec(lock.Roots[0].Hash)
+	if rec, _ := s.Store.Lookup(libdwarf); !rec.Explicit {
+		t.Error("root should be explicit")
+	}
+
+	// An unchanged manifest re-applies as a no-op diff: nothing builds.
+	again, err := e.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Plan.NoOp() || len(again.Builds) != 0 {
+		t.Errorf("second apply should be a no-op: %+v", again.Plan)
+	}
+
+	// The journal is empty after a clean apply.
+	if names, err := s.FS.List(s.Store.JournalDir()); err == nil && len(names) != 0 {
+		t.Errorf("journal not empty: %v", names)
+	}
+}
+
+func TestApplyDeltaAddsAndRemoves(t *testing.T) {
+	s, h := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"libdwarf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Store.Len()
+
+	if err := e.AddSpec("zlib"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Add) != 1 || len(res.Plan.Keep) != 1 || len(res.Plan.Remove) != 0 {
+		t.Fatalf("plan = add %d keep %d remove %d", len(res.Plan.Add), len(res.Plan.Keep), len(res.Plan.Remove))
+	}
+	if s.Store.Len() != before+1 {
+		t.Errorf("store len = %d, want %d", s.Store.Len(), before+1)
+	}
+
+	// Removing the spec uninstalls its root: record gone, prefix gone,
+	// module file gone — all in the same transaction.
+	lock, _ := e.ReadLock()
+	var zlibHash string
+	for _, lr := range lock.Roots {
+		if lr.Expr == "zlib" {
+			zlibHash = lr.Hash
+		}
+	}
+	zlibSpec, err := lock.Spec(zlibHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zlibRec, _ := s.Store.Lookup(zlibSpec)
+
+	if err := e.RemoveSpec("zlib"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != zlibHash {
+		t.Fatalf("removed = %v", res.Removed)
+	}
+	if s.Store.IsInstalled(zlibSpec) {
+		t.Error("zlib record survived removal")
+	}
+	if exists, _ := s.FS.Stat(zlibRec.Prefix); exists {
+		t.Error("zlib prefix survived removal")
+	}
+	if exists, _ := s.FS.Stat(h.Modules.FileName(zlibSpec)); exists {
+		t.Error("zlib module file survived removal")
+	}
+	lock, _ = e.ReadLock()
+	if len(lock.Roots) != 1 || lock.Roots[0].Expr != "libdwarf" {
+		t.Errorf("lock roots after removal = %+v", lock.Roots)
+	}
+}
+
+func TestRemoveSkippedWhenHeldByDependent(t *testing.T) {
+	s, h := newHost(t)
+	// envA needs libdwarf (whose DAG contains libelf); envB pins the same
+	// libelf configuration as a root.
+	a, err := env.Create(s.FS, core.EnvRoot, "a", []string{"libdwarf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	lockA, _ := a.ReadLock()
+	dwarf, _ := lockA.Spec(lockA.Roots[0].Hash)
+	var libelfExpr string
+	for _, n := range dwarf.TopoOrder() {
+		if n.Name == "libelf" {
+			v, _ := n.ConcreteVersion()
+			libelfExpr = "libelf@" + v.String()
+		}
+	}
+	if libelfExpr == "" {
+		t.Fatal("libdwarf DAG has no libelf")
+	}
+
+	b, err := env.Create(s.FS, core.EnvRoot, "b", []string{libelfExpr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	// envB walks away from libelf; libdwarf still needs it, so the install
+	// stays and the removal is reported as skipped.
+	if err := b.RemoveSpec(libelfExpr); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 || len(res.SkippedRemove) != 1 {
+		t.Fatalf("removed=%v skipped=%v", res.Removed, res.SkippedRemove)
+	}
+	for _, why := range res.SkippedRemove {
+		if !strings.Contains(why, "libdwarf") {
+			t.Errorf("skip reason = %q", why)
+		}
+	}
+}
+
+func TestEnvProvidersOverride(t *testing.T) {
+	s, h := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"mpileaks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Manifest.Providers = map[string][]string{"mpi": {"mvapich"}}
+	if err := e.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Plan(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := ""
+	for _, n := range p.Concrete[0].TopoOrder() {
+		if s.IsMPI(n.Name) {
+			found = n.Name
+		}
+	}
+	if found != "mvapich" {
+		t.Errorf("env provider override ignored: mpi = %q", found)
+	}
+
+	// The host's own concretizations are unaffected by the env override.
+	plain, err := s.Spec("mpileaks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range plain.TopoOrder() {
+		if n.Name == "mvapich" {
+			t.Error("env override leaked into host concretization")
+		}
+	}
+}
+
+func TestEnvCompilerOrderOverride(t *testing.T) {
+	s, h := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"zlib"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Manifest.CompilerOrder = "intel"
+	if err := e.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Plan(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Concrete[0].Compiler.Name; got != "intel" {
+		t.Errorf("compiler = %q, want intel", got)
+	}
+	plain, _ := s.Spec("zlib")
+	if plain.Compiler.Name == "intel" {
+		t.Error("env compiler order leaked into host concretization")
+	}
+}
+
+func TestUninstallRemovesEverythingAndKeepsManifest(t *testing.T) {
+	s, h := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"libdwarf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Manifest.View = &env.View{Path: "/spack/envs/dev/view"}
+	if err := e.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	if s.Store.Len() == 0 {
+		t.Fatal("nothing installed")
+	}
+	res, err := e.Uninstall(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 {
+		t.Errorf("removed = %v", res.Removed)
+	}
+	// The root is gone; the lockfile is retired; the manifest survives.
+	if exists, _ := s.FS.Stat(e.LockPath()); exists {
+		t.Error("lockfile survived uninstall")
+	}
+	if exists, _ := s.FS.Stat(e.ManifestPath()); !exists {
+		t.Error("manifest should survive uninstall")
+	}
+	if links, err := s.FS.List("/spack/envs/dev/view"); err == nil {
+		for _, name := range links {
+			if s.FS.IsSymlink("/spack/envs/dev/view/" + name) {
+				t.Errorf("view link %s survived uninstall", name)
+			}
+		}
+	}
+	// Reinstalling from the surviving manifest brings the env back.
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	if exists, _ := s.FS.Stat(e.LockPath()); !exists {
+		t.Error("reinstall did not write a lockfile")
+	}
+}
+
+func TestEnvViewLinksFollowTheDelta(t *testing.T) {
+	s, h := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"libelf@0.8.12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := "/spack/envs/dev/view"
+	e.Manifest.View = &env.View{Path: view, Projection: "${PACKAGE}"}
+	if err := e.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	old, err := s.FS.Readlink(view + "/libelf")
+	if err != nil {
+		t.Fatalf("libelf link missing: %v", err)
+	}
+
+	// Adding a newer libelf retargets the projected link; the old root
+	// leaves and its install goes with it.
+	if err := e.RemoveSpec("libelf@0.8.12"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddSpec("libelf@0.8.13"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	now, err := s.FS.Readlink(view + "/libelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now == old {
+		t.Error("link not retargeted to the new root")
+	}
+	if exists, _ := s.FS.Stat(old); exists {
+		t.Error("old root prefix survived")
+	}
+}
+
+// TestSharedViewConflictPolicies is the table-driven check that two
+// environments sharing one view resolve link conflicts by the declared
+// policy: "user" follows the owning environment's (user-scope) compiler
+// order, "site" pins the site scope's order regardless of it.
+func TestSharedViewConflictPolicies(t *testing.T) {
+	cases := []struct {
+		name     string
+		conflict string
+		want     string // compiler whose build the contested link targets
+	}{
+		{"user policy follows env order", "user", "intel"},
+		{"site policy pins site order", "site", "gcc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, h := newHost(t)
+			if err := s.Config.Site.SetCompilerOrder("gcc@4.9.2,intel"); err != nil {
+				t.Fatal(err)
+			}
+			view := "/spack/envs/shared-view"
+
+			// Environment a: the site-default gcc build.
+			a, err := env.Create(s.FS, core.EnvRoot, "a", []string{"zlib%gcc@4.9.2"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Manifest.View = &env.View{Path: view, Projection: "${PACKAGE}", Conflict: tc.conflict}
+			if err := a.SaveManifest(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Apply(h); err != nil {
+				t.Fatal(err)
+			}
+
+			// Environment b prefers intel and projects onto the same link.
+			b, err := env.Create(s.FS, core.EnvRoot, "b", []string{"zlib%intel"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Manifest.View = &env.View{Path: view, Projection: "${PACKAGE}", Conflict: tc.conflict}
+			b.Manifest.CompilerOrder = "intel,gcc@4.9.2"
+			if err := b.SaveManifest(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Apply(h); err != nil {
+				t.Fatal(err)
+			}
+
+			target, err := s.FS.Readlink(view + "/zlib")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lockB, _ := b.ReadLock()
+			intelSpec, _ := lockB.Spec(lockB.Roots[0].Hash)
+			intelRec, ok := s.Store.Lookup(intelSpec)
+			if !ok {
+				t.Fatal("intel build not installed")
+			}
+			lockA, _ := a.ReadLock()
+			gccSpec, _ := lockA.Spec(lockA.Roots[0].Hash)
+			gccRec, _ := s.Store.Lookup(gccSpec)
+
+			want := gccRec.Prefix
+			if tc.want == "intel" {
+				want = intelRec.Prefix
+			}
+			if target != want {
+				t.Errorf("contested link -> %q, want the %s build %q", target, tc.want, want)
+			}
+		})
+	}
+}
+
+// TestRemoveExposesShadowedInstall: when the preferred install leaves the
+// environment, the contested link falls back to the configuration it had
+// been shadowing instead of disappearing.
+func TestRemoveExposesShadowedInstall(t *testing.T) {
+	s, h := newHost(t)
+	view := "/spack/envs/dev/view"
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"libelf@0.8.12", "libelf@0.8.13"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Manifest.View = &env.View{Path: view, Projection: "${PACKAGE}"}
+	if err := e.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	lock, _ := e.ReadLock()
+	prefixes := map[string]string{} // version expr -> prefix
+	for _, lr := range lock.Roots {
+		sp, _ := lock.Spec(lr.Hash)
+		rec, _ := s.Store.Lookup(sp)
+		prefixes[lr.Expr] = rec.Prefix
+	}
+	if tgt, _ := s.FS.Readlink(view + "/libelf"); tgt != prefixes["libelf@0.8.13"] {
+		t.Fatalf("newer version should win the link: %q", tgt)
+	}
+
+	// Drop the winner: the link must retarget to the shadowed 0.8.12.
+	if err := e.RemoveSpec("libelf@0.8.13"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	if tgt, _ := s.FS.Readlink(view + "/libelf"); tgt != prefixes["libelf@0.8.12"] {
+		t.Errorf("shadowed install not exposed: link -> %q, want %q", tgt, prefixes["libelf@0.8.12"])
+	}
+}

@@ -1,0 +1,73 @@
+package env
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/syntax"
+	"repro/internal/txn"
+)
+
+// LockVersion is the spack.lock schema version this code writes.
+const LockVersion = 1
+
+// LockRoot pins one manifest entry to the full hash it concretized to.
+type LockRoot struct {
+	Expr string `json:"expr"`
+	Hash string `json:"hash"`
+}
+
+// Lock is the committed concretization of an environment — the spack.lock
+// file. Roots preserve manifest order; Specs maps each root's full hash to
+// its serialized concrete DAG, so a later process can reproduce (and
+// uninstall) exactly what was installed without re-concretizing.
+type Lock struct {
+	Version int                        `json:"version"`
+	Roots   []LockRoot                 `json:"roots"`
+	Specs   map[string]json.RawMessage `json:"specs"`
+}
+
+// Spec decodes the concrete DAG locked for a root hash.
+func (l *Lock) Spec(hash string) (*spec.Spec, error) {
+	raw, ok := l.Specs[hash]
+	if !ok {
+		return nil, fmt.Errorf("env: lockfile has no spec for hash %s", hash)
+	}
+	return syntax.DecodeJSON(raw)
+}
+
+// readLock loads a lockfile; a missing file is an empty lock (the
+// environment has never been installed).
+func readLock(fs *simfs.FS, path string) (*Lock, error) {
+	if exists, isDir := fs.Stat(path); !exists || isDir {
+		return &Lock{Version: LockVersion, Specs: map[string]json.RawMessage{}}, nil
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Lock
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("env: corrupt lockfile %s: %w", path, err)
+	}
+	if l.Version > LockVersion {
+		return nil, fmt.Errorf("env: lockfile %s has version %d, newer than this tool (%d)",
+			path, l.Version, LockVersion)
+	}
+	if l.Specs == nil {
+		l.Specs = map[string]json.RawMessage{}
+	}
+	return &l, nil
+}
+
+// writeLock persists a lockfile atomically (temp + rename), so readers
+// never observe a half-written lock.
+func writeLock(fs *simfs.FS, path string, l *Lock) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return txn.WriteFileAtomic(fs, path, append(data, '\n'))
+}

@@ -1,0 +1,108 @@
+package env
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleManifest = `# team environment
+spack:
+  specs:
+  - mpileaks ^mvapich
+  - dyninst
+  view:
+    path: /spack/envs/dev/view
+    projection: ${PACKAGE}-${VERSION}
+    conflict: site
+  config:
+    compiler_order: icc,gcc@4.6.1
+    providers:
+      mpi: [mvapich, mpich]
+`
+
+func TestParseManifestFull(t *testing.T) {
+	m, err := ParseManifest(sampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Specs) != 2 || m.Specs[0] != "mpileaks ^mvapich" || m.Specs[1] != "dyninst" {
+		t.Errorf("specs = %v", m.Specs)
+	}
+	if m.View == nil || m.View.Path != "/spack/envs/dev/view" {
+		t.Fatalf("view = %+v", m.View)
+	}
+	if m.View.Projection != "${PACKAGE}-${VERSION}" || m.View.ConflictPolicy() != "site" {
+		t.Errorf("view = %+v", m.View)
+	}
+	if m.CompilerOrder != "icc,gcc@4.6.1" {
+		t.Errorf("compiler_order = %q", m.CompilerOrder)
+	}
+	if got := m.Providers["mpi"]; len(got) != 2 || got[0] != "mvapich" || got[1] != "mpich" {
+		t.Errorf("providers = %v", m.Providers)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m, err := ParseManifest(sampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := m.Render()
+	back, err := ParseManifest(rendered)
+	if err != nil {
+		t.Fatalf("re-parse rendered manifest: %v\n%s", err, rendered)
+	}
+	if back.Render() != rendered {
+		t.Errorf("render not stable:\n%s\nvs\n%s", rendered, back.Render())
+	}
+	if len(back.Specs) != 2 || back.View == nil || back.View.Conflict != "site" ||
+		back.CompilerOrder != m.CompilerOrder || len(back.Providers["mpi"]) != 2 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestManifestDefaults(t *testing.T) {
+	m, err := ParseManifest("spack:\n  specs:\n  - zlib\n  view:\n    path: /v\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.View.ProjectionTemplate() != DefaultProjection {
+		t.Errorf("projection default = %q", m.View.ProjectionTemplate())
+	}
+	if m.View.ConflictPolicy() != "user" {
+		t.Errorf("conflict default = %q", m.View.ConflictPolicy())
+	}
+}
+
+func TestParseManifestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no spack section", "specs:\n- zlib\n", "no top-level"},
+		{"unknown section", "spack:\n  stuff:\n  - x\n", "unknown manifest section"},
+		{"unknown view key", "spack:\n  view:\n    pth: /v\n", "unknown view setting"},
+		{"view without path", "spack:\n  view:\n    projection: ${PACKAGE}\n", "view needs a path"},
+		{"bad conflict", "spack:\n  view:\n    path: /v\n    conflict: nobody\n", "conflict policy"},
+		{"tab indent", "spack:\n\tspecs:\n", "tabs"},
+		{"bare text", "spack:\n  specs:\n  - zlib\n  oops\n", "expected `key:`"},
+		{"duplicate key", "spack:\n  specs:\n  - a\n  specs:\n  - b\n", "duplicate key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseManifest(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestInlineListAndComments(t *testing.T) {
+	m, err := ParseManifest("spack:\n  specs: [zlib, libelf@0.8.13]\n  # trailing comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Specs) != 2 || m.Specs[1] != "libelf@0.8.13" {
+		t.Errorf("specs = %v", m.Specs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/simfs"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/txn"
 )
 
 // EnvPrefixVars are the path-like variables a module prepends for a package
@@ -127,6 +128,25 @@ func (g *Generator) GenerateAll(st store.Querier) ([]string, error) {
 // Remove deletes the module file for a spec (used on uninstall).
 func (g *Generator) Remove(s *spec.Spec) error {
 	return g.FS.Remove(g.FileName(s))
+}
+
+// StageGenerate renders the module file for one installed spec and stages
+// its (atomic) write into a transaction, returning the eventual path.
+// Nothing touches the filesystem until the transaction commits.
+func (g *Generator) StageGenerate(t *txn.Txn, s *spec.Spec, prefix string) string {
+	path := g.FileName(s)
+	body := Dotkit(s, prefix)
+	if g.Kind == KindTCL {
+		body = TCL(s, prefix)
+	}
+	t.StageWriteFile(path, []byte(body))
+	return path
+}
+
+// StageRemove stages deletion of a spec's module file into a transaction
+// (a missing file is a no-op, so replay after a crash converges).
+func (g *Generator) StageRemove(t *txn.Txn, s *spec.Spec) {
+	t.StageRemoveFile(g.FileName(s))
 }
 
 // ApplyDotkit simulates `use <module>`: it parses a dotkit file's

@@ -4,10 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/simfs"
 	"repro/internal/syntax"
+	"repro/internal/txn"
 )
 
 // On-disk layout under <root>/.spack-db:
@@ -148,22 +148,13 @@ func loadAnyLayout(fs *simfs.FS, dbDir string) (map[string]*Record, error) {
 	return records, nil
 }
 
-// tmpSeq disambiguates concurrent atomic writers targeting the same path.
-var tmpSeq uint64
-
 // writeFileAtomic writes data to a temp path in the target's directory and
 // renames it into place, so a crash or injected I/O failure mid-write
-// never leaves a truncated file at the final path.
+// never leaves a truncated file at the final path. It shares the
+// transaction layer's implementation: the database and the write-ahead
+// journal use the same durability protocol.
 func writeFileAtomic(fs *simfs.FS, path string, data []byte) error {
-	tmp := fmt.Sprintf("%s.tmp.%d", path, atomic.AddUint64(&tmpSeq, 1))
-	if err := fs.WriteFile(tmp, data); err != nil {
-		return err
-	}
-	if err := fs.Rename(tmp, path); err != nil {
-		_ = fs.Remove(tmp)
-		return err
-	}
-	return nil
+	return txn.WriteFileAtomic(fs, path, data)
 }
 
 // dbDir is the database directory under the store root.
@@ -220,13 +211,18 @@ func (st *Store) Reindex() (int, error) {
 }
 
 // Open creates a Store handle on an existing tree and loads its database
-// if one exists (otherwise the handle starts empty).
+// if one exists (otherwise the handle starts empty). Any transaction
+// journals left by a crashed process are resolved — committed ones
+// replayed, interrupted ones rolled back — before the handle is returned.
 func Open(fs *simfs.FS, root string, layout Layout, opts ...Option) (*Store, error) {
 	st, err := New(fs, root, layout, opts...)
 	if err != nil {
 		return nil, err
 	}
 	if err := st.Load(); err != nil && !errors.Is(err, ErrNoDatabase) {
+		return nil, err
+	}
+	if _, err := st.Recover(); err != nil {
 		return nil, err
 	}
 	return st, nil

@@ -280,6 +280,12 @@ func (ix *ShardedIndex) Load(fs *simfs.FS, dbDir string) error {
 	}
 
 	records := make(map[string]*Record)
+	// behind marks shards whose file disagrees with the manifest count: a
+	// crash between a shard rename and the manifest rename (Save writes
+	// shards first, manifest last) leaves the manifest one step stale. The
+	// shard file is the newer truth — adopt it and mark the shard dirty so
+	// the next Save rewrites the manifest back into agreement.
+	behind := make(map[string]bool)
 	for _, ms := range man.Shards {
 		path := dbDir + "/" + shardsDirName + "/" + ms.Prefix + ".json"
 		data, err := fs.ReadFile(path)
@@ -291,8 +297,7 @@ func (ix *ShardedIndex) Load(fs *simfs.FS, dbDir string) error {
 			return fmt.Errorf("store: corrupt shard %s: %w", ms.Prefix, err)
 		}
 		if len(entries) != ms.Count {
-			return fmt.Errorf("store: shard %s holds %d records, manifest says %d",
-				ms.Prefix, len(entries), ms.Count)
+			behind[ms.Prefix] = true
 		}
 		for h, r := range entries {
 			records[h] = r
@@ -300,7 +305,8 @@ func (ix *ShardedIndex) Load(fs *simfs.FS, dbDir string) error {
 	}
 	ix.Replace(records)
 	// Adopt the manifest's generations so an immediately following Save
-	// rewrites nothing.
+	// rewrites nothing — except shards the manifest trails, which stay
+	// dirty until a Save reconciles them.
 	ix.saveMu.Lock()
 	for i := range ix.shards {
 		sh := &ix.shards[i]
@@ -314,6 +320,9 @@ func (ix *ShardedIndex) Load(fs *simfs.FS, dbDir string) error {
 		sh.mu.Lock()
 		sh.gen = ms.Gen
 		sh.savedGen = ms.Gen
+		if behind[ms.Prefix] {
+			sh.gen = ms.Gen + 1
+		}
 		sh.mu.Unlock()
 	}
 	ix.saveMu.Unlock()

@@ -289,39 +289,7 @@ func (st *Store) Install(s *spec.Spec, explicit bool, builder func(prefix string
 // singleflight/promotion discipline is identical. External specs are
 // always recorded as OriginExternal regardless of the requested origin.
 func (st *Store) InstallFrom(s *spec.Spec, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
-	if !s.NodeConcrete() {
-		return nil, false, &InstallError{Spec: s.String(), Err: fmt.Errorf("spec is not concrete")}
-	}
-	hash := s.FullHash()
-	if r, ok := st.lookupPromote(hash, explicit); ok {
-		return r, false, nil
-	}
-
-	st.flightMu.Lock()
-	if f, ok := st.flights[hash]; ok {
-		// Another goroutine is already building this configuration: wait
-		// for it and share the result.
-		st.flightMu.Unlock()
-		<-f.done
-		if f.err != nil {
-			return nil, false, f.err
-		}
-		if explicit {
-			st.index.Promote(hash)
-		}
-		return f.rec, false, nil
-	}
-	f := &flight{done: make(chan struct{})}
-	st.flights[hash] = f
-	st.flightMu.Unlock()
-
-	rec, ran, err := st.installLeader(s, hash, explicit, origin, builder)
-	f.rec, f.err = rec, err
-	st.flightMu.Lock()
-	delete(st.flights, hash)
-	st.flightMu.Unlock()
-	close(f.done)
-	return rec, ran, err
+	return st.InstallTxn(nil, s, explicit, origin, builder)
 }
 
 // lookupPromote is the reuse fast path: present configurations are
@@ -336,44 +304,6 @@ func (st *Store) lookupPromote(hash string, explicit bool) (*Record, bool) {
 		st.index.Promote(hash)
 	}
 	return r, true
-}
-
-// installLeader performs the actual build + record insertion for the
-// single flight leader of a hash.
-func (st *Store) installLeader(s *spec.Spec, hash string, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
-	// Re-check under the flight: a previous leader may have finished
-	// between our fast-path miss and flight registration.
-	if r, ok := st.lookupPromote(hash, explicit); ok {
-		return r, false, nil
-	}
-
-	prefix := st.Prefix(s)
-	ran := false
-	if s.External {
-		// Externals are recorded but never built or written (§4.4).
-		prefix = s.Path
-		origin = OriginExternal
-	} else {
-		ran = true
-		if err := st.FS.MkdirAll(prefix); err != nil {
-			return nil, false, &InstallError{Spec: s.String(), Err: err}
-		}
-		if err := builder(prefix); err != nil {
-			// Clean the partial prefix so a retry starts fresh.
-			_ = st.FS.RemoveAll(prefix)
-			return nil, false, &InstallError{Spec: s.String(), Err: err}
-		}
-		if err := st.writeProvenance(s, prefix); err != nil {
-			return nil, false, &InstallError{Spec: s.String(), Err: err}
-		}
-	}
-
-	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: explicit, Origin: origin}
-	if winner, inserted := st.index.Insert(hash, r); !inserted {
-		// A concurrent writer (e.g. Reindex) beat us to the hash; reuse.
-		return winner, false, nil
-	}
-	return r, ran, nil
 }
 
 // writeProvenance stores the files §3.4.3 lists: the concrete spec (enough
@@ -466,30 +396,10 @@ func (e *UninstallError) Error() string {
 }
 
 // Uninstall removes an installed configuration. It refuses when other
-// installed specs depend on it, unless force is set.
+// installed specs depend on it, unless force is set. The removal runs as
+// its own journaled transaction.
 func (st *Store) Uninstall(s *spec.Spec, force bool) error {
-	hash := s.FullHash()
-	r, ok := st.index.Lookup(hash)
-	if !ok {
-		return &UninstallError{Spec: s.String(), Err: fmt.Errorf("not installed")}
-	}
-	if !force {
-		deps := st.DependentsOf(s)
-		if len(deps) > 0 {
-			var names []string
-			for _, d := range deps {
-				names = append(names, d.Spec.Name)
-			}
-			return &UninstallError{Spec: s.String(), Dependents: names}
-		}
-	}
-	if !r.Spec.External {
-		if err := st.FS.RemoveAll(r.Prefix); err != nil {
-			return &UninstallError{Spec: s.String(), Err: err}
-		}
-	}
-	st.index.Remove(hash)
-	return nil
+	return st.UninstallTxn(nil, s, force)
 }
 
 // Len reports how many configurations are installed.

@@ -1,0 +1,245 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/syntax"
+	"repro/internal/txn"
+)
+
+// journalDirName is the write-ahead journal directory, a sibling of the
+// database shards under <root>/.spack-db.
+const journalDirName = "journal"
+
+// JournalDir returns the store's transaction journal directory. Views and
+// module generators journal into the same directory, so one transaction
+// covers mutations across all the layers the store anchors.
+func (st *Store) JournalDir() string { return st.dbDir() + "/" + journalDirName }
+
+// applier applies journaled record operations to this store's index.
+// sync selects whether Commit/Recover also persist the database:
+// environment-level transactions and crash recovery do; per-node auto
+// transactions leave persistence to the caller's explicit Save, matching
+// the historical Install contract.
+type applier struct {
+	st   *Store
+	sync bool
+}
+
+func (a applier) InsertRecord(hash string, specJSON []byte, prefix string, explicit bool, origin string) error {
+	if _, ok := a.st.index.Lookup(hash); ok {
+		// Replay over a live index (or a recovered record): converge.
+		if explicit {
+			a.st.index.Promote(hash)
+		}
+		return nil
+	}
+	s, err := syntax.DecodeJSON(specJSON)
+	if err != nil {
+		return fmt.Errorf("store: corrupt journal record %s: %w", hash, err)
+	}
+	a.st.index.Insert(hash, &Record{Spec: s, Prefix: prefix, Explicit: explicit, Origin: origin})
+	return nil
+}
+
+func (a applier) RemoveRecord(hash string) error {
+	a.st.index.Remove(hash)
+	return nil
+}
+
+func (a applier) Sync() error {
+	if !a.sync {
+		return nil
+	}
+	return a.st.Save()
+}
+
+// Applier returns the store-side applier for transaction commit and
+// recovery: record operations land in this store's index and Sync
+// persists the database.
+func (st *Store) Applier() txn.Applier { return applier{st: st, sync: true} }
+
+// Recover replays committed journals and rolls back interrupted ones,
+// restoring the all-or-nothing guarantee after a crash. Open calls it
+// automatically; it is exported for tests and tooling. When anything was
+// replayed the database is saved.
+func (st *Store) Recover() (txn.RecoverStats, error) {
+	return txn.Recover(st.FS, st.JournalDir(), applier{st: st, sync: true})
+}
+
+// InstallTxn is Install staged into a caller-owned transaction: the
+// prefix is journaled before creation and the index record is staged as a
+// redo operation, so t.Commit/Rollback (or crash recovery) moves all of
+// the transaction's installs together. A nil transaction gives each
+// install its own journaled transaction, committed before returning —
+// the Install/InstallFrom behaviour.
+//
+// The record is inserted into the in-memory index immediately (not at
+// commit), so later work in the same transaction — dependency prefix
+// lookups, view computation — sees it; a rollback hook takes it back out.
+func (st *Store) InstallTxn(t *txn.Txn, s *spec.Spec, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
+	if !s.NodeConcrete() {
+		return nil, false, &InstallError{Spec: s.String(), Err: fmt.Errorf("spec is not concrete")}
+	}
+	hash := s.FullHash()
+	if r, ok := st.lookupPromote(hash, explicit); ok {
+		return r, false, nil
+	}
+
+	st.flightMu.Lock()
+	if f, ok := st.flights[hash]; ok {
+		// Another goroutine is already building this configuration: wait
+		// for it and share the result.
+		st.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		if explicit {
+			st.index.Promote(hash)
+		}
+		return f.rec, false, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	st.flights[hash] = f
+	st.flightMu.Unlock()
+
+	rec, ran, err := st.installLeader(t, s, hash, explicit, origin, builder)
+	f.rec, f.err = rec, err
+	st.flightMu.Lock()
+	delete(st.flights, hash)
+	st.flightMu.Unlock()
+	close(f.done)
+	return rec, ran, err
+}
+
+// installLeader performs the actual build + record staging for the single
+// flight leader of a hash.
+func (st *Store) installLeader(t *txn.Txn, s *spec.Spec, hash string, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
+	// Re-check under the flight: a previous leader may have finished
+	// between our fast-path miss and flight registration.
+	if r, ok := st.lookupPromote(hash, explicit); ok {
+		return r, false, nil
+	}
+
+	auto := t == nil
+	if auto {
+		t = txn.Begin(st.FS, st.JournalDir())
+	}
+	// fail aborts this node's install: an auto transaction rolls back
+	// whole; a shared one keeps its other work and lets the owner decide.
+	fail := func(err error) (*Record, bool, error) {
+		if auto {
+			_ = t.Rollback()
+		}
+		return nil, false, &InstallError{Spec: s.String(), Err: err}
+	}
+
+	prefix := st.Prefix(s)
+	ran := false
+	if s.External {
+		// Externals are recorded but never built or written (§4.4).
+		prefix = s.Path
+		origin = OriginExternal
+	} else {
+		ran = true
+		// Journal the prefix before its first byte exists, so a crash at
+		// any later point lets recovery remove the partial tree.
+		if err := t.RecordPrefix(prefix); err != nil {
+			return fail(err)
+		}
+		if err := st.FS.MkdirAll(prefix); err != nil {
+			return fail(err)
+		}
+		if err := builder(prefix); err != nil {
+			// Clean the partial prefix so a retry starts fresh. In a shared
+			// transaction only this node's work is undone here; the owner
+			// rolls back the rest.
+			_ = st.FS.RemoveAll(prefix)
+			return fail(err)
+		}
+		if err := st.writeProvenance(s, prefix); err != nil {
+			_ = st.FS.RemoveAll(prefix)
+			return fail(err)
+		}
+	}
+
+	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: explicit, Origin: origin}
+	if winner, inserted := st.index.Insert(hash, r); !inserted {
+		// A concurrent writer (e.g. Reindex) beat us to the hash; reuse its
+		// record. The winner owns the (identical) prefix, so do not roll
+		// the transaction back over it.
+		if auto {
+			_ = t.Commit(nil)
+		}
+		return winner, false, nil
+	}
+	t.OnRollback(func() { st.index.Remove(hash) })
+	specJSON, err := syntax.EncodeJSON(r.Spec)
+	if err != nil {
+		st.index.Remove(hash)
+		return fail(err)
+	}
+	t.StageInsertRecord(hash, specJSON, prefix, explicit, origin)
+
+	if auto {
+		if err := t.Commit(applier{st: st}); err != nil {
+			var ce *txn.CommitError
+			if !errors.As(err, &ce) {
+				// Pre-commit-point failure: undo this install entirely.
+				_ = t.Rollback()
+			}
+			return nil, false, &InstallError{Spec: s.String(), Err: err}
+		}
+	}
+	return r, ran, nil
+}
+
+// UninstallTxn is Uninstall staged into a caller-owned transaction: the
+// record removal and prefix deletion become redo operations, applied only
+// after the commit point (a deleted prefix cannot be rolled back). A nil
+// transaction commits immediately — the Uninstall behaviour.
+//
+// The record leaves the in-memory index immediately so later dependent
+// checks and view computation in the same transaction see the post-state;
+// a rollback hook restores it.
+func (st *Store) UninstallTxn(t *txn.Txn, s *spec.Spec, force bool) error {
+	hash := s.FullHash()
+	r, ok := st.index.Lookup(hash)
+	if !ok {
+		return &UninstallError{Spec: s.String(), Err: fmt.Errorf("not installed")}
+	}
+	if !force {
+		deps := st.DependentsOf(s)
+		if len(deps) > 0 {
+			var names []string
+			for _, d := range deps {
+				names = append(names, d.Spec.Name)
+			}
+			return &UninstallError{Spec: s.String(), Dependents: names}
+		}
+	}
+
+	auto := t == nil
+	if auto {
+		t = txn.Begin(st.FS, st.JournalDir())
+	}
+	st.index.Remove(hash)
+	t.OnRollback(func() { st.index.Insert(hash, r) })
+	t.StageRemoveRecord(hash)
+	if !r.Spec.External {
+		t.StageRemovePrefix(r.Prefix)
+	}
+	if auto {
+		if err := t.Commit(applier{st: st}); err != nil {
+			var ce *txn.CommitError
+			if !errors.As(err, &ce) {
+				_ = t.Rollback()
+			}
+			return &UninstallError{Spec: s.String(), Err: err}
+		}
+	}
+	return nil
+}

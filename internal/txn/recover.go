@@ -1,0 +1,85 @@
+package txn
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simfs"
+)
+
+// RecoverStats reports what recovery found in the journal directory.
+type RecoverStats struct {
+	// Replayed counts committed transactions whose redo logs were
+	// re-applied to completion.
+	Replayed int
+	// RolledBack counts interrupted (still-active) transactions whose
+	// created prefixes were removed.
+	RolledBack int
+}
+
+// Recover restores consistency after a crash: every journal still in dir
+// is resolved — committed transactions are rolled forward by replaying
+// their (idempotent) redo logs, active ones are rolled back by deleting
+// the prefixes they created — and then retired. Stray temp files from
+// interrupted journal flushes are swept. When anything was replayed, the
+// applier syncs once at the end. An absent journal directory means a
+// consistent system.
+func Recover(fs *simfs.FS, dir string, ap Applier) (RecoverStats, error) {
+	var stats RecoverStats
+	if dir == "" {
+		return stats, nil
+	}
+	if exists, isDir := fs.Stat(dir); !exists || !isDir {
+		return stats, nil
+	}
+	names, err := fs.List(dir)
+	if err != nil {
+		return stats, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := dir + "/" + name
+		if !strings.HasSuffix(name, ".json") {
+			// A temp file from a flush that never reached its rename; the
+			// transaction it belonged to decides nothing.
+			_ = fs.Remove(p)
+			continue
+		}
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			return stats, err
+		}
+		var doc journalDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			// Journal flushes are atomic (temp + rename), so a torn journal
+			// means corruption beyond a crash; refuse to guess.
+			return stats, fmt.Errorf("txn: corrupt journal %s: %w", name, err)
+		}
+		if doc.Status == statusCommitted {
+			for _, op := range doc.Ops {
+				if err := applyOp(fs, ap, op); err != nil {
+					return stats, fmt.Errorf("txn: replay %s: %w", doc.ID, err)
+				}
+			}
+			stats.Replayed++
+		} else {
+			for _, prefix := range doc.Created {
+				if err := fs.RemoveAll(prefix); err != nil {
+					return stats, fmt.Errorf("txn: rollback %s: %w", doc.ID, err)
+				}
+			}
+			stats.RolledBack++
+		}
+		if err := fs.Remove(p); err != nil {
+			return stats, err
+		}
+	}
+	if ap != nil && stats.Replayed > 0 {
+		if err := ap.Sync(); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

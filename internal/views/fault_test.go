@@ -1,0 +1,115 @@
+package views
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/simfs"
+	"repro/internal/txn"
+)
+
+// linkState renders every symlink under a directory as "name->target"
+// lines, the unit of comparison for the fault sweep.
+func linkState(fs *simfs.FS, dir string) string {
+	names, err := fs.List(dir)
+	if err != nil {
+		return ""
+	}
+	var out []string
+	for _, name := range names {
+		p := dir + "/" + name
+		if fs.IsSymlink(p) {
+			tgt, _ := fs.Readlink(p)
+			out = append(out, name+"->"+tgt)
+		}
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+// TestRefreshCrashNeverHalfLinks drives a three-way view update — one
+// link retargeted (libelf 0.8.12→0.8.13), one removed (zlib), one created
+// (libpng) — with a fault injected at every successive filesystem
+// operation of Refresh, and proves the recovered view is always the
+// complete old link set or the complete new one. A view is a user-facing
+// namespace: a half-updated one would present a toolchain that never
+// existed.
+func TestRefreshCrashNeverHalfLinks(t *testing.T) {
+	const viewDir = "/view"
+
+	// setup installs the initial store state on a healthy filesystem,
+	// refreshes once, then mutates the store to the post state WITHOUT
+	// refreshing — the delta is applied by the faulted Refresh under test.
+	setup := func(t *testing.T) (*env, *Manager) {
+		t.Helper()
+		e := newEnv(t)
+		e.cfg.Site.AddLinkRule("", viewDir+"/${PACKAGE}")
+		e.install(t, "libelf@0.8.12")
+		zlib := e.install(t, "zlib")
+		m := NewManager(e.fs, e.cfg, e.isMPI)
+		m.Journal = e.st.JournalDir()
+		if _, err := m.Refresh(e.st); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.st.Uninstall(zlib, true); err != nil {
+			t.Fatal(err)
+		}
+		e.install(t, "libelf@0.8.13") // newer version wins the libelf link
+		e.install(t, "libpng")
+		return e, m
+	}
+
+	// Reference states from one clean run.
+	refEnv, refM := setup(t)
+	before := linkState(refEnv.fs, viewDir)
+	if _, err := refM.Refresh(refEnv.st); err != nil {
+		t.Fatal(err)
+	}
+	after := linkState(refEnv.fs, viewDir)
+	if before == after || before == "" || after == "" {
+		t.Fatalf("degenerate scenario: before=%q after=%q", before, after)
+	}
+
+	sawOld, sawNew := false, false
+	for _, op := range []string{"write", "rename", "symlink", "remove", "mkdir"} {
+		t.Run(op, func(t *testing.T) {
+			for n := 0; ; n++ {
+				if n > 200 {
+					t.Fatal("fault sweep did not reach a clean run")
+				}
+				e, m := setup(t)
+				healthy := e.fs
+				m.FS = healthy.FailAfter(op, n)
+				_, err := m.Refresh(e.st)
+				if err != nil {
+					// The crashed process is gone; the next one recovers the
+					// journal on the healed filesystem (store.Open does this
+					// for real stores; the view has no index ops to apply).
+					if _, rerr := txn.Recover(healthy, e.st.JournalDir(), nil); rerr != nil {
+						t.Fatalf("%s at %d: recover: %v", op, n, rerr)
+					}
+				}
+				got := linkState(healthy, viewDir)
+				switch got {
+				case before:
+					sawOld = true
+				case after:
+					sawNew = true
+				default:
+					t.Fatalf("%s fault at %d: half-linked view:\n%s\n--- old ---\n%s\n--- new ---\n%s",
+						op, n, got, before, after)
+				}
+				if err == nil {
+					if got != after {
+						t.Fatalf("%s at %d: clean refresh but old state", op, n)
+					}
+					break
+				}
+			}
+		})
+	}
+	if !sawOld || !sawNew {
+		t.Errorf("sweep saw old=%v new=%v; want both outcomes", sawOld, sawNew)
+	}
+}

@@ -8,7 +8,6 @@
 package views
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -16,6 +15,7 @@ import (
 	"repro/internal/simfs"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/txn"
 )
 
 // ExpandTemplate substitutes the rule placeholders of §4.3.1 —
@@ -65,6 +65,15 @@ type Manager struct {
 	Config *config.Config
 	// IsMPI feeds the ${MPINAME} placeholder.
 	IsMPI func(name string) bool
+	// Journal is the transaction journal directory Refresh journals its
+	// own transactions into; empty disables the journal (link edits are
+	// still applied atomically via temp + rename). Wire it to the store's
+	// JournalDir so crashed refreshes are recovered with everything else.
+	Journal string
+	// Rank overrides the compiler preference used to break link conflicts;
+	// nil uses Config.CompilerRank (merged user-then-site order).
+	// Environment views use it to select the site/user conflict policy.
+	Rank func(spec.Compiler) int
 
 	links map[string]Link // path -> resolved link
 }
@@ -74,13 +83,21 @@ func NewManager(fs *simfs.FS, cfg *config.Config, isMPI func(string) bool) *Mana
 	return &Manager{FS: fs, Config: cfg, IsMPI: isMPI, links: make(map[string]Link)}
 }
 
+// rank resolves the compiler preference function in effect.
+func (m *Manager) rank(c spec.Compiler) int {
+	if m.Rank != nil {
+		return m.Rank(c)
+	}
+	return m.Config.CompilerRank(c)
+}
+
 // prefer reports whether candidate a beats b for the same link name,
 // implementing §4.3.1's order of preference: configured compiler order
 // first, then newer package versions, then newer compilers, then a
 // deterministic hash tiebreak.
 func (m *Manager) prefer(a, b *store.Record) bool {
-	ra := m.Config.CompilerRank(a.Spec.Compiler)
-	rb := m.Config.CompilerRank(b.Spec.Compiler)
+	ra := m.rank(a.Spec.Compiler)
+	rb := m.rank(b.Spec.Compiler)
 	if ra != rb {
 		return ra < rb
 	}
@@ -126,42 +143,79 @@ func (m *Manager) Compute(st store.Querier) []Link {
 	return out
 }
 
-// Refresh synchronizes the filesystem with the computed link set: stale
-// managed links are removed, new ones created, changed ones retargeted
-// (the automatic update on install/removal of §4.3.1).
-func (m *Manager) Refresh(st store.Querier) ([]Link, error) {
+// StageRefresh computes the desired link set and stages the filesystem
+// delta — stale links removed, missing ones created, changed ones
+// atomically retargeted — into a caller-owned transaction; nothing
+// touches the filesystem until the transaction commits. Each pruneDir is
+// additionally swept for symlinks that are physically present but no
+// longer desired (links materialized by an earlier process or by another
+// manager of a shared view directory).
+func (m *Manager) StageRefresh(t *txn.Txn, st store.Querier, pruneDirs ...string) ([]Link, error) {
 	desired := m.Compute(st)
 	want := make(map[string]Link, len(desired))
 	for _, l := range desired {
 		want[l.Path] = l
 	}
-	// Remove or retarget existing managed links.
-	for path, old := range m.links {
-		newLink, keep := want[path]
-		if keep && newLink.Target == old.Target {
-			continue
+	stale := make(map[string]bool)
+	for path := range m.links {
+		if _, keep := want[path]; !keep {
+			stale[path] = true
 		}
-		if err := m.FS.Remove(path); err != nil {
-			return nil, fmt.Errorf("views: removing stale link: %w", err)
-		}
-		delete(m.links, path)
 	}
-	// Create missing links.
-	for path, l := range want {
-		if _, exists := m.links[path]; exists {
+	for _, dir := range pruneDirs {
+		names, err := m.FS.List(dir)
+		if err != nil {
+			continue // view directory not materialized yet
+		}
+		for _, name := range names {
+			p := dir + "/" + name
+			if !m.FS.IsSymlink(p) {
+				continue
+			}
+			if _, keep := want[p]; !keep {
+				stale[p] = true
+			}
+		}
+	}
+	paths := make([]string, 0, len(stale))
+	for p := range stale {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		t.StageUnlink(p)
+	}
+	for _, l := range desired {
+		// Skip links already pointing at the chosen prefix; everything
+		// else is created or retargeted atomically at commit.
+		if cur, err := m.FS.Readlink(l.Path); err == nil && cur == l.Target {
 			continue
 		}
-		dir := path[:strings.LastIndexByte(path, '/')]
-		if dir == "" {
-			dir = "/"
+		t.StageLink(l.Path, l.Target)
+	}
+	t.OnCommit(func() {
+		m.links = make(map[string]Link, len(want))
+		for p, l := range want {
+			m.links[p] = l
 		}
-		if err := m.FS.MkdirAll(dir); err != nil {
-			return nil, err
-		}
-		if err := m.FS.Symlink(l.Target, path); err != nil {
-			return nil, err
-		}
-		m.links[path] = l
+	})
+	return desired, nil
+}
+
+// Refresh synchronizes the filesystem with the computed link set: stale
+// managed links are removed, new ones created, changed ones retargeted
+// (the automatic update on install/removal of §4.3.1). The whole delta
+// runs as one journaled transaction, so a crash mid-update never leaves
+// the view half-linked.
+func (m *Manager) Refresh(st store.Querier) ([]Link, error) {
+	t := txn.Begin(m.FS, m.Journal)
+	desired, err := m.StageRefresh(t, st)
+	if err != nil {
+		_ = t.Rollback()
+		return nil, err
+	}
+	if err := t.Commit(nil); err != nil {
+		return nil, err
 	}
 	return desired, nil
 }
