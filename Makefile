@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-check crash-race experiments examples vet clean
+.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-service bench-check crash-race experiments examples vet clean
 
 all: vet test
 
@@ -52,11 +52,22 @@ bench-env:
 		| go run ./cmd/benchjson -o BENCH_env.json
 	cat BENCH_env.json
 
+# Buildcache-service benchmarks: a 256-client thundering herd of
+# installs against the HTTP daemon (cold store, then warm), rendered to
+# BENCH_service.json with the derived herd-coalescing ratio (clients
+# per cache-miss build).
+bench-service:
+	go test -run '^$$' -bench 'ServiceInstallHerd' -benchmem . \
+		| tee bench_service.txt \
+		| go run ./cmd/benchjson -o BENCH_service.json
+	cat BENCH_service.json
+
 # Regression gate: every committed benchmark report must clear its
 # declared acceptance bar (warm concretize ≥10x, sharded store ≥2x at 8
-# workers, cached ARES install ≥5x, warm env lockfile ≥10x).
+# workers, cached ARES install ≥5x, warm env lockfile ≥10x, service
+# herd coalescing ≥8 clients per cache-miss build).
 bench-check:
-	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json
+	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json BENCH_service.json
 
 # The transactional-integrity suite under the race detector: every
 # crash-injection sweep (journal recovery, env apply/uninstall, view
@@ -76,4 +87,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt bench_service.txt

@@ -30,6 +30,9 @@ var bars = []bar{
 	// Environments: `env install` on an unchanged lockfile is a no-op
 	// diff ≥10x cheaper than the cold install it short-circuits.
 	{"env_warm_lockfile_speedup", 10},
+	// Buildcache service: the install herd must coalesce ≥8 concurrent
+	// clients per cache-miss build (measured at 256 clients ⇒ 1 build).
+	{"service_herd_coalescing", 8},
 }
 
 // checkReport evaluates one parsed report against the declared bars,

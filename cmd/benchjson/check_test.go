@@ -117,6 +117,25 @@ func TestDeriveEnvWarmSpeedup(t *testing.T) {
 	}
 }
 
+func TestDeriveServiceHerdCoalescing(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkServiceInstallHerd/herd/c256",
+			Metrics: map[string]float64{"clients": 256, "source-builds": 1}},
+	}
+	d := derive(benches)
+	if got := d["service_herd_coalescing"]; got != 256 {
+		t.Errorf("service_herd_coalescing = %v, want 256", got)
+	}
+	if _, fails := checkReport("x.json", report(d)); len(fails) != 0 {
+		t.Errorf("derived service report should clear its bar: %v", fails)
+	}
+	// A daemon that never coalesces (one build per client) misses the bar.
+	benches[0].Metrics["source-builds"] = 256
+	if _, fails := checkReport("x.json", report(derive(benches))); len(fails) != 1 {
+		t.Errorf("uncoalesced herd must miss the bar: %v", fails)
+	}
+}
+
 func TestParseLineCustomMetrics(t *testing.T) {
 	b, procs, ok := parseLine("BenchmarkBuildcacheARES/cached/j8-8 \t 3\t  33796699 ns/op\t 47.00 dag-nodes\t 0.058 virtual-sec")
 	if !ok {

@@ -174,6 +174,15 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 	if srcNs > 0 && cachedNs > 0 {
 		d["buildcache_real_speedup_j8"] = srcNs / cachedNs
 	}
+	// Buildcache service: the coalescing ratio of the install herd — how
+	// many concurrent clients the daemon collapses onto each cache-miss
+	// build. With server-side singleflight working this equals the herd
+	// size; without it, it degrades toward 1.
+	hClients := metric("BenchmarkServiceInstallHerd/herd/c256", "clients")
+	hBuilds := metric("BenchmarkServiceInstallHerd/herd/c256", "source-builds")
+	if hClients > 0 && hBuilds > 0 {
+		d["service_herd_coalescing"] = hClients / hBuilds
+	}
 	// Environments: re-running `env install` against an unchanged lockfile
 	// must be a cheap no-op diff, not a second install.
 	envCold := ns("BenchmarkEnvInstall/cold")

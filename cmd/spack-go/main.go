@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/modules"
 	"repro/internal/repo"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -45,6 +46,7 @@ commands:
   diff <specA> <specB>   compare two concretized configurations
   lmod <spec>...         install specs and generate an Lmod hierarchy
   table1 <spec>          render a concretized spec under each site layout
+  serve                  run the buildcache/concretize/install HTTP daemon
   buildcache push <spec>...   install specs and pack them as binary archives
   buildcache pull <spec>...   install specs from binary archives only
   buildcache list             list cached binary archives
@@ -73,6 +75,7 @@ func main() {
 		flagCache     = flag.String("concretize-cache", "", "persist the concretization memo cache to this file across invocations")
 		flagNoBinary  = flag.Bool("no-cache", false, "never install from the binary build cache")
 		flagOnlyCache = flag.Bool("cache-only", false, "install from the binary build cache only; never build from source")
+		flagCacheURL  = flag.String("cache-url", "", "push/pull binary archives via a remote spack-go serve daemon at this URL")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -97,6 +100,9 @@ func main() {
 	}
 	if *flagOnlyCache {
 		opts = append(opts, core.WithCachePolicy(build.CacheOnly))
+	}
+	if *flagCacheURL != "" {
+		opts = append(opts, core.WithBuildCacheBackend(service.NewHTTPBackend(*flagCacheURL)))
 	}
 	if *flagAres {
 		opts = append(opts, core.WithRepos(ares.Repo()))
@@ -173,6 +179,8 @@ func run(w io.Writer, s *core.Spack, cmd string, args []string) error {
 		return cmdLmod(w, s, args)
 	case "table1":
 		return cmdTable1(w, s, args)
+	case "serve":
+		return cmdServe(w, s, args)
 	case "buildcache":
 		return cmdBuildcache(w, s, args)
 	case "env":

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// cmdServe runs the buildcache-as-a-service daemon: blob storage for
+// binary archives, shared concretization, and coalesced installs over
+// HTTP. Remote machines point `spack-go -cache-url` (or an
+// HTTPBackend) at it.
+func cmdServe(w io.Writer, s *core.Spack, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	addr := fs.String("addr", "127.0.0.1:8587", "listen address")
+	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
+	runFor := fs.Duration("for", 0, "serve for this long, then shut down (0 = until SIGINT/SIGTERM)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logw := io.Writer(w)
+	if *quiet {
+		logw = io.Discard
+	}
+	srv := service.NewServer(service.Config{
+		Mirror:      s.Mirror,
+		Concretizer: s.Concretizer,
+		Builder:     s.Builder,
+		Log:         logw,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "==> serving on http://%s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if *runFor > 0 {
+		select {
+		case <-time.After(*runFor):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(w, "==> shut down: %d blob, %d concretize, %d install requests; %d coalesced, %d source builds\n",
+		st.Blobs.Requests, st.Concretize.Requests, st.Install.Requests,
+		st.Install.Coalesced, st.SourceBuilds)
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// syncBuf is a strings.Builder safe to read while cmdServe's request
+// logger writes to it from server goroutines.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestCmdServe(t *testing.T) {
+	s := newCLI(t)
+	var buf syncBuf
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(&buf, s, "serve", []string{"-addr", "127.0.0.1:0", "-for", "1500ms"})
+	}()
+
+	// The daemon announces its bound address once it is listening.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if out := buf.String(); strings.Contains(out, "==> serving on ") {
+			line := out[strings.Index(out, "http://"):]
+			base = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced an address:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := service.NewClient(base).Install("libelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SourceBuilt == 0 {
+		t.Fatalf("install over CLI daemon built nothing: %+v", resp)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "POST /v1/install 200") {
+		t.Errorf("request log missing install line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 install requests") || !strings.Contains(out, "1 source builds") {
+		t.Errorf("shutdown summary missing counters:\n%s", out)
+	}
+}
+
+func TestCmdServeUsageInHelp(t *testing.T) {
+	// The serve flag set reports its own usage on bad flags instead of
+	// crashing the process.
+	s := newCLI(t)
+	var buf syncBuf
+	if err := run(&buf, s, "serve", []string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad serve flag did not error")
+	}
+}

@@ -17,6 +17,10 @@ type Backend interface {
 	Put(name string, data []byte) error
 	// Get returns a payload, reporting whether the name exists.
 	Get(name string) ([]byte, bool, error)
+	// Stat reports whether a name exists without transferring the
+	// payload — the builder's cheap cache probe, and an HTTP HEAD for
+	// remote backends.
+	Stat(name string) (ok bool, err error)
 	// List returns the stored names, sorted.
 	List() ([]string, error)
 }
@@ -38,6 +42,11 @@ func (b *MirrorBackend) Put(name string, data []byte) error {
 func (b *MirrorBackend) Get(name string) ([]byte, bool, error) {
 	data, ok := b.Mirror.Blob(blobPrefix + name)
 	return data, ok, nil
+}
+
+func (b *MirrorBackend) Stat(name string) (bool, error) {
+	_, ok := b.Mirror.BlobSum(blobPrefix + name)
+	return ok, nil
 }
 
 func (b *MirrorBackend) List() ([]string, error) {
@@ -96,6 +105,11 @@ func (b *FSBackend) Get(name string) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	return data, true, nil
+}
+
+func (b *FSBackend) Stat(name string) (bool, error) {
+	exists, isDir := b.FS.Stat(b.Root + "/" + name)
+	return exists && !isDir, nil
 }
 
 func (b *FSBackend) List() ([]string, error) {

@@ -109,8 +109,10 @@ func New(be Backend) *Cache { return &Cache{be: be} }
 
 // Has reports whether an archive (and its checksum) exists for a full
 // spec hash — the builder's cheap pre-check before attempting a Pull.
+// It stats the checksum record instead of pulling it, so remote
+// backends answer with a HEAD rather than a whole-archive transfer.
 func (c *Cache) Has(hash string) bool {
-	_, ok, err := c.be.Get(checksumName(hash))
+	ok, err := c.be.Stat(checksumName(hash))
 	return ok && err == nil
 }
 

@@ -209,21 +209,30 @@ func (e *UnknownVariantError) Error() string {
 // concretizations are never cached — the error path re-runs so callers
 // always see the current diagnosis.
 func (c *Concretizer) Concretize(abstract *spec.Spec) (*spec.Spec, error) {
+	out, _, err := c.ConcretizeCached(abstract)
+	return out, err
+}
+
+// ConcretizeCached is Concretize, additionally reporting whether the
+// result was answered from the memo cache — the per-request hit signal
+// the buildcache service's /v1/concretize counters expose.
+func (c *Concretizer) ConcretizeCached(abstract *spec.Spec) (*spec.Spec, bool, error) {
 	if c.Cache == nil {
-		return c.concretizeUncached(abstract)
+		out, err := c.concretizeUncached(abstract)
+		return out, false, err
 	}
 	key := c.cacheKey(abstract)
 	if hit, ok := c.Cache.Get(key); ok {
 		c.Stats.cacheHits.Add(1)
-		return hit, nil
+		return hit, true, nil
 	}
 	c.Stats.cacheMisses.Add(1)
 	out, err := c.concretizeUncached(abstract)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.Stats.cacheEvictions.Add(c.Cache.Put(key, out))
-	return out, nil
+	return out, false, nil
 }
 
 // concretizeUncached is the full solve behind Concretize.

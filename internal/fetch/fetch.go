@@ -8,6 +8,7 @@ package fetch
 
 import (
 	"crypto/md5"
+	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"regexp"
@@ -94,6 +95,7 @@ type Mirror struct {
 	mu         sync.RWMutex
 	releases   map[string][]version.Version // package -> available versions
 	blobs      map[string][]byte            // name -> opaque payload
+	blobSums   map[string]string            // name -> SHA-256 hex, recorded at PutBlob
 	fetches    int
 	blobReads  int
 	blobWrites int
@@ -104,6 +106,7 @@ func NewMirror() *Mirror {
 	return &Mirror{
 		releases: make(map[string][]version.Version),
 		blobs:    make(map[string][]byte),
+		blobSums: make(map[string]string),
 	}
 }
 
@@ -172,14 +175,41 @@ func (m *Mirror) Fetch(name string, v version.Version, expectMD5 string) ([]byte
 }
 
 // PutBlob stores (or replaces) an opaque named payload on the mirror.
-// The mirror copies the bytes, so callers may reuse their buffer.
+// The mirror copies the bytes, so callers may reuse their buffer. The
+// payload's SHA-256 is recorded at write time, so integrity consumers
+// (ETags, existence probes) never re-hash on the read path.
 func (m *Mirror) PutBlob(name string, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	sum := sha256.Sum256(buf)
 	m.mu.Lock()
 	m.blobs[name] = buf
+	m.blobSums[name] = hex.EncodeToString(sum[:])
 	m.blobWrites++
 	m.mu.Unlock()
+}
+
+// BlobSum returns the SHA-256 hex digest recorded when a named blob was
+// stored, reporting whether the blob exists. It never reads (or hashes)
+// the payload.
+func (m *Mirror) BlobSum(name string) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	sum, ok := m.blobSums[name]
+	return sum, ok
+}
+
+// BlobStat reports a blob's existence, size, and recorded SHA-256
+// without copying the payload — the mirror-side answer to a HEAD
+// request.
+func (m *Mirror) BlobStat(name string) (size int64, sum string, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, exists := m.blobs[name]
+	if !exists {
+		return 0, "", false
+	}
+	return int64(len(data)), m.blobSums[name], true
 }
 
 // Blob returns a copy of a named payload, reporting whether it exists.
@@ -200,6 +230,7 @@ func (m *Mirror) Blob(name string) ([]byte, bool) {
 func (m *Mirror) DeleteBlob(name string) {
 	m.mu.Lock()
 	delete(m.blobs, name)
+	delete(m.blobSums, name)
 	m.mu.Unlock()
 }
 

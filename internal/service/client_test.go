@@ -1,0 +1,332 @@
+package service_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// fastBackend returns an HTTPBackend with no real backoff, so fault
+// tests exercise the retry logic without sleeping.
+func fastBackend(base string) *service.HTTPBackend {
+	be := service.NewHTTPBackend(base)
+	be.Backoff = time.Microsecond
+	return be
+}
+
+func TestHTTPBackendRoundTrip(t *testing.T) {
+	_, _, ts := newDaemon(t)
+	be := fastBackend(ts.URL)
+
+	if ok, err := be.Stat("missing"); err != nil || ok {
+		t.Fatalf("Stat(missing) = %v, %v", ok, err)
+	}
+	if _, found, err := be.Get("missing"); err != nil || found {
+		t.Fatalf("Get(missing) = found=%v, %v", found, err)
+	}
+	payload := []byte("archive payload")
+	if err := be.Put("abc.spack.json", payload); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := be.Stat("abc.spack.json"); err != nil || !ok {
+		t.Fatalf("Stat after Put = %v, %v", ok, err)
+	}
+	data, found, err := be.Get("abc.spack.json")
+	if err != nil || !found || string(data) != string(payload) {
+		t.Fatalf("Get = %q, %v, %v", data, found, err)
+	}
+}
+
+// TestRemoteBuildcachePushPull is the deployment the daemon exists
+// for: one machine pushes binary archives over HTTP, a second machine
+// on another (simulated) filesystem installs the whole DAG from them,
+// never compiling.
+func TestRemoteBuildcachePushPull(t *testing.T) {
+	_, _, ts := newDaemon(t)
+
+	pusher := core.MustNew(core.WithBuildCacheBackend(service.NewHTTPBackend(ts.URL)))
+	res, err := pusher.Install("libdwarf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pusher.BuildCache.PushDAG(pusher.Store, res.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	puller := core.MustNew(
+		core.WithBuildCacheBackend(service.NewHTTPBackend(ts.URL)),
+		core.WithCachePolicy(build.CacheOnly),
+	)
+	got, err := puller.Install("libdwarf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHits == 0 {
+		t.Fatalf("cache-only install over HTTP reported no cache hits: %+v", got)
+	}
+	for _, n := range got.Root.TopoOrder() {
+		if n.External {
+			continue
+		}
+		rec, ok := puller.Store.Lookup(n)
+		if !ok {
+			t.Fatalf("%s missing after remote pull", n.Name)
+		}
+		if rec.Origin != store.OriginBinary {
+			t.Fatalf("%s origin = %q, want %q", n.Name, rec.Origin, store.OriginBinary)
+		}
+	}
+}
+
+func TestGetRetries500ThenSucceeds(t *testing.T) {
+	payload := []byte("flaky payload")
+	sum := sha256.Sum256(payload)
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			http.Error(w, "backend unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("ETag", `"`+hex.EncodeToString(sum[:])+`"`)
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	be := fastBackend(ts.URL)
+	data, found, err := be.Get("x")
+	if err != nil || !found || string(data) != string(payload) {
+		t.Fatalf("Get = %q, %v, %v", data, found, err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two 503s, one success)", got)
+	}
+}
+
+func TestGetRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "down for maintenance", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	be := fastBackend(ts.URL)
+	be.Retries = 2
+	_, _, err := be.Get("x")
+	if err == nil || !strings.Contains(err.Error(), "server said 500") {
+		t.Fatalf("err = %v, want persistent 500", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestGetDoesNotRetryClientErrors(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "no", http.StatusForbidden)
+	}))
+	defer ts.Close()
+
+	if _, _, err := fastBackend(ts.URL).Get("x"); err == nil {
+		t.Fatal("403 did not surface as an error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("client retried a 403 (%d attempts)", got)
+	}
+}
+
+// TestGetTruncatedBodyRefetches models a connection dropped mid-
+// transfer: the server promises more bytes than it delivers, the
+// client detects the torn payload and re-fetches.
+func TestGetTruncatedBodyRefetches(t *testing.T) {
+	payload := []byte("the whole archive, all of it")
+	sum := sha256.Sum256(payload)
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"`+hex.EncodeToString(sum[:])+`"`)
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Content-Length", fmt.Sprint(len(payload)))
+			w.Write(payload[:len(payload)/2])
+			// Returning with Content-Length unmet makes the server
+			// abort the connection; the client sees unexpected EOF.
+			return
+		}
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	data, found, err := fastBackend(ts.URL).Get("x")
+	if err != nil || !found || string(data) != string(payload) {
+		t.Fatalf("Get = %q, %v, %v", data, found, err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+// TestGetETagMismatchRefetches models silent payload corruption: the
+// body does not hash to the server's ETag, so the client refuses it
+// and re-fetches.
+func TestGetETagMismatchRefetches(t *testing.T) {
+	payload := []byte("genuine bytes")
+	sum := sha256.Sum256(payload)
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"`+hex.EncodeToString(sum[:])+`"`)
+		if attempts.Add(1) == 1 {
+			w.Write([]byte("corrupted bytes~~"))
+			return
+		}
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	data, found, err := fastBackend(ts.URL).Get("x")
+	if err != nil || !found || string(data) != string(payload) {
+		t.Fatalf("Get = %q, %v, %v", data, found, err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestGetETagMismatchPersistentFails(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"`+strings.Repeat("0", 64)+`"`)
+		w.Write([]byte("never matches"))
+	}))
+	defer ts.Close()
+
+	be := fastBackend(ts.URL)
+	be.Retries = 2
+	_, _, err := be.Get("x")
+	if err == nil || !strings.Contains(err.Error(), "does not match ETag") {
+		t.Fatalf("err = %v, want ETag mismatch", err)
+	}
+}
+
+func TestPutRetries500ThenSucceeds(t *testing.T) {
+	var attempts atomic.Int64
+	_, _, real := newDaemon(t)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			http.Error(w, "hiccup", http.StatusBadGateway)
+			return
+		}
+		req, _ := http.NewRequest(r.Method, real.URL+r.URL.Path, r.Body)
+		req.Header = r.Header
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+	}))
+	defer proxy.Close()
+
+	be := fastBackend(proxy.URL)
+	if err := be.Put("retry.bin", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// The payload must have landed on the real daemon after the retry.
+	if ok, err := fastBackend(real.URL).Stat("retry.bin"); err != nil || !ok {
+		t.Fatalf("Stat after retried Put = %v, %v", ok, err)
+	}
+}
+
+// TestConcurrentRemotePullsCoalesce is the -race herd test: many
+// concurrent clients drive installs of one spec through the daemon
+// whose binary cache was populated over HTTP; server-side singleflight
+// must collapse them onto a single cache pull and zero source builds.
+func TestConcurrentRemotePullsCoalesce(t *testing.T) {
+	_, srv, ts := newDaemon(t)
+
+	pusher := core.MustNew(core.WithBuildCacheBackend(service.NewHTTPBackend(ts.URL)))
+	res, err := pusher.Install("mpileaks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pusher.BuildCache.PushDAG(pusher.Store, res.Root); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	hits := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := service.NewClient(ts.URL).Install("mpileaks")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.SourceBuilt != 0 {
+				errs[i] = fmt.Errorf("client %d saw %d source builds", i, resp.SourceBuilt)
+				return
+			}
+			hits[i] = resp.CacheHits
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total == 0 {
+		t.Fatal("no client observed a binary-cache install")
+	}
+	st := srv.Stats()
+	if st.SourceBuilds != 0 {
+		t.Fatalf("warm-cache herd triggered %d source builds", st.SourceBuilds)
+	}
+	if st.Install.Requests != clients {
+		t.Fatalf("install requests = %d, want %d", st.Install.Requests, clients)
+	}
+	// Concurrent HTTPBackend reads against the same daemon race-test
+	// the blob path as well.
+	be := fastBackend(ts.URL)
+	names, err := be.List()
+	if err != nil || len(names) == 0 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	var rg sync.WaitGroup
+	readErrs := make([]error, len(names))
+	for i, name := range names {
+		rg.Add(1)
+		go func(i int, name string) {
+			defer rg.Done()
+			if _, found, err := be.Get(name); err != nil || !found {
+				readErrs[i] = fmt.Errorf("get %s: found=%v err=%v", name, found, err)
+			}
+		}(i, name)
+	}
+	rg.Wait()
+	for _, err := range readErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

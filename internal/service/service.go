@@ -1,0 +1,368 @@
+// Package service is the buildcache-as-a-service daemon: a net/http
+// front end over the store + mirror that turns the paper's §4 one-site-
+// pushes-many-pull deployment into a long-running multi-client service.
+//
+// The daemon exposes three request families:
+//
+//   - content-addressed blobs (GET/PUT/HEAD /v1/blobs/{name}) with
+//     SHA-256 ETags, If-None-Match conditional gets, and Range reads —
+//     the byte transport remote buildcache backends (HTTPBackend) push
+//     and pull relocatable archives through;
+//   - POST /v1/concretize, answered from the shared concretizer memo
+//     cache so a fleet of clients amortizes one solve;
+//   - POST /v1/install with server-side per-full-hash singleflight: a
+//     thundering herd of clients installing the same spec triggers
+//     exactly one cache-miss build, and every other request blocks on
+//     (and shares) that build's outcome.
+//
+// The server carries request logging, per-endpoint counters (requests,
+// hits, singleflight-coalesced, bytes in/out), a JSON stats endpoint,
+// and graceful shutdown; `spack-go serve` wires a full machine behind
+// it.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/concretize"
+	"repro/internal/fetch"
+	"repro/internal/spec"
+	"repro/internal/syntax"
+)
+
+// Config wires a Server to the machine it fronts.
+type Config struct {
+	// Mirror is the blob store the daemon serves; buildcache archives
+	// live under its build_cache/ namespace.
+	Mirror *fetch.Mirror
+	// Concretizer answers /v1/concretize and resolves /v1/install
+	// specs; its memo cache is the service's shared solve cache.
+	Concretizer *concretize.Concretizer
+	// Builder performs server-side installs for /v1/install (its own
+	// cache-first policy applies, so archived hashes install by
+	// relocation instead of compilation).
+	Builder *build.Builder
+	// Log receives one line per request; nil discards.
+	Log io.Writer
+}
+
+// Server is the daemon. Create with NewServer, mount as an
+// http.Handler (tests) or run with Start/Shutdown (the CLI).
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	hs      *http.Server
+	flights flightGroup
+	stats   stats
+	logMu   sync.Mutex
+}
+
+// NewServer assembles the daemon's routes around a configuration.
+func NewServer(cfg Config) *Server {
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	s := &Server{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/blobs", s.handleBlobList)
+	mux.HandleFunc("GET /v1/blobs/{name...}", s.handleBlobGet)
+	mux.HandleFunc("PUT /v1/blobs/{name...}", s.handleBlobPut)
+	mux.HandleFunc("POST /v1/concretize", s.handleConcretize)
+	mux.HandleFunc("POST /v1/install", s.handleInstall)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches one request through the logging and counting
+// middleware. (GET patterns also match HEAD, so HEAD /v1/blobs/{name}
+// is served by the blob handler with the body elided.)
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(cw, r)
+
+	ep := s.stats.endpoint(r.URL.Path)
+	ep.requests.Add(1)
+	ep.bytesOut.Add(cw.bytes)
+	// A 304 is the blob fast path: the client's cached copy validated
+	// against the ETag and no payload moved.
+	if cw.status == http.StatusNotModified {
+		ep.hits.Add(1)
+	}
+
+	s.logMu.Lock()
+	fmt.Fprintf(s.cfg.Log, "%s %s %d %dB %v\n",
+		r.Method, r.URL.Path, cw.status, cw.bytes, time.Since(start).Round(time.Microsecond))
+	s.logMu.Unlock()
+}
+
+// Start listens on addr (use port 0 for an ephemeral port) and serves
+// in the background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.hs = &http.Server{Handler: s}
+	go func() { _ = s.hs.Serve(lis) }()
+	return lis.Addr().String(), nil
+}
+
+// Shutdown stops accepting connections and drains in-flight requests
+// until the context expires — coalesced installs finish delivering
+// their shared result before the daemon exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// Stats snapshots the per-endpoint counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// countingWriter records the status and payload bytes of a response.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// BlobInfo is one entry of the blob listing.
+type BlobInfo struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	Sha256 string `json:"sha256"`
+}
+
+func (s *Server) handleBlobList(w http.ResponseWriter, r *http.Request) {
+	names := s.cfg.Mirror.Blobs()
+	out := make([]BlobInfo, 0, len(names))
+	for _, name := range names {
+		size, sum, ok := s.cfg.Mirror.BlobStat(name)
+		if !ok {
+			continue
+		}
+		out = append(out, BlobInfo{Name: name, Size: size, Sha256: sum})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, ok := s.cfg.Mirror.Blob(name)
+	if !ok {
+		http.Error(w, "no such blob: "+name, http.StatusNotFound)
+		return
+	}
+	// The ETag is the SHA-256 the mirror recorded at PutBlob time — no
+	// re-hash on the read path. ServeContent implements If-None-Match
+	// (304), Range/If-Range (206), and HEAD against it.
+	sum, _ := s.cfg.Mirror.BlobSum(name)
+	w.Header().Set("ETag", `"`+sum+`"`)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, "", time.Time{}, bytes.NewReader(data))
+}
+
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sum := sha256.Sum256(data)
+	sumHex := hex.EncodeToString(sum[:])
+	// An uploader that declares the payload's digest gets end-to-end
+	// integrity: a body torn in transit is rejected, not stored.
+	if want := r.Header.Get("X-Content-Sha256"); want != "" && want != sumHex {
+		http.Error(w, fmt.Sprintf("payload sha256 %s does not match declared %s", sumHex, want),
+			http.StatusBadRequest)
+		return
+	}
+	s.cfg.Mirror.PutBlob(name, data)
+	s.stats.blobs.bytesIn.Add(int64(len(data)))
+	w.Header().Set("ETag", `"`+sumHex+`"`)
+	w.WriteHeader(http.StatusCreated)
+}
+
+// ConcretizeRequest is the body of POST /v1/concretize and /v1/install.
+type ConcretizeRequest struct {
+	// Spec is an abstract spec expression, e.g. "mpileaks ^mvapich2@2.0".
+	Spec string `json:"spec"`
+}
+
+// ConcretizeResponse carries a concretized DAG back to the client.
+type ConcretizeResponse struct {
+	// Spec is the flat concrete string (readable; loses edge fidelity).
+	Spec string `json:"spec"`
+	// FullHash identifies the configuration (the buildcache key).
+	FullHash string `json:"full_hash"`
+	// DAG is the store-database spec JSON; syntax.DecodeJSON restores
+	// the exact DAG, edges and all.
+	DAG json.RawMessage `json:"dag"`
+	// Cached reports whether the shared memo cache answered.
+	Cached bool `json:"cached"`
+}
+
+func (s *Server) handleConcretize(w http.ResponseWriter, r *http.Request) {
+	concrete, cached, ok := s.concretizeRequest(w, r)
+	if !ok {
+		return
+	}
+	if cached {
+		s.stats.concretize.hits.Add(1)
+	}
+	dag, err := syntax.EncodeJSON(concrete)
+	if err != nil {
+		http.Error(w, "encode dag: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConcretizeResponse{
+		Spec:     concrete.String(),
+		FullHash: concrete.FullHash(),
+		DAG:      dag,
+		Cached:   cached,
+	})
+}
+
+// concretizeRequest decodes and resolves the spec body shared by the
+// concretize and install endpoints, writing the error response itself
+// when it fails.
+func (s *Server) concretizeRequest(w http.ResponseWriter, r *http.Request) (concrete *spec.Spec, cached, ok bool) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return nil, false, false
+	}
+	s.stats.endpoint(r.URL.Path).bytesIn.Add(int64(len(body)))
+	var req ConcretizeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return nil, false, false
+	}
+	abstract, err := syntax.Parse(req.Spec)
+	if err != nil {
+		http.Error(w, "parse spec: "+err.Error(), http.StatusBadRequest)
+		return nil, false, false
+	}
+	c, cached, err := s.cfg.Concretizer.ConcretizeCached(abstract)
+	if err != nil {
+		// The spec parsed but cannot be satisfied — the client's
+		// constraint problem, not a malformed request.
+		http.Error(w, "concretize: "+err.Error(), http.StatusUnprocessableEntity)
+		return nil, false, false
+	}
+	return c, cached, true
+}
+
+// InstallResponse reports one server-side install.
+type InstallResponse struct {
+	Package  string `json:"package"`
+	FullHash string `json:"full_hash"`
+	Prefix   string `json:"prefix"`
+	// Packages is the size of the installed DAG.
+	Packages int `json:"packages"`
+	// Coalesced reports that this request arrived while another client
+	// was already installing the same full hash and shared its build.
+	Coalesced bool `json:"coalesced"`
+	// CacheHits / SourceBuilt / Reused break the leader's build down:
+	// nodes pulled from the binary cache, compiled from source, and
+	// already present in the store.
+	CacheHits   int `json:"cache_hits"`
+	SourceBuilt int `json:"source_built"`
+	Reused      int `json:"reused"`
+	// WallMS is the virtual makespan of the leader's build.
+	WallMS float64 `json:"wall_ms"`
+}
+
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	concrete, _, ok := s.concretizeRequest(w, r)
+	if !ok {
+		return
+	}
+	hash := concrete.FullHash()
+	out, coalesced, err := s.flights.do(hash, func() (*InstallResponse, error) {
+		res, err := s.cfg.Builder.Build(concrete)
+		if err != nil {
+			return nil, err
+		}
+		resp := &InstallResponse{
+			Package:  concrete.Name,
+			FullHash: hash,
+			Packages: concrete.Size(),
+			WallMS:   float64(res.WallTime) / float64(time.Millisecond),
+		}
+		for _, rep := range res.Reports {
+			switch {
+			case rep.FromCache:
+				resp.CacheHits++
+			case rep.Reused:
+				resp.Reused++
+			case rep.External:
+			default:
+				resp.SourceBuilt++
+			}
+		}
+		if rec, ok := s.cfg.Builder.Store.Lookup(concrete); ok {
+			resp.Prefix = rec.Prefix
+		}
+		if resp.SourceBuilt > 0 {
+			s.stats.sourceBuilds.Add(1)
+		}
+		return resp, nil
+	})
+	if coalesced {
+		s.stats.install.coalesced.Add(1)
+	}
+	if err != nil {
+		http.Error(w, "install: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// A "hit" install moved no compiler: it coalesced onto a live
+	// build, or everything was already cached or installed.
+	if coalesced || out.SourceBuilt == 0 {
+		s.stats.install.hits.Add(1)
+	}
+	resp := *out
+	resp.Coalesced = coalesced
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}

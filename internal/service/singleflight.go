@@ -1,0 +1,49 @@
+package service
+
+import "sync"
+
+// flightGroup coalesces concurrent installs of the same full hash at
+// the request layer: the first caller becomes the leader and runs fn;
+// every caller arriving while the flight is live blocks on its outcome
+// and shares it (result and error alike). When the flight lands the key
+// is retired, so later requests re-probe the store — by then a fast
+// already-installed lookup — instead of pinning a stale result.
+//
+// This sits above the store's own per-hash singleflight: the store
+// dedupes index insertions on one machine, the flightGroup dedupes the
+// whole concretize-and-build pipeline across N remote clients.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	out  *InstallResponse
+	err  error
+}
+
+// do runs fn under the key's flight, reporting whether this call
+// coalesced onto a leader started by someone else.
+func (g *flightGroup) do(key string, fn func() (*InstallResponse, error)) (out *InstallResponse, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.out, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.out, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.out, false, f.err
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// endpointCounters is the live (atomic) counter set for one endpoint
+// family.
+type endpointCounters struct {
+	requests  atomic.Int64
+	hits      atomic.Int64
+	coalesced atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+}
+
+func (c *endpointCounters) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:  c.requests.Load(),
+		Hits:      c.hits.Load(),
+		Coalesced: c.coalesced.Load(),
+		BytesIn:   c.bytesIn.Load(),
+		BytesOut:  c.bytesOut.Load(),
+	}
+}
+
+// stats is the server's full live counter set.
+type stats struct {
+	blobs        endpointCounters
+	concretize   endpointCounters
+	install      endpointCounters
+	other        endpointCounters
+	sourceBuilds atomic.Int64
+}
+
+// endpoint maps a request path to its counter family.
+func (s *stats) endpoint(path string) *endpointCounters {
+	switch {
+	case strings.HasPrefix(path, "/v1/blobs"):
+		return &s.blobs
+	case strings.HasPrefix(path, "/v1/concretize"):
+		return &s.concretize
+	case strings.HasPrefix(path, "/v1/install"):
+		return &s.install
+	default:
+		return &s.other
+	}
+}
+
+func (s *stats) snapshot() Stats {
+	return Stats{
+		Blobs:        s.blobs.snapshot(),
+		Concretize:   s.concretize.snapshot(),
+		Install:      s.install.snapshot(),
+		Other:        s.other.snapshot(),
+		SourceBuilds: s.sourceBuilds.Load(),
+	}
+}
+
+// EndpointStats is the exported snapshot of one endpoint family's
+// counters. "Hits" means: blob requests answered 304 from the client's
+// validated copy, concretizations answered from the memo cache, and
+// installs that moved no compiler (coalesced onto a live build, or
+// everything already cached/installed). "Coalesced" counts install
+// requests that blocked on another client's in-flight build of the
+// same full hash.
+type EndpointStats struct {
+	Requests  int64 `json:"requests"`
+	Hits      int64 `json:"hits"`
+	Coalesced int64 `json:"coalesced,omitempty"`
+	BytesIn   int64 `json:"bytes_in"`
+	BytesOut  int64 `json:"bytes_out"`
+}
+
+// Stats is the document GET /v1/stats serves.
+type Stats struct {
+	Blobs      EndpointStats `json:"blobs"`
+	Concretize EndpointStats `json:"concretize"`
+	Install    EndpointStats `json:"install"`
+	Other      EndpointStats `json:"other"`
+	// SourceBuilds counts install leaders that compiled at least one
+	// node from source — the "cache-miss builds" a thundering herd
+	// must collapse to one of.
+	SourceBuilds int64 `json:"source_builds"`
+}

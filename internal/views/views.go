@@ -10,6 +10,7 @@ package views
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/simfs"
@@ -75,6 +76,7 @@ type Manager struct {
 	// Environment views use it to select the site/user conflict policy.
 	Rank func(spec.Compiler) int
 
+	mu    sync.Mutex      // guards links (concurrent installs refresh concurrently)
 	links map[string]Link // path -> resolved link
 }
 
@@ -157,11 +159,13 @@ func (m *Manager) StageRefresh(t *txn.Txn, st store.Querier, pruneDirs ...string
 		want[l.Path] = l
 	}
 	stale := make(map[string]bool)
+	m.mu.Lock()
 	for path := range m.links {
 		if _, keep := want[path]; !keep {
 			stale[path] = true
 		}
 	}
+	m.mu.Unlock()
 	for _, dir := range pruneDirs {
 		names, err := m.FS.List(dir)
 		if err != nil {
@@ -194,6 +198,8 @@ func (m *Manager) StageRefresh(t *txn.Txn, st store.Querier, pruneDirs ...string
 		t.StageLink(l.Path, l.Target)
 	}
 	t.OnCommit(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
 		m.links = make(map[string]Link, len(want))
 		for p, l := range want {
 			m.links[p] = l
@@ -222,10 +228,12 @@ func (m *Manager) Refresh(st store.Querier) ([]Link, error) {
 
 // Links returns the currently materialized links sorted by path.
 func (m *Manager) Links() []Link {
+	m.mu.Lock()
 	out := make([]Link, 0, len(m.links))
 	for _, l := range m.links {
 		out = append(out, l)
 	}
+	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out
 }
