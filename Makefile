@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-service bench-check crash-race experiments examples vet clean
+.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-service bench-sched bench-check crash-race experiments examples vet clean
 
 all: vet test
 
@@ -62,12 +62,23 @@ bench-service:
 		| go run ./cmd/benchjson -o BENCH_service.json
 	cat BENCH_service.json
 
+# Distributed-scheduler benchmarks: the cold ARES DAG built by 1/2/4/8
+# lease workers against the daemon vs. the single-machine Jobs=8
+# executor, rendered to BENCH_sched.json with the derived worker-scaling
+# speedups (virtual makespan of the realized schedule).
+bench-sched:
+	go test -run '^$$' -bench 'SchedWorkers' -benchmem . \
+		| tee bench_sched.txt \
+		| go run ./cmd/benchjson -o BENCH_sched.json
+	cat BENCH_sched.json
+
 # Regression gate: every committed benchmark report must clear its
 # declared acceptance bar (warm concretize ≥10x, sharded store ≥2x at 8
 # workers, cached ARES install ≥5x, warm env lockfile ≥10x, service
-# herd coalescing ≥8 clients per cache-miss build).
+# herd coalescing ≥8 clients per cache-miss build, 4-worker scheduler
+# scaling ≥2x).
 bench-check:
-	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json BENCH_service.json
+	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json BENCH_service.json BENCH_sched.json
 
 # The transactional-integrity suite under the race detector: every
 # crash-injection sweep (journal recovery, env apply/uninstall, view
@@ -87,4 +98,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt bench_service.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt bench_service.txt bench_sched.txt

@@ -1,0 +1,204 @@
+// Distributed-scheduler benchmarks (run via `make bench-sched` →
+// BENCH_sched.json):
+//
+//	BenchmarkSchedWorkers/w{1,2,4,8} — the 47-package ARES stack
+//	    installed cold through the daemon's lease scheduler by N
+//	    in-process workers, each a fresh machine whose binary cache
+//	    reads and writes through the daemon's blob API. The reported
+//	    virtual-sec is the makespan of the realized schedule (trace
+//	    replay: per-node source-build times over the actual worker
+//	    assignment, respecting dependency edges). Workers are throttled
+//	    to their virtual speed so real lease ordering tracks the virtual
+//	    schedule. The acceptance bar (enforced by `benchjson -check`)
+//	    is sched_scaling_4w ≥ 2: four workers at least halve the
+//	    one-worker makespan.
+//	BenchmarkSchedWorkers/local/j8 — the single-machine Jobs=8 source
+//	    build of the same DAG, for the scale-out-vs-scale-up context
+//	    metric sched_vs_local_j8.
+package repro
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ares"
+	"repro/internal/build"
+	"repro/internal/buildcache"
+	"repro/internal/compiler"
+	"repro/internal/concretize"
+	"repro/internal/config"
+	"repro/internal/fetch"
+	"repro/internal/repo"
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/simfs"
+	"repro/internal/store"
+)
+
+// schedThrottle paces workers at this much real time per virtual build
+// second, so the real completion order the scheduler observes
+// approximates the virtual durations the makespan replay charges.
+const schedThrottle = 40 * time.Millisecond
+
+// newSchedDaemon wires a scheduler daemon whose blob store starts
+// empty: nothing is prebuilt, every ARES node must be leased, built,
+// and pushed. (The daemon gets its own mirror — workers write archives
+// into it — while source fetches come from the shared bcSources.)
+func newSchedBenchDaemon(tb testing.TB) (*service.Server, string) {
+	tb.Helper()
+	path := repo.NewPath(ares.Repo(), repo.Builtin())
+	srv := service.NewServer(service.Config{
+		Mirror:      fetch.NewMirror(),
+		Concretizer: concretize.New(path, config.New(), compiler.LLNLRegistry()),
+		Builder:     newBenchMachine(nil),
+		LeaseTTL:    time.Minute,
+	})
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+	return srv, "http://" + base
+}
+
+// newSchedBenchWorker is one remote build machine: fresh filesystem and
+// store, Jobs=1 (parallelism comes from the worker count), sources from
+// the shared mirror, archives through the daemon.
+func newSchedBenchWorker(base, name string) *service.Worker {
+	fs := simfs.New(simfs.TempFS)
+	st, err := store.New(fs, "/spack/opt", store.SpackLayout{})
+	if err != nil {
+		panic(err)
+	}
+	b := build.NewBuilder(st, repo.NewPath(ares.Repo(), repo.Builtin()), compiler.LLNLRegistry())
+	b.Mirror = bcSources
+	b.Config = config.New()
+	b.Jobs = 1
+	cache := buildcache.New(service.NewHTTPBackend(base))
+	b.Cache = cache
+	return &service.Worker{
+		Client:       service.NewClient(base),
+		Builder:      b,
+		Push:         cache,
+		Name:         name,
+		Poll:         2 * time.Millisecond,
+		Throttle:     schedThrottle,
+		ExitWhenIdle: true,
+	}
+}
+
+// runSchedFleet installs the cold ARES DAG with n workers and returns
+// the realized virtual makespan plus the per-worker stats.
+func runSchedFleet(tb testing.TB, n int) (time.Duration, []service.WorkerStats, *service.Server) {
+	tb.Helper()
+	srv, base := newSchedBenchDaemon(tb)
+	client := service.NewClient(base)
+	js, err := client.SubmitJob(ares.Current.Spec())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	stats := make([]service.WorkerStats, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := newSchedBenchWorker(base, string(rune('a'+i)))
+			st, err := w.Run(context.Background())
+			if err != nil {
+				tb.Errorf("worker %d: %v", i, err)
+			}
+			stats[i] = st
+		}(i)
+	}
+	wg.Wait()
+	final, err := client.Job(js.ID)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	queued := final.Total - final.Prebuilt
+	if !final.Done || final.Failed != 0 || final.Built != queued {
+		tb.Fatalf("fleet of %d left job at %+v, want %d built", n, final, queued)
+	}
+	return sched.Makespan(srv.Scheduler().Trace()), stats, srv
+}
+
+func BenchmarkSchedWorkers(b *testing.B) {
+	bcSetup()
+	if bcErr != nil {
+		b.Fatal(bcErr)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			var virtual float64
+			for i := 0; i < b.N; i++ {
+				makespan, _, _ := runSchedFleet(b, workers)
+				virtual = makespan.Seconds()
+			}
+			b.ReportMetric(virtual, "virtual-sec")
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+	b.Run("local/j8", func(b *testing.B) {
+		var virtual float64
+		for i := 0; i < b.N; i++ {
+			m := newBenchMachine(nil)
+			res, err := m.Build(bcSpec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual = res.WallTime.Seconds()
+		}
+		b.ReportMetric(virtual, "virtual-sec")
+	})
+}
+
+// TestSchedBenchSanity keeps the bench wiring honest under plain
+// `go test`: a 4-worker fleet over the cold ARES DAG must build every
+// node on exactly one worker (source-build counters across workers sum
+// to the node count, and the trace carries one source-built entry per
+// node), and the realized makespan must stay within the serial sum.
+func TestSchedBenchSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet install in -short mode")
+	}
+	bcSetup()
+	if bcErr != nil {
+		t.Fatal(bcErr)
+	}
+	makespan, stats, srv := runSchedFleet(t, 4)
+
+	trace := srv.Scheduler().Trace()
+	seen := map[string]int{}
+	var serial time.Duration
+	for _, e := range trace {
+		seen[e.Hash]++
+		serial += e.Virtual
+		if !e.SourceBuilt {
+			t.Errorf("node %s completed without a source build on its worker", e.Name)
+		}
+	}
+	for h, c := range seen {
+		if c != 1 {
+			t.Errorf("node %s built %d times, want exactly once", h, c)
+		}
+	}
+	totalSource := 0
+	for _, st := range stats {
+		totalSource += st.SourceBuilt
+		if st.Failed != 0 || st.Lost != 0 {
+			t.Errorf("worker stats %+v report failures/losses on a healthy fleet", st)
+		}
+	}
+	if totalSource != len(seen) {
+		t.Fatalf("workers source-built %d nodes, trace has %d", totalSource, len(seen))
+	}
+	if makespan <= 0 || makespan > serial {
+		t.Fatalf("makespan %v outside (0, serial %v]", makespan, serial)
+	}
+	if gauges := srv.Stats().Sched; gauges.Built != len(seen) || gauges.JobsDone != 1 {
+		t.Fatalf("sched gauges = %+v, want %d built, 1 job done", gauges, len(seen))
+	}
+}

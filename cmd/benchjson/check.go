@@ -33,6 +33,9 @@ var bars = []bar{
 	// Buildcache service: the install herd must coalesce ≥8 concurrent
 	// clients per cache-miss build (measured at 256 clients ⇒ 1 build).
 	{"service_herd_coalescing", 8},
+	// Distributed scheduler: 4 lease workers must at least halve the
+	// one-worker virtual makespan of the cold ARES DAG.
+	{"sched_scaling_4w", 2},
 }
 
 // checkReport evaluates one parsed report against the declared bars,

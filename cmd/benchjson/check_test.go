@@ -136,6 +136,33 @@ func TestDeriveServiceHerdCoalescing(t *testing.T) {
 	}
 }
 
+func TestDeriveSchedScaling(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkSchedWorkers/w1", Metrics: map[string]float64{"virtual-sec": 16.0}},
+		{Name: "BenchmarkSchedWorkers/w4", Metrics: map[string]float64{"virtual-sec": 8.0}},
+		{Name: "BenchmarkSchedWorkers/w8", Metrics: map[string]float64{"virtual-sec": 6.4}},
+		{Name: "BenchmarkSchedWorkers/local/j8", Metrics: map[string]float64{"virtual-sec": 6.4}},
+	}
+	d := derive(benches)
+	if got := d["sched_scaling_4w"]; got != 2 {
+		t.Errorf("sched_scaling_4w = %v, want 2", got)
+	}
+	if got := d["sched_scaling_8w"]; got != 2.5 {
+		t.Errorf("sched_scaling_8w = %v, want 2.5", got)
+	}
+	if got := d["sched_vs_local_j8"]; got != 1 {
+		t.Errorf("sched_vs_local_j8 = %v, want 1", got)
+	}
+	if _, fails := checkReport("x.json", report(d)); len(fails) != 0 {
+		t.Errorf("derived sched report should clear its bar: %v", fails)
+	}
+	// A scheduler that serializes everything (no scaling) misses the bar.
+	benches[1].Metrics["virtual-sec"] = 15.0
+	if _, fails := checkReport("x.json", report(derive(benches))); len(fails) != 1 {
+		t.Errorf("unscaled fleet must miss the bar: %v", fails)
+	}
+}
+
 func TestParseLineCustomMetrics(t *testing.T) {
 	b, procs, ok := parseLine("BenchmarkBuildcacheARES/cached/j8-8 \t 3\t  33796699 ns/op\t 47.00 dag-nodes\t 0.058 virtual-sec")
 	if !ok {

@@ -183,6 +183,20 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 	if hClients > 0 && hBuilds > 0 {
 		d["service_herd_coalescing"] = hClients / hBuilds
 	}
+	// Distributed scheduler: realized virtual makespan of the cold ARES
+	// DAG with N lease workers vs one. The headline bar is the 4-worker
+	// scaling; 8-worker scaling and the scale-out-vs-scale-up ratio
+	// against the single-machine Jobs=8 build ride along as context.
+	sw1 := metric("BenchmarkSchedWorkers/w1", "virtual-sec")
+	for _, w := range []int{4, 8} {
+		if swn := metric(fmt.Sprintf("BenchmarkSchedWorkers/w%d", w), "virtual-sec"); sw1 > 0 && swn > 0 {
+			d[fmt.Sprintf("sched_scaling_%dw", w)] = sw1 / swn
+		}
+	}
+	sw8 := metric("BenchmarkSchedWorkers/w8", "virtual-sec")
+	if localJ8 := metric("BenchmarkSchedWorkers/local/j8", "virtual-sec"); sw8 > 0 && localJ8 > 0 {
+		d["sched_vs_local_j8"] = sw8 / localJ8
+	}
 	// Environments: re-running `env install` against an unchanged lockfile
 	// must be a cheap no-op diff, not a second install.
 	envCold := ns("BenchmarkEnvInstall/cold")

@@ -47,6 +47,7 @@ commands:
   lmod <spec>...         install specs and generate an Lmod hierarchy
   table1 <spec>          render a concretized spec under each site layout
   serve                  run the buildcache/concretize/install HTTP daemon
+  work -url <daemon>     run this machine as a remote build worker (lease loop)
   buildcache push <spec>...   install specs and pack them as binary archives
   buildcache pull <spec>...   install specs from binary archives only
   buildcache list             list cached binary archives
@@ -179,6 +180,8 @@ func run(w io.Writer, s *core.Spack, cmd string, args []string) error {
 		return cmdLmod(w, s, args)
 	case "table1":
 		return cmdTable1(w, s, args)
+	case "work":
+		return cmdWork(w, s, args)
 	case "serve":
 		return cmdServe(w, s, args)
 	case "buildcache":

@@ -24,6 +24,8 @@ func cmdServe(w io.Writer, s *core.Spack, args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8587", "listen address")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	runFor := fs.Duration("for", 0, "serve for this long, then shut down (0 = until SIGINT/SIGTERM)")
+	leaseTTL := fs.Duration("lease-ttl", 2*time.Minute, "scheduler lease TTL between worker heartbeats")
+	maxAttempts := fs.Int("max-attempts", 3, "build attempts per DAG node before poisoning its dependents")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,6 +39,8 @@ func cmdServe(w io.Writer, s *core.Spack, args []string) error {
 		Concretizer: s.Concretizer,
 		Builder:     s.Builder,
 		Log:         logw,
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -56,14 +60,33 @@ func cmdServe(w io.Writer, s *core.Spack, args []string) error {
 		<-sig
 	}
 
+	// Drain first: stop issuing leases and wait (bounded by the lease
+	// TTL) for outstanding leases to complete or expire, so workers'
+	// in-flight builds land before the listener closes.
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *leaseTTL+5*time.Second)
+	srv.Drain(drainCtx)
+	drainCancel()
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
 	st := srv.Stats()
-	fmt.Fprintf(w, "==> shut down: %d blob, %d concretize, %d install requests; %d coalesced, %d source builds\n",
+	fmt.Fprintf(w, "==> shut down: %d blob, %d concretize, %d install, %d job, %d lease requests; %d coalesced, %d source builds\n",
 		st.Blobs.Requests, st.Concretize.Requests, st.Install.Requests,
-		st.Install.Coalesced, st.SourceBuilds)
+		st.Jobs.Requests, st.Leases.Requests, st.Install.Coalesced, st.SourceBuilds)
+	fmt.Fprintf(w, "==> scheduler: %d nodes built, %d failed, %d prebuilt; %d leases reclaimed, %d completions rejected\n",
+		st.Sched.Built, st.Sched.Failed, st.Sched.Prebuilt, st.Sched.Reclaimed, st.Sched.Rejected)
+	for _, row := range []struct {
+		name string
+		ep   service.EndpointStats
+	}{{"blobs", st.Blobs}, {"concretize", st.Concretize}, {"install", st.Install}, {"jobs", st.Jobs}, {"leases", st.Leases}} {
+		if row.ep.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "==> latency %-10s p50 %.3fms  p99 %.3fms  (%d requests)\n",
+			row.name, row.ep.P50MS, row.ep.P99MS, row.ep.Requests)
+	}
 	return nil
 }

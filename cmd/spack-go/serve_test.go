@@ -65,8 +65,11 @@ func TestCmdServe(t *testing.T) {
 	if !strings.Contains(out, "POST /v1/install 200") {
 		t.Errorf("request log missing install line:\n%s", out)
 	}
-	if !strings.Contains(out, "1 install requests") || !strings.Contains(out, "1 source builds") {
+	if !strings.Contains(out, "1 install,") || !strings.Contains(out, "1 source builds") {
 		t.Errorf("shutdown summary missing counters:\n%s", out)
+	}
+	if !strings.Contains(out, "==> scheduler:") || !strings.Contains(out, "==> latency install") {
+		t.Errorf("shutdown summary missing scheduler/latency lines:\n%s", out)
 	}
 }
 

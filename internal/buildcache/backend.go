@@ -25,6 +25,16 @@ type Backend interface {
 	List() ([]string, error)
 }
 
+// Summer is an optional Backend refinement: backends that record payload
+// digests at write time can answer a checksum query without transferring
+// the payload. Cache.Verify uses it to validate an archive with a stat
+// instead of a full download.
+type Summer interface {
+	// Sum returns the hex SHA-256 of a stored payload, reporting whether
+	// the name exists.
+	Sum(name string) (sum string, ok bool, err error)
+}
+
 // MirrorBackend stores cache archives as blobs on a fetch.Mirror — the
 // shared-mirror deployment, where one site pushes and many pull.
 type MirrorBackend struct {
@@ -47,6 +57,13 @@ func (b *MirrorBackend) Get(name string) ([]byte, bool, error) {
 func (b *MirrorBackend) Stat(name string) (bool, error) {
 	_, ok := b.Mirror.BlobSum(blobPrefix + name)
 	return ok, nil
+}
+
+// Sum answers from the digest the mirror recorded at PutBlob time — no
+// payload moves and no re-hash.
+func (b *MirrorBackend) Sum(name string) (string, bool, error) {
+	sum, ok := b.Mirror.BlobSum(blobPrefix + name)
+	return sum, ok, nil
 }
 
 func (b *MirrorBackend) List() ([]string, error) {

@@ -116,6 +116,50 @@ func (c *Cache) Has(hash string) bool {
 	return ok && err == nil
 }
 
+// Verify checks that an archive for a full spec hash exists on the
+// backend and that its payload matches the recorded SHA-256 — the
+// scheduler's gate before a lease completion unlocks dependents, so a
+// worker cannot claim success for an archive it never pushed (or pushed
+// torn). Backends that record digests at write time (Summer) answer
+// without moving the archive; others pay one Get and a re-hash.
+func (c *Cache) Verify(hash string) error {
+	fail := func(kind Kind, err error) error {
+		return &Error{Op: "verify", Spec: hash, Kind: kind, Err: err}
+	}
+	sumData, ok, err := c.be.Get(checksumName(hash))
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	if !ok {
+		return fail(KindMissing, fmt.Errorf("no checksum record"))
+	}
+	want := strings.TrimSpace(string(sumData))
+	var got string
+	if s, ok := c.be.(Summer); ok {
+		sum, exists, err := s.Sum(archiveName(hash))
+		if err != nil {
+			return fail(KindIO, err)
+		}
+		if !exists {
+			return fail(KindMissing, fmt.Errorf("checksum record without archive"))
+		}
+		got = sum
+	} else {
+		payload, exists, err := c.be.Get(archiveName(hash))
+		if err != nil {
+			return fail(KindIO, err)
+		}
+		if !exists {
+			return fail(KindMissing, fmt.Errorf("checksum record without archive"))
+		}
+		got = checksumOf(payload)
+	}
+	if got != want {
+		return fail(KindChecksum, fmt.Errorf("archive sha256 %s does not match recorded %s", got, want))
+	}
+	return nil
+}
+
 // Push packs the installed prefix of a concrete spec into a relocatable
 // archive and stores it (with its SHA-256 checksum) on the backend. The
 // spec must be installed; externals cannot be cached — their prefixes are

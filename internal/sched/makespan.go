@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"sort"
+	"time"
+)
+
+// Makespan replays a build trace as the virtual wall time of the
+// realized schedule: entries are processed in lease order (a valid
+// topological order of the actual execution), each node starting when
+// both its worker is free and its last queued dependency has finished,
+// and running for its worker-reported virtual duration. Dependencies
+// absent from the trace (prebuilt nodes) finish at time zero.
+//
+// With one worker this degenerates to the serial sum of build times;
+// with many workers it is bounded below by the DAG's critical path —
+// the same accounting build.Builder uses for its single-machine
+// makespan, so the two are directly comparable.
+func Makespan(trace []TraceEntry) time.Duration {
+	entries := make([]TraceEntry, len(trace))
+	copy(entries, trace)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+
+	finish := make(map[string]time.Duration, len(entries))
+	workerFree := make(map[string]time.Duration)
+	var makespan time.Duration
+	for _, e := range entries {
+		start := workerFree[e.Worker]
+		for _, d := range e.Deps {
+			if f := finish[d]; f > start {
+				start = f
+			}
+		}
+		end := start + e.Virtual
+		finish[e.Hash] = end
+		workerFree[e.Worker] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}

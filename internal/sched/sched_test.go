@@ -1,0 +1,424 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/concretize"
+	"repro/internal/config"
+	"repro/internal/fetch"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/syntax"
+	"repro/internal/version"
+)
+
+// chainRepo is a three-deep chain with a side leaf:
+//
+//	ctop → cmid → cleaf, ctop → cside
+//
+// enough structure for ordering, poison-cone, and dedup tests.
+func chainRepo() *repo.Repo {
+	r := repo.NewRepo("test.sched")
+	add := func(p *pkg.Package, v string) {
+		p.WithVersion(v, fetch.Checksum(p.Name, version.MustParse(v)))
+		r.MustAdd(p)
+	}
+	add(pkg.New("cleaf").WithBuild("autotools", 2), "1.0")
+	add(pkg.New("cside").WithBuild("autotools", 2), "1.0")
+	add(pkg.New("cmid").WithBuild("cmake", 3).DependsOn("cleaf"), "2.0")
+	add(pkg.New("ctop").WithBuild("autotools", 4).DependsOn("cmid").DependsOn("cside"), "3.0")
+	return r
+}
+
+func concretizeExpr(t *testing.T, expr string) *spec.Spec {
+	t.Helper()
+	path := repo.NewPath(chainRepo(), repo.Builtin())
+	c := concretize.New(path, config.New(), compiler.LLNLRegistry())
+	out, err := c.Concretize(syntax.MustParse(expr))
+	if err != nil {
+		t.Fatalf("concretize %q: %v", expr, err)
+	}
+	return out
+}
+
+// clock is a hand-advanced test clock.
+type clock struct{ now time.Time }
+
+func (c *clock) Now() time.Time { return c.now }
+
+func newTestSched(cfg Config) (*Scheduler, *clock) {
+	clk := &clock{now: time.Unix(1000, 0)}
+	cfg.Now = clk.Now
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = time.Minute
+	}
+	return New(cfg), clk
+}
+
+// drive completes one leased node, asserting the lease succeeds.
+func mustComplete(t *testing.T, s *Scheduler, id string) {
+	t.Helper()
+	dup, err := s.Complete(id, time.Second, true)
+	if err != nil {
+		t.Fatalf("complete %s: %v", id, err)
+	}
+	if dup {
+		t.Fatalf("complete %s reported duplicate on first completion", id)
+	}
+}
+
+func TestSubmitLeaseOrderAndJobCompletion(t *testing.T) {
+	s, _ := newTestSched(Config{})
+	root := concretizeExpr(t, "ctop")
+	js, err := s.Submit(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Total != 4 || js.Ready != 2 || js.Waiting != 2 {
+		t.Fatalf("fresh job = %+v, want 4 total, 2 ready (cleaf+cside), 2 waiting", js)
+	}
+
+	// Alphabetically-first ready node leases first: cleaf before cside.
+	l1, _ := s.Lease("w1")
+	if l1 == nil || l1.Name != "cleaf" || l1.Attempt != 1 {
+		t.Fatalf("first lease = %+v, want cleaf attempt 1", l1)
+	}
+	// The lease payload round-trips to the concrete subtree.
+	sub, err := syntax.DecodeJSON(l1.DAG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Name != "cleaf" || !sub.Concrete() {
+		t.Fatalf("lease DAG decodes to %s (concrete=%v)", sub.Name, sub.Concrete())
+	}
+
+	l2, _ := s.Lease("w2")
+	if l2 == nil || l2.Name != "cside" {
+		t.Fatalf("second lease = %+v, want cside", l2)
+	}
+	// cmid waits on cleaf; nothing else is ready.
+	if l3, empty := s.Lease("w3"); l3 != nil || empty {
+		t.Fatalf("lease while deps pending = %+v empty=%v, want nil/false", l3, empty)
+	}
+
+	mustComplete(t, s, l1.ID)
+	l3, _ := s.Lease("w1")
+	if l3 == nil || l3.Name != "cmid" {
+		t.Fatalf("after cleaf built, lease = %+v, want cmid", l3)
+	}
+	mustComplete(t, s, l2.ID)
+	mustComplete(t, s, l3.ID)
+	l4, _ := s.Lease("w2")
+	if l4 == nil || l4.Name != "ctop" {
+		t.Fatalf("final lease = %+v, want ctop", l4)
+	}
+	mustComplete(t, s, l4.ID)
+
+	js, ok := s.Job(js.ID)
+	if !ok || !js.Done || js.Built != 4 || js.Failed != 0 {
+		t.Fatalf("finished job = %+v, want done with 4 built", js)
+	}
+	if _, empty := s.Lease("w1"); !empty {
+		t.Fatal("queue should report empty after the job completes")
+	}
+	if tr := s.Trace(); len(tr) != 4 {
+		t.Fatalf("trace has %d entries, want 4", len(tr))
+	}
+}
+
+func TestPrebuiltDedup(t *testing.T) {
+	s, _ := newTestSched(Config{
+		Prebuilt: func(n *spec.Spec) bool { return n.Name == "cleaf" || n.Name == "cside" },
+	})
+	js, err := s.Submit(concretizeExpr(t, "ctop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Prebuilt != 2 || js.Total != 4 {
+		t.Fatalf("job = %+v, want 2 prebuilt of 4 total", js)
+	}
+	// cmid's only dep is prebuilt, so it is ready immediately.
+	l, _ := s.Lease("w")
+	if l == nil || l.Name != "cmid" {
+		t.Fatalf("lease = %+v, want cmid ready immediately", l)
+	}
+}
+
+func TestCrossJobDedupSharesNodes(t *testing.T) {
+	s, _ := newTestSched(Config{})
+	a, _ := s.Submit(concretizeExpr(t, "ctop"))
+	b, err := s.Submit(concretizeExpr(t, "cmid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Jobs != 2 || st.Ready+st.Waiting != 4 {
+		t.Fatalf("stats = %+v, want 2 jobs sharing 4 queued nodes", st)
+	}
+	// Finishing the shared chain completes both jobs.
+	for i := 0; i < 4; i++ {
+		l, _ := s.Lease("w")
+		if l == nil {
+			t.Fatalf("lease %d came back nil", i)
+		}
+		mustComplete(t, s, l.ID)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		js, ok := s.Job(id)
+		if !ok || !js.Done || js.Failed != 0 {
+			t.Fatalf("job %s = %+v, want done", id, js)
+		}
+	}
+}
+
+func TestTTLReclaimAndZombieComplete(t *testing.T) {
+	s, clk := newTestSched(Config{LeaseTTL: 10 * time.Second})
+	if _, err := s.Submit(concretizeExpr(t, "cleaf")); err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := s.Lease("zombie")
+	if l1 == nil {
+		t.Fatal("no lease issued")
+	}
+	// Worker dies; the TTL lapses and the node is re-leased.
+	clk.now = clk.now.Add(11 * time.Second)
+	l2, _ := s.Lease("healthy")
+	if l2 == nil || l2.FullHash != l1.FullHash || l2.Attempt != 2 {
+		t.Fatalf("re-lease = %+v, want same node attempt 2", l2)
+	}
+	if st := s.Stats(); st.Reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1", st.Reclaimed)
+	}
+	// The zombie's heartbeat and complete are refused while the node is
+	// in someone else's hands.
+	if err := s.Heartbeat(l1.ID); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("zombie heartbeat err = %v, want ErrLeaseExpired", err)
+	}
+	if _, err := s.Complete(l1.ID, time.Second, true); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("zombie complete err = %v, want ErrLeaseExpired", err)
+	}
+	mustComplete(t, s, l2.ID)
+	// After the healthy worker built it, the zombie's late complete is a
+	// harmless duplicate.
+	dup, err := s.Complete(l1.ID, time.Second, true)
+	if err != nil || !dup {
+		t.Fatalf("late zombie complete = dup %v err %v, want duplicate", dup, err)
+	}
+}
+
+func TestDuplicateCompleteIdempotent(t *testing.T) {
+	s, _ := newTestSched(Config{})
+	if _, err := s.Submit(concretizeExpr(t, "cleaf")); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := s.Lease("w")
+	mustComplete(t, s, l.ID)
+	for i := 0; i < 2; i++ {
+		dup, err := s.Complete(l.ID, time.Second, true)
+		if err != nil || !dup {
+			t.Fatalf("repeat complete %d = dup %v err %v, want duplicate", i, dup, err)
+		}
+	}
+	if st := s.Stats(); st.Built != 1 {
+		t.Fatalf("built = %d after duplicate completes, want 1", st.Built)
+	}
+}
+
+func TestVerifyRejectionReleases(t *testing.T) {
+	verdicts := []error{fmt.Errorf("no archive"), nil}
+	s, _ := newTestSched(Config{
+		Verify: func(hash string) error {
+			v := verdicts[0]
+			verdicts = verdicts[1:]
+			return v
+		},
+	})
+	if _, err := s.Submit(concretizeExpr(t, "cleaf")); err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := s.Lease("w")
+	_, err := s.Complete(l1.ID, time.Second, true)
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("complete with missing archive err = %v, want VerifyError", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.Ready != 1 {
+		t.Fatalf("stats after rejection = %+v, want 1 rejected, node ready again", st)
+	}
+	l2, _ := s.Lease("w")
+	if l2 == nil || l2.Attempt != 2 {
+		t.Fatalf("re-lease after rejection = %+v, want attempt 2", l2)
+	}
+	mustComplete(t, s, l2.ID)
+}
+
+func TestBoundedRetriesPoisonConeAndRevival(t *testing.T) {
+	s, _ := newTestSched(Config{MaxAttempts: 2})
+	root := concretizeExpr(t, "ctop")
+	js, _ := s.Submit(root)
+
+	failOnce := func() {
+		var leafLease *Lease
+		for {
+			l, _ := s.Lease("w")
+			if l == nil {
+				t.Fatal("no lease while cleaf pending")
+			}
+			if l.Name == "cleaf" {
+				leafLease = l
+				break
+			}
+			// cside leases too; park it as built so only the chain fails.
+			mustComplete(t, s, l.ID)
+		}
+		if err := s.Fail(leafLease.ID, "simulated compile error"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failOnce()
+	failOnce()
+	// cleaf sorts before cside, so cside never leased; build it now.
+	for {
+		l, _ := s.Lease("w")
+		if l == nil {
+			break
+		}
+		mustComplete(t, s, l.ID)
+	}
+
+	got, ok := s.Job(js.ID)
+	if !ok || !got.Done || got.Failed != 3 {
+		t.Fatalf("job after exhausted retries = %+v, want done with cleaf+cmid+ctop failed", got)
+	}
+	if got.Error == "" {
+		t.Fatal("failed job carries no error message")
+	}
+
+	// Resubmission revives the failed cone with a fresh budget.
+	js2, err := s.Submit(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js2.Failed != 0 || js2.Ready == 0 {
+		t.Fatalf("resubmitted job = %+v, want revived nodes", js2)
+	}
+	for {
+		l, _ := s.Lease("w")
+		if l == nil {
+			break
+		}
+		mustComplete(t, s, l.ID)
+	}
+	final, _ := s.Job(js2.ID)
+	if !final.Done || final.Failed != 0 {
+		t.Fatalf("revived job = %+v, want clean completion", final)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	s, clk := newTestSched(Config{LeaseTTL: 10 * time.Second})
+	if _, err := s.Submit(concretizeExpr(t, "cleaf")); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := s.Lease("w")
+	clk.now = clk.now.Add(8 * time.Second)
+	if err := s.Heartbeat(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	// 16s since issue — past the original deadline, inside the extended one.
+	clk.now = clk.now.Add(8 * time.Second)
+	mustComplete(t, s, l.ID)
+	if st := s.Stats(); st.Reclaimed != 0 {
+		t.Fatalf("reclaimed = %d, want 0 (heartbeat kept the lease alive)", st.Reclaimed)
+	}
+}
+
+func TestDrainRefusesLeases(t *testing.T) {
+	s, _ := newTestSched(Config{})
+	if _, err := s.Submit(concretizeExpr(t, "libdwarf")); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := s.Lease("w")
+	if l == nil {
+		t.Fatal("no lease before drain")
+	}
+	s.Drain()
+	if l2, empty := s.Lease("w"); l2 != nil || empty {
+		t.Fatalf("lease during drain = %+v empty=%v, want refused with work pending", l2, empty)
+	}
+	if s.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", s.Outstanding())
+	}
+	mustComplete(t, s, l.ID)
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after complete, want 0", s.Outstanding())
+	}
+	if st := s.Stats(); !st.Draining {
+		t.Fatal("stats do not report draining")
+	}
+}
+
+func TestUnknownLease(t *testing.T) {
+	s, _ := newTestSched(Config{})
+	if err := s.Heartbeat("L999999"); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("heartbeat unknown = %v, want ErrUnknownLease", err)
+	}
+	if _, err := s.Complete("L999999", 0, false); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("complete unknown = %v, want ErrUnknownLease", err)
+	}
+	if err := s.Fail("L999999", "x"); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("fail unknown = %v, want ErrUnknownLease", err)
+	}
+}
+
+func TestWatchSignalsChanges(t *testing.T) {
+	s, _ := newTestSched(Config{})
+	ch := s.Watch()
+	if _, err := s.Submit(concretizeExpr(t, "cleaf")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("watch channel not closed by Submit")
+	}
+}
+
+func TestMakespanReplay(t *testing.T) {
+	// Serial on one worker: the sum.
+	serial := []TraceEntry{
+		{Hash: "a", Worker: "w", Seq: 1, Virtual: 2 * time.Second},
+		{Hash: "b", Worker: "w", Seq: 2, Virtual: 3 * time.Second},
+	}
+	if got := Makespan(serial); got != 5*time.Second {
+		t.Errorf("serial makespan = %v, want 5s", got)
+	}
+	// Independent nodes on two workers: the max.
+	par := []TraceEntry{
+		{Hash: "a", Worker: "w1", Seq: 1, Virtual: 2 * time.Second},
+		{Hash: "b", Worker: "w2", Seq: 2, Virtual: 3 * time.Second},
+	}
+	if got := Makespan(par); got != 3*time.Second {
+		t.Errorf("parallel makespan = %v, want 3s", got)
+	}
+	// A dependency forces sequencing even across workers: b waits for a.
+	chain := []TraceEntry{
+		{Hash: "a", Worker: "w1", Seq: 1, Virtual: 2 * time.Second},
+		{Hash: "b", Worker: "w2", Seq: 2, Virtual: 3 * time.Second, Deps: []string{"a"}},
+	}
+	if got := Makespan(chain); got != 5*time.Second {
+		t.Errorf("chained makespan = %v, want 5s", got)
+	}
+	// Prebuilt deps (absent from the trace) finish at zero.
+	pre := []TraceEntry{
+		{Hash: "b", Worker: "w", Seq: 1, Virtual: time.Second, Deps: []string{"ghost"}},
+	}
+	if got := Makespan(pre); got != time.Second {
+		t.Errorf("prebuilt-dep makespan = %v, want 1s", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
@@ -42,6 +43,21 @@ type HTTPBackend struct {
 	Backoff time.Duration
 }
 
+// sharedTransport is the connection pool every HTTPBackend and Client
+// in the process shares by default. A build farm runs many workers per
+// host, each hammering the same daemon with small blob and lease
+// requests; per-host keep-alive slots sized for that herd mean steady
+// state reuses warm connections instead of dialing fresh ones under
+// load.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// sharedHTTPClient is the default client over sharedTransport.
+var sharedHTTPClient = &http.Client{Transport: sharedTransport}
+
 // NewHTTPBackend points a backend at a daemon root URL.
 func NewHTTPBackend(base string) *HTTPBackend {
 	return &HTTPBackend{BaseURL: strings.TrimSuffix(base, "/")}
@@ -51,7 +67,7 @@ func (b *HTTPBackend) client() *http.Client {
 	if b.HTTP != nil {
 		return b.HTTP
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
 }
 
 func (b *HTTPBackend) retries() int {
@@ -61,12 +77,16 @@ func (b *HTTPBackend) retries() int {
 	return 3
 }
 
+// backoff is the delay before retry #attempt: exponential with up to
+// +50% random jitter, so a herd of workers tripping over the same
+// transient failure does not retry in lockstep.
 func (b *HTTPBackend) backoff(attempt int) time.Duration {
 	base := b.Backoff
 	if base <= 0 {
 		base = 10 * time.Millisecond
 	}
-	return base << (attempt - 1)
+	d := base << (attempt - 1)
+	return d + rand.N(d/2+1)
 }
 
 func (b *HTTPBackend) blobURL(name string) string {
@@ -200,6 +220,36 @@ func (b *HTTPBackend) Stat(name string) (bool, error) {
 	return ok, nil
 }
 
+// Sum answers a checksum query from the server's SHA-256 ETag via a
+// HEAD — no payload moves and no re-hash (buildcache.Summer).
+func (b *HTTPBackend) Sum(name string) (string, bool, error) {
+	sum, ok := "", false
+	err := b.retry(func() error {
+		sum, ok = "", false
+		resp, err := b.client().Head(b.blobURL(name))
+		if err != nil {
+			return transient("head %s: %w", name, err)
+		}
+		defer drain(resp)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			sum = strings.Trim(resp.Header.Get("ETag"), `"`)
+			ok = sum != ""
+			return nil
+		case resp.StatusCode == http.StatusNotFound:
+			return nil
+		case resp.StatusCode >= 500:
+			return transient("head %s: server said %s", name, resp.Status)
+		default:
+			return fmt.Errorf("service: head %s: server said %s", name, resp.Status)
+		}
+	})
+	if err != nil {
+		return "", false, fmt.Errorf("service: %w", err)
+	}
+	return sum, ok, nil
+}
+
 // List returns the archive names under the daemon's build_cache/
 // namespace, sorted (the server lists blobs sorted).
 func (b *HTTPBackend) List() ([]string, error) {
@@ -271,7 +321,7 @@ func (c *Client) client() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
 }
 
 // post sends a JSON body and decodes a JSON response, surfacing the

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Lease-protocol sentinel errors, mapped from the daemon's statuses so
+// a worker can branch without parsing message text.
+var (
+	// ErrLeaseLost: the lease expired and the node was reclaimed (410).
+	ErrLeaseLost = errors.New("service: lease lost")
+	// ErrVerifyRejected: the daemon could not verify the pushed archive
+	// against its recorded SHA-256, and refused the completion (409).
+	ErrVerifyRejected = errors.New("service: archive verification rejected completion")
+)
+
+// postLease sends a JSON body to a lease-protocol endpoint and decodes
+// the response, translating protocol statuses into sentinel errors.
+func (c *Client) postLease(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.client().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("service: post %s: %w", path, err)
+	}
+	defer drain(r)
+	switch r.StatusCode {
+	case http.StatusOK:
+		if resp == nil {
+			return nil
+		}
+		return json.NewDecoder(r.Body).Decode(resp)
+	case http.StatusGone:
+		return ErrLeaseLost
+	case http.StatusConflict:
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		return fmt.Errorf("%w: %s", ErrVerifyRejected, strings.TrimSpace(string(msg)))
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		return fmt.Errorf("service: post %s: %s: %s", path, r.Status, strings.TrimSpace(string(msg)))
+	}
+}
+
+// SubmitJob submits a spec expression as a scheduler job; the daemon
+// concretizes it and queues the non-prebuilt DAG nodes.
+func (c *Client) SubmitJob(expr string) (*sched.JobStatus, error) {
+	var out sched.JobStatus
+	if err := c.post("/v1/jobs", ConcretizeRequest{Spec: expr}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls a job's status.
+func (c *Client) Job(id string) (*sched.JobStatus, error) {
+	resp, err := c.client().Get(c.BaseURL + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, fmt.Errorf("service: job %s: %w", id, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("service: job %s: %s: %s", id, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out sched.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Lease claims a ready DAG node for a named worker. A nil Lease with
+// Empty=false means nothing is ready right now (poll again); Empty=true
+// means no queued work remains at all.
+func (c *Client) Lease(worker string) (*LeaseResponse, error) {
+	var out LeaseResponse
+	if err := c.postLease("/v1/leases", LeaseRequest{Worker: worker}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Heartbeat extends a lease's TTL. ErrLeaseLost reports the node was
+// already reclaimed.
+func (c *Client) Heartbeat(leaseID string) error {
+	return c.postLease("/v1/leases/"+leaseID+"/heartbeat", struct{}{}, nil)
+}
+
+// Complete reports a node built and its archive pushed; the daemon
+// verifies the archive before unlocking dependents. Duplicate=true
+// means the node was already built (idempotent). ErrVerifyRejected
+// means the archive is missing or corrupt and the node was re-queued.
+func (c *Client) Complete(leaseID string, virtual time.Duration, sourceBuilt bool) (duplicate bool, err error) {
+	var out CompleteResponse
+	req := CompleteRequest{
+		VirtualMS:   float64(virtual) / float64(time.Millisecond),
+		SourceBuilt: sourceBuilt,
+	}
+	if err := c.postLease("/v1/leases/"+leaseID+"/complete", req, &out); err != nil {
+		return false, err
+	}
+	return out.Duplicate, nil
+}
+
+// Fail gives a leased node back for re-lease (bounded by the daemon's
+// max-attempts budget).
+func (c *Client) Fail(leaseID, reason string) error {
+	return c.postLease("/v1/leases/"+leaseID+"/fail", FailRequest{Reason: reason}, nil)
+}
+
+// InstallDistributed asks the daemon to install a spec through the
+// lease scheduler (mode=distributed) and follows the NDJSON progress
+// stream, invoking progress (if non-nil) per snapshot and returning the
+// final one. A job that ends with poisoned nodes returns the terminal
+// status AND an error carrying its message.
+func (c *Client) InstallDistributed(expr string, progress func(sched.JobStatus)) (*sched.JobStatus, error) {
+	body, err := json.Marshal(ConcretizeRequest{Spec: expr, Mode: "distributed"})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Post(c.BaseURL+"/v1/install", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("service: install: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("service: install: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var last *sched.JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var js sched.JobStatus
+		if err := json.Unmarshal(line, &js); err != nil {
+			return last, fmt.Errorf("service: install stream: %w", err)
+		}
+		if progress != nil {
+			progress(js)
+		}
+		last = &js
+	}
+	if err := sc.Err(); err != nil {
+		return last, fmt.Errorf("service: install stream: %w", err)
+	}
+	if last == nil {
+		return nil, fmt.Errorf("service: install stream ended without a status")
+	}
+	if !last.Done {
+		return last, fmt.Errorf("service: install stream ended before the job finished")
+	}
+	if last.Error != "" {
+		return last, fmt.Errorf("service: install failed: %s", last.Error)
+	}
+	return last, nil
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/concretize"
 	"repro/internal/fetch"
+	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/syntax"
 )
@@ -55,6 +56,12 @@ type Config struct {
 	Builder *build.Builder
 	// Log receives one line per request; nil discards.
 	Log io.Writer
+	// LeaseTTL bounds how long a scheduler lease lives between
+	// heartbeats before the node is reclaimed (default 2m).
+	LeaseTTL time.Duration
+	// MaxAttempts bounds per-node build attempts before the scheduler
+	// poisons the node's dependent cone (default 3).
+	MaxAttempts int
 }
 
 // Server is the daemon. Create with NewServer, mount as an
@@ -65,6 +72,7 @@ type Server struct {
 	hs      *http.Server
 	flights flightGroup
 	stats   stats
+	sched   *sched.Scheduler
 	logMu   sync.Mutex
 }
 
@@ -74,12 +82,19 @@ func NewServer(cfg Config) *Server {
 		cfg.Log = io.Discard
 	}
 	s := &Server{cfg: cfg}
+	s.sched = s.newScheduler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/blobs", s.handleBlobList)
 	mux.HandleFunc("GET /v1/blobs/{name...}", s.handleBlobGet)
 	mux.HandleFunc("PUT /v1/blobs/{name...}", s.handleBlobPut)
 	mux.HandleFunc("POST /v1/concretize", s.handleConcretize)
 	mux.HandleFunc("POST /v1/install", s.handleInstall)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/leases", s.handleLease)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
+	mux.HandleFunc("POST /v1/leases/{id}/fail", s.handleFail)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux = mux
 	return s
@@ -96,6 +111,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ep := s.stats.endpoint(r.URL.Path)
 	ep.requests.Add(1)
 	ep.bytesOut.Add(cw.bytes)
+	ep.observe(time.Since(start))
 	// A 304 is the blob fast path: the client's cached copy validated
 	// against the ETag and no payload moved.
 	if cw.status == http.StatusNotModified {
@@ -130,8 +146,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
-// Stats snapshots the per-endpoint counters.
-func (s *Server) Stats() Stats { return s.stats.snapshot() }
+// Stats snapshots the per-endpoint counters and scheduler gauges.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	st.Sched = s.sched.Stats()
+	return st
+}
 
 // countingWriter records the status and payload bytes of a response.
 type countingWriter struct {
@@ -209,10 +229,16 @@ func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusCreated)
 }
 
-// ConcretizeRequest is the body of POST /v1/concretize and /v1/install.
+// ConcretizeRequest is the body of POST /v1/concretize, /v1/install,
+// and /v1/jobs.
 type ConcretizeRequest struct {
 	// Spec is an abstract spec expression, e.g. "mpileaks ^mvapich2@2.0".
 	Spec string `json:"spec"`
+	// Mode selects the install strategy for /v1/install: "" or "local"
+	// builds on the daemon (singleflight-coalesced); "distributed"
+	// submits the DAG to the lease scheduler and streams assembly
+	// progress as NDJSON JobStatus lines.
+	Mode string `json:"mode,omitempty"`
 }
 
 // ConcretizeResponse carries a concretized DAG back to the client.
@@ -229,7 +255,7 @@ type ConcretizeResponse struct {
 }
 
 func (s *Server) handleConcretize(w http.ResponseWriter, r *http.Request) {
-	concrete, cached, ok := s.concretizeRequest(w, r)
+	concrete, _, cached, ok := s.concretizeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -250,33 +276,32 @@ func (s *Server) handleConcretize(w http.ResponseWriter, r *http.Request) {
 }
 
 // concretizeRequest decodes and resolves the spec body shared by the
-// concretize and install endpoints, writing the error response itself
-// when it fails.
-func (s *Server) concretizeRequest(w http.ResponseWriter, r *http.Request) (concrete *spec.Spec, cached, ok bool) {
+// concretize, install, and job-submit endpoints, writing the error
+// response itself when it fails.
+func (s *Server) concretizeRequest(w http.ResponseWriter, r *http.Request) (concrete *spec.Spec, req ConcretizeRequest, cached, ok bool) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
-		return nil, false, false
+		return nil, req, false, false
 	}
 	s.stats.endpoint(r.URL.Path).bytesIn.Add(int64(len(body)))
-	var req ConcretizeRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return nil, false, false
+		return nil, req, false, false
 	}
 	abstract, err := syntax.Parse(req.Spec)
 	if err != nil {
 		http.Error(w, "parse spec: "+err.Error(), http.StatusBadRequest)
-		return nil, false, false
+		return nil, req, false, false
 	}
 	c, cached, err := s.cfg.Concretizer.ConcretizeCached(abstract)
 	if err != nil {
 		// The spec parsed but cannot be satisfied — the client's
 		// constraint problem, not a malformed request.
 		http.Error(w, "concretize: "+err.Error(), http.StatusUnprocessableEntity)
-		return nil, false, false
+		return nil, req, false, false
 	}
-	return c, cached, true
+	return c, req, cached, true
 }
 
 // InstallResponse reports one server-side install.
@@ -300,8 +325,17 @@ type InstallResponse struct {
 }
 
 func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
-	concrete, _, ok := s.concretizeRequest(w, r)
+	concrete, req, _, ok := s.concretizeRequest(w, r)
 	if !ok {
+		return
+	}
+	switch req.Mode {
+	case "", "local":
+	case "distributed":
+		s.handleInstallDistributed(w, r, concrete)
+		return
+	default:
+		http.Error(w, "unknown install mode: "+req.Mode, http.StatusBadRequest)
 		return
 	}
 	hash := concrete.FullHash()
@@ -353,7 +387,7 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot())
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,9 +1,19 @@
 package service
 
 import (
+	"math/bits"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
 )
+
+// latBuckets is the size of the fixed latency histogram: bucket i
+// counts requests whose duration in microseconds needs i bits, i.e.
+// exponential bounds 1µs, 2µs, 4µs … ~35min. Fixed buckets keep the
+// hot path to one atomic increment with no allocation and no deps.
+const latBuckets = 32
 
 // endpointCounters is the live (atomic) counter set for one endpoint
 // family.
@@ -13,15 +23,66 @@ type endpointCounters struct {
 	coalesced atomic.Int64
 	bytesIn   atomic.Int64
 	bytesOut  atomic.Int64
+	latency   [latBuckets]atomic.Int64
+}
+
+// observe records one request duration in the histogram.
+func (c *endpointCounters) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	c.latency[b].Add(1)
+}
+
+// percentile reads the q-th percentile (0 < q ≤ 1) from a histogram
+// snapshot, reporting each bucket at its upper bound (conservative:
+// real latency is at or below the reported value).
+func percentile(hist [latBuckets]int64, q float64) time.Duration {
+	var total int64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for b, n := range hist {
+		seen += n
+		if seen >= target {
+			// Bucket b holds durations needing b bits: upper bound
+			// 2^b − 1 µs (bucket 0 is exactly 0µs).
+			if b == 0 {
+				return 0
+			}
+			return time.Duration((int64(1)<<b)-1) * time.Microsecond
+		}
+	}
+	return time.Duration((int64(1)<<(latBuckets-1))-1) * time.Microsecond
 }
 
 func (c *endpointCounters) snapshot() EndpointStats {
+	var hist [latBuckets]int64
+	for i := range hist {
+		hist[i] = c.latency[i].Load()
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return EndpointStats{
 		Requests:  c.requests.Load(),
 		Hits:      c.hits.Load(),
 		Coalesced: c.coalesced.Load(),
 		BytesIn:   c.bytesIn.Load(),
 		BytesOut:  c.bytesOut.Load(),
+		P50MS:     ms(percentile(hist, 0.50)),
+		P99MS:     ms(percentile(hist, 0.99)),
 	}
 }
 
@@ -30,6 +91,8 @@ type stats struct {
 	blobs        endpointCounters
 	concretize   endpointCounters
 	install      endpointCounters
+	jobs         endpointCounters
+	leases       endpointCounters
 	other        endpointCounters
 	sourceBuilds atomic.Int64
 }
@@ -43,6 +106,10 @@ func (s *stats) endpoint(path string) *endpointCounters {
 		return &s.concretize
 	case strings.HasPrefix(path, "/v1/install"):
 		return &s.install
+	case strings.HasPrefix(path, "/v1/jobs"):
+		return &s.jobs
+	case strings.HasPrefix(path, "/v1/leases"):
+		return &s.leases
 	default:
 		return &s.other
 	}
@@ -53,6 +120,8 @@ func (s *stats) snapshot() Stats {
 		Blobs:        s.blobs.snapshot(),
 		Concretize:   s.concretize.snapshot(),
 		Install:      s.install.snapshot(),
+		Jobs:         s.jobs.snapshot(),
+		Leases:       s.leases.snapshot(),
 		Other:        s.other.snapshot(),
 		SourceBuilds: s.sourceBuilds.Load(),
 	}
@@ -60,17 +129,21 @@ func (s *stats) snapshot() Stats {
 
 // EndpointStats is the exported snapshot of one endpoint family's
 // counters. "Hits" means: blob requests answered 304 from the client's
-// validated copy, concretizations answered from the memo cache, and
+// validated copy, concretizations answered from the memo cache,
 // installs that moved no compiler (coalesced onto a live build, or
-// everything already cached/installed). "Coalesced" counts install
-// requests that blocked on another client's in-flight build of the
-// same full hash.
+// everything already cached/installed), and lease claims that actually
+// granted a lease. "Coalesced" counts install requests that blocked on
+// another client's in-flight build of the same full hash. P50MS/P99MS
+// are request-latency percentiles from a fixed power-of-two-bucket
+// histogram (reported at the bucket upper bound).
 type EndpointStats struct {
-	Requests  int64 `json:"requests"`
-	Hits      int64 `json:"hits"`
-	Coalesced int64 `json:"coalesced,omitempty"`
-	BytesIn   int64 `json:"bytes_in"`
-	BytesOut  int64 `json:"bytes_out"`
+	Requests  int64   `json:"requests"`
+	Hits      int64   `json:"hits"`
+	Coalesced int64   `json:"coalesced,omitempty"`
+	BytesIn   int64   `json:"bytes_in"`
+	BytesOut  int64   `json:"bytes_out"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
 }
 
 // Stats is the document GET /v1/stats serves.
@@ -78,9 +151,14 @@ type Stats struct {
 	Blobs      EndpointStats `json:"blobs"`
 	Concretize EndpointStats `json:"concretize"`
 	Install    EndpointStats `json:"install"`
+	Jobs       EndpointStats `json:"jobs"`
+	Leases     EndpointStats `json:"leases"`
 	Other      EndpointStats `json:"other"`
 	// SourceBuilds counts install leaders that compiled at least one
 	// node from source — the "cache-miss builds" a thundering herd
 	// must collapse to one of.
 	SourceBuilds int64 `json:"source_builds"`
+	// Sched snapshots the lease scheduler's gauges: node states across
+	// all jobs, reclaimed/rejected lease counts, and live workers.
+	Sched sched.Stats `json:"sched"`
 }

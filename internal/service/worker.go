@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/buildcache"
+	"repro/internal/sched"
+	"repro/internal/syntax"
+)
+
+// Worker is one remote build worker: it claims leases from a daemon,
+// builds each node's subtree on its own machine (dependencies pull from
+// the shared remote cache, the node itself compiles from source),
+// pushes the resulting archive back through the blob API, and reports
+// completion. The lease heartbeats on a ticker so a live build is never
+// reclaimed, and a canceled context drains: the in-flight lease
+// finishes before Run returns.
+type Worker struct {
+	// Client talks to the daemon's lease endpoints.
+	Client *Client
+	// Builder is this worker's machine. Its cache should be an
+	// HTTPBackend-backed cache over the same daemon so dependency pulls
+	// and the node's own cache probe hit shared archives.
+	Builder *build.Builder
+	// Push is the cache archives are pushed to after a source build —
+	// normally over the same remote backend the Builder pulls from.
+	Push *buildcache.Cache
+	// Name identifies the worker in leases and stats.
+	Name string
+	// Poll is the idle wait between lease attempts when nothing is
+	// ready (default 10ms).
+	Poll time.Duration
+	// HeartbeatEvery overrides the heartbeat interval (default: a third
+	// of the lease TTL).
+	HeartbeatEvery time.Duration
+	// Throttle slows the worker down to its virtual speed: after each
+	// build it sleeps Throttle per virtual second built, so real lease
+	// ordering approximates the virtual schedule. Zero disables.
+	Throttle time.Duration
+	// ExitWhenIdle makes Run return once the daemon reports no queued
+	// work remains (otherwise it keeps polling for new jobs).
+	ExitWhenIdle bool
+	// Log receives one line per lease outcome; nil discards.
+	Log io.Writer
+}
+
+// WorkerStats summarizes one Run.
+type WorkerStats struct {
+	// Leases counts granted leases; Built of those completed
+	// successfully; SourceBuilt of those compiled (vs store reuse).
+	Leases, Built, SourceBuilt int
+	// Duplicates counts completions the daemon had already seen (the
+	// node was built by a reclaimed lease's successor).
+	Duplicates int
+	// Failed counts builds reported failed; Lost counts leases that
+	// expired under us (TTL reclaimed before completion).
+	Failed, Lost int
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker %s: %s\n", w.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes the lease loop until the context is canceled (graceful:
+// the current lease finishes first) or — with ExitWhenIdle — the queue
+// empties. Protocol-level lease losses are not errors; transport
+// failures are.
+func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
+	var st WorkerStats
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		if ctx.Err() != nil {
+			return st, nil
+		}
+		resp, err := w.Client.Lease(w.Name)
+		if err != nil {
+			return st, err
+		}
+		if resp.Lease == nil {
+			if (resp.Empty || resp.Draining) && w.ExitWhenIdle {
+				return st, nil
+			}
+			select {
+			case <-ctx.Done():
+				return st, nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		st.Leases++
+		if err := w.serve(ctx, resp.Lease, &st); err != nil {
+			return st, err
+		}
+	}
+}
+
+// serve handles one granted lease end to end.
+func (w *Worker) serve(ctx context.Context, l *sched.Lease, st *WorkerStats) error {
+	root, err := syntax.DecodeJSON(l.DAG)
+	if err != nil {
+		// The payload is undecodable on this worker; give the node back.
+		return w.fail(l.ID, st, fmt.Sprintf("decode DAG: %v", err))
+	}
+
+	// Heartbeat on a ticker for as long as the build runs.
+	hb := w.HeartbeatEvery
+	if hb <= 0 {
+		hb = time.Duration(l.TTLMS) * time.Millisecond / 3
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := w.Client.Heartbeat(l.ID); err != nil {
+					w.logf("heartbeat %s: %v", l.ID, err)
+					return
+				}
+			}
+		}
+	}()
+	defer func() { stopHB(); hbWG.Wait() }()
+
+	res, err := w.Builder.Build(root)
+	if err != nil {
+		return w.fail(l.ID, st, err.Error())
+	}
+	rep := res.Report(root.Name)
+	sourceBuilt := !(rep.FromCache || rep.Reused || rep.External)
+	virtual := rep.Time
+	if sourceBuilt {
+		st.SourceBuilt++
+	}
+
+	// The archive must be on the daemon before complete — that is what
+	// verification checks. Push even on store reuse: a lease retry may
+	// have built the node locally without its push landing.
+	if !rep.External {
+		if _, err := w.Push.Push(w.Builder.Store, root); err != nil {
+			return w.fail(l.ID, st, fmt.Sprintf("push archive: %v", err))
+		}
+	}
+
+	// Pace real time to virtual time so multi-worker lease ordering
+	// tracks the virtual schedule (benchmarks).
+	if w.Throttle > 0 && virtual > 0 {
+		select {
+		case <-time.After(time.Duration(virtual.Seconds() * float64(w.Throttle))):
+		case <-ctx.Done():
+			// Still complete: the build and push are done.
+		}
+	}
+
+	stopHB()
+	hbWG.Wait()
+	dup, err := w.Client.Complete(l.ID, virtual, sourceBuilt)
+	switch {
+	case errors.Is(err, ErrLeaseLost):
+		st.Lost++
+		w.logf("lease %s (%s): lost to reclamation", l.ID, l.Name)
+		return nil
+	case errors.Is(err, ErrVerifyRejected):
+		st.Failed++
+		w.logf("lease %s (%s): %v", l.ID, l.Name, err)
+		return nil
+	case err != nil:
+		return err
+	case dup:
+		st.Duplicates++
+	default:
+		st.Built++
+		w.logf("lease %s: built %s (%v virtual, source=%v)", l.ID, l.Name, virtual, sourceBuilt)
+	}
+	return nil
+}
+
+// fail reports a failed node, tolerating a lease already lost.
+func (w *Worker) fail(leaseID string, st *WorkerStats, reason string) error {
+	st.Failed++
+	w.logf("lease %s: failed: %s", leaseID, reason)
+	err := w.Client.Fail(leaseID, reason)
+	if errors.Is(err, ErrLeaseLost) {
+		st.Lost++
+		return nil
+	}
+	return err
+}
