@@ -20,7 +20,7 @@ bench:
 # batch, and the per-hit micro-benchmark, rendered to BENCH_concretize.json
 # (including the derived warm-cache and parallel speedups).
 bench-concretize:
-	go test -run '^$$' -bench 'Fig8|ConcretizeCacheHit' -benchmem . \
+	go test -run '^$$' -bench 'Fig8|ConcretizeCacheHit|ARESConcretize(GreedyCold|Reuse)' -benchmem . \
 		| tee bench_concretize.txt \
 		| go run ./cmd/benchjson -o BENCH_concretize.json
 	cat BENCH_concretize.json

@@ -12,6 +12,8 @@
 //	BenchmarkFig9SharedSubDAG      — two mpileaks installs with store reuse
 //	BenchmarkFig10Build/*          — the seven builds under each condition
 //	BenchmarkFig13ARESConcretize   — the 47-package ARES DAG
+//	BenchmarkARESConcretizeGreedyCold — the 36-config matrix, cold greedy
+//	BenchmarkARESConcretizeReuse   — the same matrix re-solved with -reuse
 //	BenchmarkAblation*             — greedy vs. backtracking concretization
 //
 // Each benchmark reports the relevant domain metric (virtual build time,
@@ -349,6 +351,86 @@ func BenchmarkTable3ARESMatrix(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// aresMatrixSpecs parses the 36 nightly configurations of Table 3.
+func aresMatrixSpecs() []*spec.Spec {
+	var exprs []*spec.Spec
+	for _, cell := range ares.Matrix() {
+		for _, cfg := range cell.Configs {
+			exprs = append(exprs, syntax.MustParse(ares.SpecFor(cell, cfg)))
+		}
+	}
+	return exprs
+}
+
+// BenchmarkARESConcretizeGreedyCold is the reuse leg's baseline: the full
+// 36-configuration ARES matrix solved cold by the greedy algorithm — no
+// memo cache, no reuse source. Reported solved-nodes/sec is the solver
+// throughput figure the reuse leg is compared against.
+func BenchmarkARESConcretizeGreedyCold(b *testing.B) {
+	c := concretize.New(repo.NewPath(ares.Repo(), repo.Builtin()), config.New(), compiler.LLNLRegistry())
+	exprs := aresMatrixSpecs()
+	var nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes = 0
+		for _, e := range exprs {
+			out, err := c.Concretize(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes += out.Size()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(exprs)), "configurations")
+	b.ReportMetric(float64(nodes*b.N)/b.Elapsed().Seconds(), "solved-nodes/sec")
+}
+
+// BenchmarkARESConcretizeReuse re-concretizes the warm ARES matrix through
+// the solver's reuse path: every configuration already "installed" (its DAG
+// in the reuse source), so each solve carries pin application and reuse
+// accounting on top of propagation. The acceptance bar caps this overhead
+// at 2x the cold greedy baseline (derived concretize_reuse_overhead_inv
+// >= 0.5 in BENCH_concretize.json).
+func BenchmarkARESConcretizeReuse(b *testing.B) {
+	path := repo.NewPath(ares.Repo(), repo.Builtin())
+	cold := concretize.New(path, config.New(), compiler.LLNLRegistry())
+	exprs := aresMatrixSpecs()
+	src := &memSource{fp: "ares-full", cands: map[string]*spec.Spec{}}
+	for _, e := range exprs {
+		out, err := cold.Concretize(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.cands[out.FullHash()] = out
+	}
+	c := concretize.New(path, config.New(), compiler.LLNLRegistry())
+	c.Reuse = src
+	// Build the reuse snapshot outside the timed loop: the fingerprint is
+	// stable, so the steady state is re-solves, not candidate enumeration.
+	if _, err := c.Concretize(exprs[0]); err != nil {
+		b.Fatal(err)
+	}
+	var nodes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes = 0
+		for _, e := range exprs {
+			out, err := c.Concretize(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes += out.Size()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(exprs)), "configurations")
+	b.ReportMetric(float64(nodes*b.N)/b.Elapsed().Seconds(), "solved-nodes/sec")
+	if solved := c.Stats.SolvedNodes(); solved > 0 {
+		b.ReportMetric(float64(c.Stats.ReusedNodes())/float64(solved), "reuse-fraction")
 	}
 }
 

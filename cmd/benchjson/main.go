@@ -146,6 +146,14 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 	if par := ns("BenchmarkFig8ConcretizeAllParallel"); cold > 0 && par > 0 {
 		d["fig8_parallel_speedup"] = cold / par
 	}
+	// Concretizer reuse leg: re-solving the warm ARES matrix against a
+	// fully populated reuse source vs. the cold greedy baseline. Expressed
+	// inverted (baseline/reuse) so the bar stays a floor: 0.5 means reuse
+	// costs at most 2x the cold greedy solve.
+	aresCold := ns("BenchmarkARESConcretizeGreedyCold")
+	if reuse := ns("BenchmarkARESConcretizeReuse"); aresCold > 0 && reuse > 0 {
+		d["concretize_reuse_overhead_inv"] = aresCold / reuse
+	}
 	// Store sharding: sharded-index speedup over the single-mutex baseline
 	// at each worker count, for the install (contention) and lookup sides.
 	for _, w := range []int{1, 2, 4, 8} {

@@ -95,6 +95,7 @@ func cmdEnvAdd(w io.Writer, s *core.Spack, args []string, add bool) error {
 func cmdEnvInstall(w io.Writer, s *core.Spack, args []string) error {
 	fs := flag.NewFlagSet("env install", flag.ContinueOnError)
 	jobs := fs.Int("jobs", 0, "parallel build jobs for this environment install")
+	reuse := fs.Bool("reuse", false, "concretize against the lockfile and store, preferring installed hashes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +126,7 @@ func cmdEnvInstall(w io.Writer, s *core.Spack, args []string) error {
 	if *jobs > 0 {
 		h.Builder.Jobs = *jobs
 	}
+	h.Reuse = *reuse
 	res, err := e.Apply(h)
 	if err != nil {
 		return err

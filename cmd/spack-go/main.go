@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/ares"
 	"repro/internal/build"
+	"repro/internal/concretize"
 	"repro/internal/core"
 	"repro/internal/modules"
 	"repro/internal/repo"
@@ -29,7 +31,7 @@ func usage() {
 usage: spack-go [flags] <command> [args]
 
 commands:
-  spec <spec>            concretize a spec and print the full DAG
+  spec [-why-not] <spec> concretize a spec and print the full DAG
   install <spec>...      concretize and build specs into the store
   find [spec]            list installed packages matching a query
   uninstall <spec>       remove an installed package
@@ -55,7 +57,7 @@ commands:
   env create <name> [spec...]      create a named environment (-view PATH)
   env add <name> <spec>...         add specs to an environment manifest
   env rm <name> <spec>...          remove specs from an environment manifest
-  env install [-jobs N] <name>     concretize, lock, and apply as one transaction
+  env install [-jobs N] [-reuse] <name>  concretize, lock, and apply as one transaction
   env status <name>                show manifest, lockfile, and pending delta
   env uninstall <name>             remove an environment's installs and view
   env list                         list environments
@@ -77,6 +79,7 @@ func main() {
 		flagNoBinary  = flag.Bool("no-cache", false, "never install from the binary build cache")
 		flagOnlyCache = flag.Bool("cache-only", false, "install from the binary build cache only; never build from source")
 		flagCacheURL  = flag.String("cache-url", "", "push/pull binary archives via a remote spack-go serve daemon at this URL")
+		flagReuse     = flag.Bool("reuse", false, "concretize against installed and cached packages, preferring existing hashes over newest versions")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -120,6 +123,9 @@ func main() {
 	}
 	if *flagProvider != "" {
 		s.Config.Site.SetProviderOrder("mpi", *flagProvider)
+	}
+	if *flagReuse {
+		s.Concretizer.Reuse = concretize.MultiReuse(s.Store, s.BuildCache)
 	}
 
 	if *flagCache != "" {
@@ -202,12 +208,22 @@ func one(args []string, what string) (string, error) {
 }
 
 func cmdSpec(w io.Writer, s *core.Spack, args []string) error {
-	expr, err := one(args, "spec")
+	fs := flag.NewFlagSet("spec", flag.ContinueOnError)
+	whyNot := fs.Bool("why-not", false, "on unsatisfiable input, explain the minimal set of conflicting constraints")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	expr, err := one(fs.Args(), "spec")
 	if err != nil {
 		return err
 	}
 	concrete, err := s.Spec(expr)
 	if err != nil {
+		var unsat *concretize.UnsatError
+		if *whyNot && errors.As(err, &unsat) {
+			fmt.Fprintln(w, unsat.WhyNot())
+			return nil
+		}
 		return err
 	}
 	fmt.Fprintf(w, "Input spec\n------------------\n%s\n\n", expr)

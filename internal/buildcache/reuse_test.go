@@ -1,0 +1,42 @@
+package buildcache_test
+
+import (
+	"testing"
+
+	"repro/internal/buildcache"
+	"repro/internal/fetch"
+)
+
+// TestCacheReuseSource: every archived node is a reuse candidate carrying
+// its full concrete DAG, keyed by the archive's full hash, and the
+// fingerprint follows pushes.
+func TestCacheReuseSource(t *testing.T) {
+	empty := buildcache.New(buildcache.NewMirrorBackend(fetch.NewMirror()))
+	fpEmpty := empty.ReuseFingerprint()
+	if cands, err := empty.ReuseCandidates(); err != nil || len(cands) != 0 {
+		t.Fatalf("empty cache candidates = %v, %v", cands, err)
+	}
+
+	cache, concrete, _ := buildAndPush(t, "libdwarf")
+	if cache.ReuseFingerprint() == fpEmpty {
+		t.Error("fingerprint unchanged after pushes")
+	}
+	cands, err := cache.ReuseCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range concrete.TopoOrder() {
+		if n.External {
+			continue
+		}
+		got, ok := cands[n.FullHash()]
+		if !ok {
+			t.Errorf("archived %s (%s) missing from candidates", n.Name, n.FullHash())
+			continue
+		}
+		// The embedded spec round-trips to the same identity.
+		if got.FullHash() != n.FullHash() {
+			t.Errorf("candidate %s decodes to hash %s", n.FullHash(), got.FullHash())
+		}
+	}
+}

@@ -22,17 +22,22 @@ import (
 //     the preference configuration, and the compiler registry — the three
 //     inputs besides the spec that determine the concretizer's choices;
 //   - Mode: "greedy" or "backtracking", because the two algorithms can
-//     legitimately return different DAGs for the same abstract spec.
+//     legitimately return different DAGs for the same abstract spec;
+//   - Reuse: the ReuseSource fingerprint (empty without one) — an install,
+//     uninstall, or cache push changes the candidate set, and a reuse
+//     answer computed before it must never be served after.
 //
-// Mutating a repository, a configuration scope, or the registry changes the
-// corresponding fingerprint, so stale entries are never returned; they age
-// out of the LRU instead of being collected eagerly.
+// Mutating a repository, a configuration scope, the registry, or the reuse
+// candidates changes the corresponding fingerprint, so stale entries are
+// never returned; they age out of the LRU instead of being collected
+// eagerly.
 type Key struct {
 	Spec      string `json:"spec"`
 	Repo      string `json:"repo"`
 	Config    string `json:"config"`
 	Compilers string `json:"compilers"`
 	Mode      string `json:"mode"`
+	Reuse     string `json:"reuse,omitempty"`
 }
 
 // CacheStats reports cumulative cache traffic.

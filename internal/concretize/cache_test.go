@@ -222,7 +222,7 @@ func TestCacheDisabled(t *testing.T) {
 func TestCacheKeyComponents(t *testing.T) {
 	c, _ := cachedEnv(DefaultCacheSize)
 	abstract := syntax.MustParse("mpileaks")
-	base := c.cacheKey(abstract)
+	base := c.cacheKey(abstract, nil)
 
 	if base.Spec != abstract.FullHash() {
 		t.Errorf("key.Spec = %q, want the abstract FullHash %q", base.Spec, abstract.FullHash())
@@ -234,7 +234,7 @@ func TestCacheKeyComponents(t *testing.T) {
 		t.Errorf("key.Mode = %q, want greedy", base.Mode)
 	}
 	c.Backtracking = true
-	if got := c.cacheKey(abstract).Mode; got != "backtracking" {
+	if got := c.cacheKey(abstract, nil).Mode; got != "backtracking" {
 		t.Errorf("key.Mode = %q, want backtracking", got)
 	}
 }

@@ -1,34 +1,43 @@
 // Package concretize implements the paper's central algorithm (SC'15 §3.4,
 // Fig. 6): translating an abstract, partially constrained spec into a fully
-// concrete build specification. The pipeline mirrors the figure —
+// concrete build specification.
 //
-//  1. intersect the user's constraints with the constraints encoded by
-//     package-file directives, package by package;
-//  2. iteratively replace virtual nodes with concrete providers, consulting
-//     site and user policies when several providers qualify;
-//  3. concretize the remaining parameters (version, compiler, compiler
-//     version, variants, architecture) from policies and defaults;
+// Since the v2 refactor the package is a layered pipeline behind the
+// Concretize/ConcretizeCached seam:
 //
-// repeating the cycle because newly pinned parameters can activate
-// conditional dependencies (`when=` clauses), until a fixed point. The
-// default algorithm is greedy, like the paper's: it never revisits a policy
-// choice, and raises a conflict error the user must resolve by being more
-// explicit (§3.4, §4.5). The backtracking search the paper leaves as future
-// work is available via the Backtracking field.
+//	reify  (reify.go)  — walk repo directives + config + the abstract spec
+//	                     into typed fact domains (solve.Problem) and reuse
+//	                     pins from the attached ReuseSource;
+//	solve  (solve/)    — optimizing backtracking with unit propagation over
+//	                     those domains, lexicographic criteria: satisfy >
+//	                     reuse installed/cached hashes > newest versions >
+//	                     preferred providers > fewest rebuilds;
+//	engine (engine.go) — the propagation oracle the solver evaluates: the
+//	                     incremental fixed-point cycle of Fig. 6;
+//	decode (decode.go) — validate the chosen model into the exact-edge
+//	                     concrete spec.Spec the rest of the system consumes.
+//
+// The default mode evaluates only the criteria-optimal leaf, which is the
+// paper's greedy algorithm: it never revisits a policy choice, and raises a
+// conflict error the user must resolve by being more explicit (§3.4, §4.5).
+// The Backtracking field enables the full search. On UNSAT, unsat.go shrinks
+// the user's input constraints to a minimal core and renders a "why not"
+// chain (see UnsatError).
 package concretize
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/compiler"
+	"repro/internal/concretize/solve"
 	"repro/internal/config"
-	"repro/internal/pkg"
 	"repro/internal/repo"
 	"repro/internal/spec"
-	"repro/internal/version"
 )
 
 // Concretizer converts abstract specs to concrete ones against a package
@@ -53,6 +62,13 @@ type Concretizer struct {
 	// spec then costs one hash and one DAG clone instead of a full solve.
 	Cache *Cache
 
+	// Reuse, when non-nil, supplies already-built concrete specs (the
+	// store index, a buildcache, a lockfile, or any combination via
+	// MultiReuse). Their configurations are preferred over fresh choices
+	// whenever compatible, so re-concretization converges on installed
+	// full hashes instead of newest versions.
+	Reuse ReuseSource
+
 	// Parallelism bounds ConcretizeAll's worker pool (<= 0 selects
 	// runtime.GOMAXPROCS(0)).
 	Parallelism int
@@ -60,6 +76,10 @@ type Concretizer struct {
 	// Stats accumulates counters across Concretize calls, for the
 	// experiment harness.
 	Stats Stats
+
+	// reuseMu guards snap, the memoized reuse snapshot (see reuse.go).
+	reuseMu sync.Mutex
+	snap    *reuseSnapshot
 }
 
 // Stats counts concretizer work. Counters are atomic so one Concretizer
@@ -72,6 +92,8 @@ type Stats struct {
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
+	solvedNodes    atomic.Int64
+	reusedNodes    atomic.Int64
 }
 
 // Runs reports completed Concretize calls.
@@ -96,6 +118,14 @@ func (s *Stats) CacheMisses() int { return int(s.cacheMisses.Load()) }
 // CacheEvictions reports LRU evictions caused by this concretizer's
 // insertions.
 func (s *Stats) CacheEvictions() int { return int(s.cacheEvictions.Load()) }
+
+// SolvedNodes reports concrete nodes produced by successful solves — the
+// numerator of the benchmark harness's solved-nodes/sec metric.
+func (s *Stats) SolvedNodes() int { return int(s.solvedNodes.Load()) }
+
+// ReusedNodes reports solved nodes whose full hash matched a reuse
+// candidate (installed or cached), across all runs with a ReuseSource.
+func (s *Stats) ReusedNodes() int { return int(s.reusedNodes.Load()) }
 
 // New returns a Concretizer with defaults.
 func New(path *repo.Path, cfg *config.Config, reg *compiler.Registry) *Concretizer {
@@ -204,10 +234,10 @@ func (e *UnknownVariantError) Error() string {
 // The input is not modified.
 //
 // With a Cache attached, a repeated concretization of an identical abstract
-// spec under unchanged repositories, configuration, and compilers is a
-// cache hit: O(key hash + result clone) instead of a full solve. Failed
-// concretizations are never cached — the error path re-runs so callers
-// always see the current diagnosis.
+// spec under unchanged repositories, configuration, compilers, and reuse
+// candidates is a cache hit: O(key hash + result clone) instead of a full
+// solve. Failed concretizations are never cached — the error path re-runs
+// so callers always see the current diagnosis.
 func (c *Concretizer) Concretize(abstract *spec.Spec) (*spec.Spec, error) {
 	out, _, err := c.ConcretizeCached(abstract)
 	return out, err
@@ -217,17 +247,21 @@ func (c *Concretizer) Concretize(abstract *spec.Spec) (*spec.Spec, error) {
 // result was answered from the memo cache — the per-request hit signal
 // the buildcache service's /v1/concretize counters expose.
 func (c *Concretizer) ConcretizeCached(abstract *spec.Spec) (*spec.Spec, bool, error) {
+	snap, err := c.reuseSnapshot()
+	if err != nil {
+		return nil, false, &Error{Spec: abstract.String(), Err: err}
+	}
 	if c.Cache == nil {
-		out, err := c.concretizeUncached(abstract)
+		out, err := c.concretizeUncached(abstract, snap)
 		return out, false, err
 	}
-	key := c.cacheKey(abstract)
+	key := c.cacheKey(abstract, snap)
 	if hit, ok := c.Cache.Get(key); ok {
 		c.Stats.cacheHits.Add(1)
 		return hit, true, nil
 	}
 	c.Stats.cacheMisses.Add(1)
-	out, err := c.concretizeUncached(abstract)
+	out, err := c.concretizeUncached(abstract, snap)
 	if err != nil {
 		return nil, false, err
 	}
@@ -235,863 +269,143 @@ func (c *Concretizer) ConcretizeCached(abstract *spec.Spec) (*spec.Spec, bool, e
 	return out, false, nil
 }
 
-// concretizeUncached is the full solve behind Concretize.
-func (c *Concretizer) concretizeUncached(abstract *spec.Spec) (*spec.Spec, error) {
-	out, err := c.run(abstract, nil)
-	if err == nil {
-		return out, nil
+// concretizeUncached is the full pipeline behind Concretize: reify the
+// problem, search it, account for reuse, and on UNSAT attach the minimal
+// core explanation.
+func (c *Concretizer) concretizeUncached(abstract *spec.Spec, snap *reuseSnapshot) (*spec.Spec, error) {
+	trail := solve.NewTrail()
+	out, err := c.solveAbstract(abstract, snap, trail)
+	if err != nil {
+		return nil, c.explainUnsat(abstract, err, trail)
 	}
-	if !c.Backtracking {
+	if snap != nil {
+		for _, n := range out.Nodes() {
+			if _, ok := snap.hashes[n.FullHash()]; ok {
+				c.Stats.reusedNodes.Add(1)
+			}
+		}
+	}
+	return out, nil
+}
+
+// solveAbstract runs reify → solve without unsat-core post-processing; the
+// unsat-core minimizer itself probes through this entry point to test
+// whether a weakened input is satisfiable.
+func (c *Concretizer) solveAbstract(abstract *spec.Spec, snap *reuseSnapshot, trail *solve.Trail) (*spec.Spec, error) {
+	prob, err := c.reify(abstract, snap, trail)
+	if err != nil {
 		return nil, err
 	}
-	return c.backtrack(abstract, err)
+	var pins map[string]*spec.Spec
+	if snap != nil {
+		pins = snap.pins
+	}
+	s := &solve.Solver{
+		Problem: prob,
+		Eval:    &oracle{c: c, abstract: abstract, pins: pins},
+		Trail:   trail,
+		Branch:  c.Backtracking,
+		OnAttempt: func() {
+			c.Stats.backtracks.Add(1)
+		},
+	}
+	return s.Search()
+}
+
+// oracle adapts the propagation engine to the solver core's Evaluator
+// interface: one Try is one full fixed-point run under a forced
+// virtual-provider assignment, with reuse-pin retraction on conflict.
+type oracle struct {
+	c        *Concretizer
+	abstract *spec.Spec
+	pins     map[string]*spec.Spec
+}
+
+func (o *oracle) Try(forced map[string]string) (*spec.Spec, error) {
+	return o.c.evalOnce(o.abstract, forced, o.pins)
+}
+
+// evalOnce runs the propagation engine, retracting reuse pins that cause
+// conflicts: satisfiability ranks above reuse in the criteria, so a pin
+// implicated in a failure is dropped and the run retried; a failure that
+// cannot be attributed to a single pinned package drops every remaining
+// pin at once. The loop strictly shrinks the pin set, so it terminates.
+func (c *Concretizer) evalOnce(abstract *spec.Spec, forced map[string]string, pins map[string]*spec.Spec) (*spec.Spec, error) {
+	active := pins
+	for {
+		r := &resolver{c: c, forced: forced, pins: active, pinApplied: make(map[string]bool)}
+		out, err := r.run(abstract)
+		if err == nil {
+			return out, nil
+		}
+		if len(active) == 0 {
+			return nil, err
+		}
+		if name, ok := offendingPackage(err); ok {
+			if _, pinned := active[name]; pinned {
+				next := make(map[string]*spec.Spec, len(active)-1)
+				for k, v := range active {
+					if k != name {
+						next[k] = v
+					}
+				}
+				active = next
+				continue
+			}
+		}
+		// Not attributable to one pin: retract them all and retry once.
+		active = nil
+	}
+}
+
+// offendingPackage extracts the package a typed concretization error blames,
+// for reuse-pin retraction.
+func offendingPackage(err error) (string, bool) {
+	var conflict *spec.ConflictError
+	if errors.As(err, &conflict) && conflict.Package != "" {
+		return conflict.Package, true
+	}
+	var noVer *NoVersionError
+	if errors.As(err, &noVer) {
+		return noVer.Package, true
+	}
+	var noComp *NoCompilerError
+	if errors.As(err, &noComp) {
+		return noComp.Package, true
+	}
+	var noFeat *MissingFeatureError
+	if errors.As(err, &noFeat) {
+		return noFeat.Package, true
+	}
+	var badVar *UnknownVariantError
+	if errors.As(err, &badVar) {
+		return badVar.Package, true
+	}
+	return "", false
 }
 
 // cacheKey derives the memo-cache key for an abstract spec: its canonical
-// DAG hash plus the fingerprints of every other concretization input, and
-// the algorithm mode (greedy and backtracking results must never be
-// conflated — the two can legitimately choose different providers).
-func (c *Concretizer) cacheKey(abstract *spec.Spec) Key {
+// DAG hash plus the fingerprints of every other concretization input, the
+// algorithm mode (greedy and backtracking results must never be conflated —
+// the two can legitimately choose different providers), and the reuse
+// fingerprint (a reuse answer must never outlive an install/uninstall that
+// changes the candidate set).
+func (c *Concretizer) cacheKey(abstract *spec.Spec, snap *reuseSnapshot) Key {
 	mode := "greedy"
 	if c.Backtracking {
 		mode = "backtracking"
 	}
-	return Key{
+	key := Key{
 		Spec:      abstract.FullHash(),
 		Repo:      c.Path.Fingerprint(),
 		Config:    c.Config.Fingerprint(),
 		Compilers: c.Registry.Fingerprint(),
 		Mode:      mode,
 	}
-}
-
-// run performs one greedy concretization. forced maps virtual names to the
-// provider package that must be chosen, used by the backtracking search.
-func (c *Concretizer) run(abstract *spec.Spec, forced map[string]string) (*spec.Spec, error) {
-	root := abstract.Clone()
-	if root.Name == "" {
-		return nil, &Error{Spec: abstract.String(), Err: fmt.Errorf("cannot concretize an anonymous spec")}
+	if snap != nil {
+		key.Reuse = snap.fingerprint
 	}
-	// Every named node must be a package or virtual.
-	var nameErr error
-	root.Traverse(func(n *spec.Spec) bool {
-		if _, _, ok := c.Path.Get(n.Name); ok {
-			return true
-		}
-		if c.Path.IsVirtual(n.Name) {
-			return true
-		}
-		nameErr = &UnknownPackageError{Name: n.Name, Suggestions: c.suggest(n.Name)}
-		return false
-	})
-	if nameErr != nil {
-		return nil, &Error{Spec: abstract.String(), Err: nameErr}
-	}
-
-	// The fixed-point cycle of Fig. 6, made incremental: the first pass
-	// visits every node and seeds a dirty-node worklist; later passes
-	// revisit only nodes whose constraints may have moved (freshly attached
-	// deps, constrained providers, nodes with when= gated directives).
-	// Convergence is declared only after a FULL pass reports no change, so
-	// the fixed point reached is identical to re-scanning every node every
-	// iteration — the worklist is purely a work-skipping device.
-	var dirty map[string]bool // nil = full pass over every node
-	for iter := 0; ; iter++ {
-		if iter >= c.MaxIters {
-			return nil, &Error{Spec: abstract.String(),
-				Err: fmt.Errorf("no fixed point after %d iterations", c.MaxIters)}
-		}
-		c.Stats.iterations.Add(1)
-		touched := make(map[string]bool) // nodes whose state changed this pass
-		changed := false
-
-		ch, err := c.applyPackageConstraints(root, dirty, touched)
-		if err != nil {
-			return nil, &Error{Spec: abstract.String(), Err: err}
-		}
-		changed = changed || ch
-
-		// Parameters before virtual resolution: provider choice is greedy
-		// and irrevocable, so it should see the architecture and compiler
-		// context (a vendor MPI conditioned on "=bgq" must not be chosen
-		// for a Linux build).
-		ch, err = c.concretizeParams(root, dirty, touched)
-		if err != nil {
-			return nil, &Error{Spec: abstract.String(), Err: err}
-		}
-		changed = changed || ch
-
-		ch, err = c.resolveVirtuals(root, forced, touched)
-		if err != nil {
-			return nil, &Error{Spec: abstract.String(), Err: err}
-		}
-		changed = changed || ch
-
-		if !changed {
-			if dirty == nil {
-				break // a full pass was quiescent: fixed point
-			}
-			// The worklist drained; confirm quiescence with a full pass.
-			dirty = nil
-			continue
-		}
-		dirty = c.nextWorklist(root, touched)
-	}
-
-	// Circular dependencies are rejected (§3.2.1 footnote).
-	if cyc := findCycle(root); cyc != nil {
-		return nil, &Error{Spec: abstract.String(), Err: &CycleError{Cycle: cyc}}
-	}
-
-	// Final criteria from §3.4: no virtuals, nothing abstract.
-	var finalErr error
-	root.Traverse(func(n *spec.Spec) bool {
-		if c.Path.IsVirtual(n.Name) {
-			finalErr = &NoProviderError{Virtual: n.Name}
-			return false
-		}
-		if !n.NodeConcrete() {
-			finalErr = fmt.Errorf("node %s is still abstract after concretization", n.Name)
-			return false
-		}
-		return true
-	})
-	if finalErr != nil {
-		return nil, &Error{Spec: abstract.String(), Err: finalErr}
-	}
-	c.Stats.runs.Add(1)
-	return root, nil
-}
-
-// backtrack explores alternative provider assignments after a greedy
-// failure — the paper's future-work extension (§4.5). It enumerates, per
-// virtual interface reachable from the spec, each candidate provider in
-// preference order, depth-first.
-func (c *Concretizer) backtrack(abstract *spec.Spec, greedyErr error) (*spec.Spec, error) {
-	virtuals := c.Path.Virtuals()
-	providers := make(map[string][]string)
-	for _, v := range virtuals {
-		providers[v] = c.rankProviderNames(v)
-	}
-	var dfs func(i int, forced map[string]string) (*spec.Spec, error)
-	dfs = func(i int, forced map[string]string) (*spec.Spec, error) {
-		if i == len(virtuals) {
-			c.Stats.backtracks.Add(1)
-			return c.run(abstract, forced)
-		}
-		v := virtuals[i]
-		// First try leaving this virtual to the greedy policy.
-		if out, err := dfs(i+1, forced); err == nil {
-			return out, nil
-		}
-		var lastErr error
-		for _, p := range providers[v] {
-			forced[v] = p
-			out, err := dfs(i+1, forced)
-			delete(forced, v)
-			if err == nil {
-				return out, nil
-			}
-			lastErr = err
-		}
-		if lastErr == nil {
-			lastErr = greedyErr
-		}
-		return nil, lastErr
-	}
-	out, err := dfs(0, map[string]string{})
-	if err != nil {
-		return nil, greedyErr // report the original failure
-	}
-	return out, nil
-}
-
-// rankProviderNames orders the provider packages for a virtual by policy.
-func (c *Concretizer) rankProviderNames(virtual string) []string {
-	names := c.Path.ProviderNames(virtual)
-	sort.SliceStable(names, func(i, j int) bool {
-		ri, rj := c.Config.ProviderRank(virtual, names[i]), c.Config.ProviderRank(virtual, names[j])
-		if ri != rj {
-			return ri < rj
-		}
-		return names[i] < names[j]
-	})
-	return names
-}
-
-// nextWorklist computes the nodes the next iteration must revisit: every
-// node that changed this pass, the dependents of changed nodes (a parent's
-// provider checks and constraint intersections react to a child's
-// configuration), and every node whose package definition carries when=
-// gated directives. The last group is the conservative part: a when=
-// predicate is evaluated with Satisfies, which may reference arbitrary DAG
-// state (e.g. when="^mpich"), so those nodes are re-examined whenever
-// anything moved. Packages without conditional directives — the vast
-// majority — drop out of the worklist as soon as they converge.
-func (c *Concretizer) nextWorklist(root *spec.Spec, touched map[string]bool) map[string]bool {
-	dirty := make(map[string]bool, 2*len(touched))
-	for name := range touched {
-		dirty[name] = true
-	}
-	for _, n := range root.Nodes() {
-		if dirty[n.Name] {
-			continue
-		}
-		if c.hasConditionalDirectives(n.Name) {
-			dirty[n.Name] = true
-			continue
-		}
-		for depName := range n.Deps {
-			if touched[depName] {
-				dirty[n.Name] = true
-				break
-			}
-		}
-	}
-	return dirty
-}
-
-// hasConditionalDirectives reports whether a package definition carries any
-// when= gated dependency, provides, or feature directive — the directives
-// whose activation can flip as other nodes concretize.
-func (c *Concretizer) hasConditionalDirectives(name string) bool {
-	def, _, ok := c.Path.Get(name)
-	if !ok {
-		return false // virtual node; resolveVirtuals scans the DAG anyway
-	}
-	for _, d := range def.Dependencies {
-		if d.When != nil {
-			return true
-		}
-	}
-	for _, pr := range def.Provides {
-		if pr.When != nil {
-			return true
-		}
-	}
-	for _, f := range def.Features {
-		if f.When != nil {
-			return true
-		}
-	}
-	return false
-}
-
-// applyPackageConstraints merges directive constraints from package files
-// into the DAG: for every resolved (non-virtual) node, the dependencies
-// active under its current configuration are intersected in, with new edges
-// attached (Fig. 6's "Intersect Constraints"). A nil dirty set means a full
-// pass; otherwise only worklist nodes (plus nodes touched earlier in this
-// pass) are visited. Changed nodes are recorded in touched.
-func (c *Concretizer) applyPackageConstraints(root *spec.Spec, dirty, touched map[string]bool) (bool, error) {
-	changed := false
-	// Snapshot nodes first: attaching deps during traversal would mutate
-	// the structure being walked.
-	nodes := root.Nodes()
-	index := make(map[string]*spec.Spec)
-	for _, n := range nodes {
-		index[n.Name] = n
-	}
-	for _, n := range nodes {
-		if dirty != nil && !dirty[n.Name] && !touched[n.Name] {
-			continue
-		}
-		def, ns, ok := c.Path.Get(n.Name)
-		if !ok {
-			continue // virtual; resolved separately
-		}
-		if n.Namespace == "" {
-			n.Namespace = ns
-			changed = true
-			touched[n.Name] = true
-		}
-		for _, d := range def.DependenciesFor(n) {
-			depName := d.Constraint.Name
-			edgeType := spec.DepDefault
-			if d.BuildOnly {
-				edgeType = spec.DepBuild
-			}
-			// A virtual dependency already satisfied by a provider in the
-			// DAG attaches to that provider rather than re-creating the
-			// virtual node (otherwise resolution would never converge).
-			if prov, found, err := c.dagProviderFor(index, d.Constraint); err != nil {
-				return changed, err
-			} else if found {
-				if n.Deps == nil {
-					n.Deps = make(map[string]*spec.Spec)
-				}
-				if _, has := n.Deps[prov.Name]; !has {
-					n.Deps[prov.Name] = prov
-					n.SetDepType(prov.Name, edgeType)
-					changed = true
-					touched[n.Name] = true
-				}
-				continue
-			}
-			if existing, ok := index[depName]; ok {
-				ch, err := existing.ConstrainChanged(d.Constraint)
-				if err != nil {
-					return changed, err
-				}
-				if ch {
-					changed = true
-					touched[depName] = true
-				}
-				if n.Deps == nil {
-					n.Deps = make(map[string]*spec.Spec)
-				}
-				if _, has := n.Deps[depName]; !has {
-					n.Deps[depName] = existing
-					n.SetDepType(depName, edgeType)
-					changed = true
-					touched[n.Name] = true
-				}
-			} else {
-				node := d.Constraint.Clone()
-				if n.Deps == nil {
-					n.Deps = make(map[string]*spec.Spec)
-				}
-				n.Deps[depName] = node
-				n.SetDepType(depName, edgeType)
-				index[depName] = node
-				changed = true
-				touched[depName] = true
-			}
-		}
-	}
-	return changed, nil
-}
-
-// dagProviderFor looks for a node already in the DAG that provides a
-// virtual dependency constraint. If nodes provide the interface name but
-// none compatibly, that is a conflict: one DAG must not mix two providers
-// of the same interface (the ABI-consistency guarantee of §3.2.1).
-func (c *Concretizer) dagProviderFor(index map[string]*spec.Spec, dep *spec.Spec) (*spec.Spec, bool, error) {
-	if !c.Path.IsVirtual(dep.Name) {
-		return nil, false, nil
-	}
-	names := make([]string, 0, len(index))
-	for name := range index {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	sawProvider := false
-	for _, name := range names {
-		n := index[name]
-		def, _, ok := c.Path.Get(n.Name)
-		if !ok {
-			continue
-		}
-		providesName := false
-		for _, pr := range def.Provides {
-			if pr.Virtual.Name != dep.Name {
-				continue
-			}
-			providesName = true
-			if !pr.Virtual.Compatible(dep) {
-				continue
-			}
-			if pr.When != nil && !n.Compatible(pr.When) {
-				continue
-			}
-			return n, true, nil
-		}
-		sawProvider = sawProvider || providesName
-	}
-	if sawProvider {
-		return nil, false, &NoProviderError{
-			Virtual: dep.String(),
-			Detail:  " (a provider of this interface is already in the DAG but is incompatible)",
-		}
-	}
-	return nil, false, nil
-}
-
-// resolveVirtuals replaces virtual nodes with providers (Fig. 6's "Resolve
-// Virtual Deps"). If a package already in the DAG provides the interface,
-// it is reused (this is how `^mpich` forces the MPI choice); otherwise the
-// best provider by site/user policy is selected greedily. Replaced
-// providers and rewired parents are recorded in touched.
-func (c *Concretizer) resolveVirtuals(root *spec.Spec, forced map[string]string, touched map[string]bool) (bool, error) {
-	changed := false
-	for {
-		vnode := c.findVirtualNode(root)
-		if vnode == nil {
-			return changed, nil
-		}
-		c.Stats.virtualsSeen.Add(1)
-		provider, err := c.chooseProvider(root, vnode, forced)
-		if err != nil {
-			return changed, err
-		}
-		c.replaceNode(root, vnode, provider, touched)
-		touched[provider.Name] = true
-		changed = true
-	}
-}
-
-// findVirtualNode returns some virtual node of the DAG, or nil.
-func (c *Concretizer) findVirtualNode(root *spec.Spec) *spec.Spec {
-	var found *spec.Spec
-	root.Traverse(func(n *spec.Spec) bool {
-		if c.Path.IsVirtual(n.Name) {
-			found = n
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-// chooseProvider selects the provider node for a virtual constraint. The
-// returned node is either an existing DAG node or a fresh one constrained
-// by the provides-when condition.
-func (c *Concretizer) chooseProvider(root, vnode *spec.Spec, forced map[string]string) (*spec.Spec, error) {
-	// 1. A DAG node that provides the interface wins outright.
-	var inDAG *spec.Spec
-	root.Traverse(func(n *spec.Spec) bool {
-		if n == vnode {
-			return true
-		}
-		def, _, ok := c.Path.Get(n.Name)
-		if !ok || !def.ProvidesVirtualName(vnode.Name) {
-			return true
-		}
-		// Check interface-version compatibility for some provides entry.
-		for _, pr := range def.Provides {
-			if pr.Virtual.Name == vnode.Name && pr.Virtual.Compatible(vnode) {
-				inDAG = n
-				return false
-			}
-		}
-		return true
-	})
-	if inDAG != nil {
-		if err := c.constrainProviderForVirtual(inDAG, vnode); err != nil {
-			return nil, err
-		}
-		return inDAG, nil
-	}
-
-	// 2. Otherwise rank the repository's candidates.
-	cands := c.Path.ProvidersFor(vnode)
-	if len(cands) == 0 {
-		return nil, &NoProviderError{Virtual: vnode.String()}
-	}
-	if want, ok := forced[vnode.Name]; ok {
-		var filtered []repo.Provider
-		for _, p := range cands {
-			if p.Package.Name == want {
-				filtered = append(filtered, p)
-			}
-		}
-		if len(filtered) == 0 {
-			return nil, &NoProviderError{Virtual: vnode.String(),
-				Detail: fmt.Sprintf(" (forced provider %s does not qualify)", want)}
-		}
-		cands = filtered
-	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		ri := c.Config.ProviderRank(vnode.Name, cands[i].Package.Name)
-		rj := c.Config.ProviderRank(vnode.Name, cands[j].Package.Name)
-		if ri != rj {
-			return ri < rj
-		}
-		if cands[i].Package.Name != cands[j].Package.Name {
-			return cands[i].Package.Name < cands[j].Package.Name
-		}
-		// Within one package prefer the entry providing the newest
-		// interface (later provides directives list newer interfaces).
-		return false
-	})
-
-	// Greedy: take the first candidate whose when-condition and the
-	// virtual node's non-version constraints are mutually consistent.
-	// Inconsistent candidates (e.g. a vendor MPI conditioned on another
-	// architecture) are skipped at choice time; once a candidate is taken
-	// the algorithm never revisits the decision (§3.4).
-	var lastErr error
-	for _, cand := range cands {
-		node := spec.New(cand.Package.Name)
-		if cand.When != nil {
-			if err := node.Constrain(cand.When); err != nil {
-				lastErr = err
-				continue
-			}
-		}
-		if err := c.constrainProviderForVirtual(node, vnode); err != nil {
-			lastErr = err
-			continue
-		}
-		return node, nil
-	}
-	if lastErr == nil {
-		lastErr = &NoProviderError{Virtual: vnode.String()}
-	}
-	return nil, &NoProviderError{Virtual: vnode.String(),
-		Detail: fmt.Sprintf(" (%d candidates, none consistent: %v)", len(cands), lastErr)}
-}
-
-// constrainProviderForVirtual transfers the non-version constraints of the
-// virtual node (compiler, variants, arch) onto the provider; interface
-// version constraints describe the virtual, not the provider, and are
-// checked against provides directives instead.
-func (c *Concretizer) constrainProviderForVirtual(provider, vnode *spec.Spec) error {
-	carrier := spec.New(provider.Name)
-	carrier.Compiler = vnode.Compiler
-	carrier.Arch = vnode.Arch
-	for k, v := range vnode.Variants {
-		carrier.SetVariant(k, bool(v))
-	}
-	return provider.Constrain(carrier)
-}
-
-// replaceNode rewires every edge pointing at old to point at repl. If the
-// DAG already contains a node named repl.Name elsewhere, constraints merge
-// into that node to preserve the one-node-per-name invariant. Rewired
-// parents are recorded in touched.
-func (c *Concretizer) replaceNode(root, old, repl *spec.Spec, touched map[string]bool) {
-	root.Traverse(func(n *spec.Spec) bool {
-		if n.Deps == nil {
-			return true
-		}
-		if cur, ok := n.Deps[old.Name]; ok && cur == old {
-			t := n.EdgeType(old.Name)
-			delete(n.Deps, old.Name)
-			n.SetDepType(old.Name, spec.DepDefault) // clear old entry
-			n.Deps[repl.Name] = repl
-			n.SetDepType(repl.Name, t)
-			touched[n.Name] = true
-		}
-		return true
-	})
-	// The virtual node's own dependencies (rare) migrate to the provider.
-	for name, d := range old.Deps {
-		if repl.Deps == nil {
-			repl.Deps = make(map[string]*spec.Spec)
-		}
-		if _, has := repl.Deps[name]; !has {
-			repl.Deps[name] = d
-		}
-	}
-}
-
-// concretizeParams pins the five parameters of every resolved node
-// (Fig. 6's "Concretize Parameters"): architecture, externals, version,
-// compiler, variants — consulting preferences so sites make "consistent,
-// repeatable choices" (§3.4.4). The cheap whole-DAG propagation steps
-// (architecture defaulting, compiler inheritance) always run in full; the
-// expensive per-node pinning honors the dirty worklist. Changed nodes are
-// recorded in touched.
-func (c *Concretizer) concretizeParams(root *spec.Spec, dirty, touched map[string]bool) (bool, error) {
-	changed := false
-
-	// Architecture: the root adopts the default; dependencies inherit the
-	// root's platform.
-	if root.Arch == "" {
-		root.Arch = c.Config.DefaultArch()
-		changed = true
-		touched[root.Name] = true
-	}
-	for _, n := range root.Nodes() {
-		if n.Arch == "" {
-			n.Arch = root.Arch
-			changed = true
-			touched[n.Name] = true
-		}
-	}
-
-	// Compiler inheritance: children without a constraint build with their
-	// parent's compiler, so one toolchain is used consistently across a DAG
-	// unless overridden per node.
-	ch := c.inheritCompilers(root, touched)
-	changed = changed || ch
-
-	for _, n := range root.Nodes() {
-		if dirty != nil && !dirty[n.Name] && !touched[n.Name] {
-			continue
-		}
-		def, _, ok := c.Path.Get(n.Name)
-		if !ok {
-			continue // unresolved virtual: next iteration
-		}
-
-		// Externals: a matching registration satisfies the node without a
-		// store build (§4.4's vendor MPI configuration).
-		if !n.External {
-			if ext, ok := c.Config.ExternalFor(n, n.Arch); ok {
-				if err := n.Constrain(ext.Constraint); err != nil {
-					return changed, err
-				}
-				n.External = true
-				n.Path = ext.Path
-				changed = true
-				touched[n.Name] = true
-			}
-		}
-
-		ch, err := c.concretizeVersion(n, def)
-		if err != nil {
-			return changed, err
-		}
-		if ch {
-			changed = true
-			touched[n.Name] = true
-		}
-
-		if !n.External {
-			ch, err = c.concretizeCompiler(n, def.FeaturesFor(n))
-			if err != nil {
-				return changed, err
-			}
-			if ch {
-				changed = true
-				touched[n.Name] = true
-			}
-		}
-
-		ch, err = c.concretizeVariants(n, def)
-		if err != nil {
-			return changed, err
-		}
-		if ch {
-			changed = true
-			touched[n.Name] = true
-		}
-	}
-	return changed, nil
-}
-
-// inheritCompilers propagates compiler constraints from parents to
-// children that have none. Returns whether anything changed; changed nodes
-// are recorded in touched.
-func (c *Concretizer) inheritCompilers(root *spec.Spec, touched map[string]bool) bool {
-	changed := false
-	type inh struct {
-		comp spec.Compiler
-		arch string
-	}
-	var walk func(n *spec.Spec, inherited inh)
-	seen := make(map[string]bool)
-	walk = func(n *spec.Spec, inherited inh) {
-		// A node on a different architecture than its parent (the
-		// front-end/back-end split of §3.2.3) must not inherit the
-		// parent's toolchain: cross toolchains differ per platform, so the
-		// node picks its own arch-appropriate compiler instead.
-		sameArch := inherited.arch == "" || n.Arch == "" || n.Arch == inherited.arch
-		if n.Compiler.IsZero() && !inherited.comp.IsZero() && !n.External && sameArch {
-			n.Compiler = inherited.comp
-			changed = true
-			touched[n.Name] = true
-		}
-		if seen[n.Name] {
-			return
-		}
-		seen[n.Name] = true
-		eff := inherited
-		if !n.Compiler.IsZero() {
-			eff = inh{comp: n.Compiler, arch: n.Arch}
-		} else if n.Arch != "" {
-			eff.arch = n.Arch
-		}
-		for _, d := range n.DirectDeps() {
-			walk(d, eff)
-		}
-	}
-	walk(root, inh{})
-	return changed
-}
-
-// concretizeVersion pins a node's version: the highest known version
-// admitted by the constraints, preferring configured site versions; an
-// exact unknown version is adopted for URL extrapolation (§3.2.3).
-func (c *Concretizer) concretizeVersion(n *spec.Spec, def *pkg.Package) (bool, error) {
-	if _, ok := n.Versions.Concrete(); ok {
-		return false, nil
-	}
-	known := def.KnownVersions()
-
-	// Site/user preferred versions first.
-	if pref, ok := c.Config.PreferredVersion(n.Name); ok {
-		if merged, ok := n.Versions.Intersect(pref); ok {
-			if v, found := merged.Highest(known); found {
-				n.Versions = version.ExactList(v)
-				return true, nil
-			}
-		}
-	}
-	if v, found := n.Versions.Highest(known); found {
-		n.Versions = version.ExactList(v)
-		return true, nil
-	}
-	// An exact version we don't know: trust the user and extrapolate.
-	ranges := n.Versions.Ranges()
-	if len(ranges) == 1 && ranges[0].IsSingle() {
-		n.Versions = version.ExactList(ranges[0].Lo)
-		return true, nil
-	}
-	var knownStrs []string
-	for _, v := range known {
-		knownStrs = append(knownStrs, v.String())
-	}
-	return false, &NoVersionError{Package: n.Name, Constraint: n.Versions.String(), Known: knownStrs}
-}
-
-// concretizeCompiler pins a node's compiler to a registered toolchain
-// admitted by the node constraint, the package's required compiler
-// features, and preference order.
-func (c *Concretizer) concretizeCompiler(n *spec.Spec, features []string) (bool, error) {
-	// requireFeatures filters toolchains by the package's needs, naming
-	// the first missing feature on total failure.
-	requireFeatures := func(in []compiler.Toolchain) ([]compiler.Toolchain, string) {
-		if len(features) == 0 {
-			return in, ""
-		}
-		var out []compiler.Toolchain
-		for _, tc := range in {
-			if tc.HasFeatures(features) {
-				out = append(out, tc)
-			}
-		}
-		if len(out) == 0 && len(in) > 0 {
-			for _, f := range features {
-				ok := false
-				for _, tc := range in {
-					if tc.HasFeature(f) {
-						ok = true
-						break
-					}
-				}
-				if !ok {
-					return nil, f
-				}
-			}
-			return nil, features[0]
-		}
-		return out, ""
-	}
-
-	if n.Compiler.Concrete() {
-		// Verify the pinned compiler exists for this arch and has the
-		// required features.
-		found := c.Registry.Find(n.Compiler, n.Arch)
-		if len(found) == 0 {
-			return false, &NoCompilerError{Package: n.Name, Constraint: n.Compiler.String(), Arch: n.Arch}
-		}
-		if ok, missing := requireFeatures(found); len(ok) == 0 {
-			return false, &MissingFeatureError{Package: n.Name, Feature: missing,
-				Compiler: n.Compiler.String(), Arch: n.Arch}
-		}
-		return false, nil
-	}
-	var cands []compiler.Toolchain
-	if !n.Compiler.IsZero() {
-		cands = c.Registry.Find(n.Compiler, n.Arch)
-		if len(cands) == 0 {
-			return false, &NoCompilerError{Package: n.Name, Constraint: n.Compiler.String(), Arch: n.Arch}
-		}
-		filtered, missing := requireFeatures(cands)
-		if len(filtered) == 0 {
-			return false, &MissingFeatureError{Package: n.Name, Feature: missing,
-				Compiler: n.Compiler.String(), Arch: n.Arch}
-		}
-		cands = filtered
-	} else {
-		// No constraint at all: preference order, then registry default —
-		// skipping preferences that cannot provide the needed features.
-		for _, pref := range c.Config.CompilerOrder() {
-			found, _ := requireFeatures(c.Registry.Find(pref, n.Arch))
-			if len(found) > 0 {
-				cands = found
-				break
-			}
-		}
-		if len(cands) == 0 {
-			all, missing := requireFeatures(c.Registry.Find(spec.Compiler{}, n.Arch))
-			if len(all) == 0 {
-				if missing != "" {
-					return false, &MissingFeatureError{Package: n.Name, Feature: missing,
-						Compiler: "<any>", Arch: n.Arch}
-				}
-				return false, &NoCompilerError{Package: n.Name, Constraint: "<any>", Arch: n.Arch}
-			}
-			// Prefer the registry default when it qualifies.
-			if def, ok := c.Registry.Default(n.Arch); ok && def.HasFeatures(features) {
-				cands = []compiler.Toolchain{def}
-			} else {
-				cands = all
-			}
-		}
-	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		ri, rj := c.Config.CompilerRank(cands[i].Spec()), c.Config.CompilerRank(cands[j].Spec())
-		if ri != rj {
-			return ri < rj
-		}
-		return cands[i].Version.Compare(cands[j].Version) > 0
-	})
-	n.Compiler = cands[0].Spec()
-	return true, nil
-}
-
-// concretizeVariants fills unset declared variants from configuration or
-// package defaults, and rejects variants the package does not declare.
-func (c *Concretizer) concretizeVariants(n *spec.Spec, def *pkg.Package) (bool, error) {
-	for name := range n.Variants {
-		if _, ok := def.VariantDefault(name); !ok {
-			return false, &UnknownVariantError{Package: n.Name, Variant: name}
-		}
-	}
-	changed := false
-	for _, v := range def.Variants {
-		if _, set := n.Variant(v.Name); set {
-			continue
-		}
-		val := v.Default
-		if override, ok := c.Config.VariantDefault(n.Name, v.Name); ok {
-			val = override
-		}
-		n.SetVariant(v.Name, val)
-		changed = true
-	}
-	return changed, nil
-}
-
-// findCycle returns the package names along a dependency cycle reachable
-// from root (first element repeated at the end), or nil.
-func findCycle(root *spec.Spec) []string {
-	const (
-		visiting = 1
-		done     = 2
-	)
-	state := make(map[string]int)
-	var stack []string
-	var walk func(n *spec.Spec) []string
-	walk = func(n *spec.Spec) []string {
-		switch state[n.Name] {
-		case done:
-			return nil
-		case visiting:
-			// Found a back edge: slice the stack from the repeat.
-			for i, name := range stack {
-				if name == n.Name {
-					return append(append([]string{}, stack[i:]...), n.Name)
-				}
-			}
-			return []string{n.Name, n.Name}
-		}
-		state[n.Name] = visiting
-		stack = append(stack, n.Name)
-		for _, d := range n.DirectDeps() {
-			if cyc := walk(d); cyc != nil {
-				return cyc
-			}
-		}
-		stack = stack[:len(stack)-1]
-		state[n.Name] = done
-		return nil
-	}
-	return walk(root)
+	return key
 }
 
 // suggest returns up to three repository names within small edit distance

@@ -1,0 +1,166 @@
+package concretize
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/spec"
+)
+
+// ReuseSource supplies already-built concrete specs for the solver's reuse
+// criterion: candidate full hashes with their concrete DAGs. The store
+// index, the buildcache, an environment lockfile, and the service's remote
+// endpoint all satisfy it, so `-reuse` resolves against what exists locally
+// or on the daemon with one mechanism.
+type ReuseSource interface {
+	// ReuseCandidates returns the candidate concrete specs keyed by full
+	// hash. Implementations return fresh or immutable specs; the
+	// concretizer never mutates them.
+	ReuseCandidates() (map[string]*spec.Spec, error)
+
+	// ReuseFingerprint cheaply identifies the current candidate set; any
+	// install, uninstall, or cache push must change it. It keys the
+	// concretizer's reuse snapshot and the memo-cache entries, so a stale
+	// fingerprint would serve stale answers.
+	ReuseFingerprint() string
+}
+
+// MultiReuse combines sources; candidates merge across all of them (the
+// union is what "exists" for reuse) and the fingerprint covers each
+// member's. Nil sources are skipped; with none left it returns nil.
+func MultiReuse(srcs ...ReuseSource) ReuseSource {
+	var live []ReuseSource
+	for _, s := range srcs {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multiReuse{srcs: live}
+}
+
+type multiReuse struct {
+	srcs []ReuseSource
+}
+
+func (m *multiReuse) ReuseCandidates() (map[string]*spec.Spec, error) {
+	out := make(map[string]*spec.Spec)
+	for _, s := range m.srcs {
+		cands, err := s.ReuseCandidates()
+		if err != nil {
+			return nil, err
+		}
+		for h, sp := range cands {
+			if _, ok := out[h]; !ok {
+				out[h] = sp
+			}
+		}
+	}
+	return out, nil
+}
+
+func (m *multiReuse) ReuseFingerprint() string {
+	h := sha256.New()
+	for _, s := range m.srcs {
+		h.Write([]byte(s.ReuseFingerprint()))
+		h.Write([]byte{0})
+	}
+	return "multi:" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// reuseSnapshot is one materialized view of a ReuseSource: the full hashes
+// that exist (for reuse accounting) and the best per-package carrier pins
+// the engine constrains in. It is memoized on the Concretizer by
+// fingerprint, so repeated concretizations against an unchanged store pay
+// for candidate enumeration once.
+type reuseSnapshot struct {
+	fingerprint string
+	hashes      map[string]struct{}
+	pins        map[string]*spec.Spec
+}
+
+// reuseSnapshot returns the current snapshot, rebuilding it only when the
+// source's fingerprint moved (an install, uninstall, or cache push).
+func (c *Concretizer) reuseSnapshot() (*reuseSnapshot, error) {
+	if c.Reuse == nil {
+		return nil, nil
+	}
+	fp := c.Reuse.ReuseFingerprint()
+	c.reuseMu.Lock()
+	defer c.reuseMu.Unlock()
+	if c.snap != nil && c.snap.fingerprint == fp {
+		return c.snap, nil
+	}
+	cands, err := c.Reuse.ReuseCandidates()
+	if err != nil {
+		return nil, err
+	}
+	c.snap = buildReuseSnapshot(fp, cands)
+	return c.snap, nil
+}
+
+// buildReuseSnapshot distills candidates into hash facts and per-package
+// pins. Every node of every candidate DAG counts as existing (a store
+// record's dependencies are installed too); when several candidates carry
+// the same package, the highest installed version wins, with a
+// deterministic string tie-break — "prefer what exists" still prefers the
+// newest of what exists.
+func buildReuseSnapshot(fp string, cands map[string]*spec.Spec) *reuseSnapshot {
+	snap := &reuseSnapshot{
+		fingerprint: fp,
+		hashes:      make(map[string]struct{}, len(cands)),
+		pins:        make(map[string]*spec.Spec),
+	}
+	for _, root := range cands {
+		if root == nil {
+			continue
+		}
+		for _, n := range root.Nodes() {
+			snap.hashes[n.FullHash()] = struct{}{}
+			if n.External {
+				continue // externals are config-resolved, never pinned
+			}
+			cur, ok := snap.pins[n.Name]
+			if !ok || betterPin(n, cur) {
+				snap.pins[n.Name] = carrierFor(n)
+			}
+		}
+	}
+	return snap
+}
+
+// betterPin reports whether candidate node a should replace the current pin
+// b for the same package: higher version first, then lexicographic carrier
+// rendering for determinism across map iteration orders.
+func betterPin(a, b *spec.Spec) bool {
+	av, aok := a.Versions.Concrete()
+	bv, bok := b.Versions.Concrete()
+	if aok && bok {
+		if cmp := av.Compare(bv); cmp != 0 {
+			return cmp > 0
+		}
+	} else if aok != bok {
+		return aok
+	}
+	return carrierFor(a).String() < b.String()
+}
+
+// carrierFor extracts the node-local attributes of an installed node into a
+// constraint carrier: version, compiler, arch, variants — not edges, which
+// the engine re-derives from current directives (a reused configuration
+// with since-changed dependencies falls back cleanly).
+func carrierFor(n *spec.Spec) *spec.Spec {
+	p := spec.New(n.Name)
+	p.Versions = n.Versions
+	p.Compiler = n.Compiler
+	p.Arch = n.Arch
+	for k, v := range n.Variants {
+		p.SetVariant(k, bool(v))
+	}
+	return p
+}

@@ -1,0 +1,272 @@
+package concretize
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/syntax"
+)
+
+// fakeSource is an in-test ReuseSource with a settable candidate set.
+type fakeSource struct {
+	fp    string
+	cands map[string]*spec.Spec
+}
+
+func (f *fakeSource) ReuseCandidates() (map[string]*spec.Spec, error) { return f.cands, nil }
+func (f *fakeSource) ReuseFingerprint() string                        { return f.fp }
+
+// sourceOf concretizes expressions with a reuse-free concretizer and offers
+// the results as candidates — "what the store would hold".
+func sourceOf(t *testing.T, c *Concretizer, exprs ...string) *fakeSource {
+	t.Helper()
+	f := &fakeSource{fp: "fake:1", cands: map[string]*spec.Spec{}}
+	for _, expr := range exprs {
+		s := mustConcretize(t, c, expr)
+		f.cands[s.FullHash()] = s
+	}
+	return f
+}
+
+// versionedEnv builds a tiny two-version repository for reuse preference
+// tests: zl has versions 1.0 and 2.0, zapp depends on zl.
+func versionedEnv() *Concretizer {
+	r := repo.NewRepo("test")
+	r.MustAdd(pkg.New("zl").Describe("lib").WithVersion("1.0", "x").WithVersion("2.0", "x"))
+	r.MustAdd(pkg.New("zapp").Describe("app").WithVersion("1.0", "x").DependsOn("zl"))
+	return New(repo.NewPath(r), config.New(), compiler.LLNLRegistry())
+}
+
+// TestReusePrefersInstalledOverNewer: with zl@1.0 installed, `-reuse`
+// concretizes an unconstrained zl to the installed 1.0 — same full hash —
+// instead of the newest 2.0.
+func TestReusePrefersInstalledOverNewer(t *testing.T) {
+	installed := mustConcretize(t, versionedEnv(), "zl@1.0")
+
+	c := versionedEnv()
+	c.Reuse = &fakeSource{fp: "v1", cands: map[string]*spec.Spec{installed.FullHash(): installed}}
+	got := mustConcretize(t, c, "zl")
+	if v, _ := got.ConcreteVersion(); v.String() != "1.0" {
+		t.Errorf("reuse picked %s, want installed 1.0", v)
+	}
+	if got.FullHash() != installed.FullHash() {
+		t.Errorf("reuse hash %s != installed %s", got.FullHash(), installed.FullHash())
+	}
+	if c.Stats.ReusedNodes() == 0 {
+		t.Error("no reused nodes counted")
+	}
+	// The preference propagates through dependents too.
+	app := mustConcretize(t, c, "zapp")
+	if v, _ := app.Dep("zl").ConcreteVersion(); v.String() != "1.0" {
+		t.Errorf("zapp's zl = %s, want reused 1.0", v)
+	}
+}
+
+// TestReuseWithoutSourceUnchanged: no ReuseSource means the newest-version
+// policy of the paper applies untouched.
+func TestReuseWithoutSourceUnchanged(t *testing.T) {
+	c := versionedEnv()
+	got := mustConcretize(t, c, "zl")
+	if v, _ := got.ConcreteVersion(); v.String() != "2.0" {
+		t.Errorf("without reuse zl = %s, want newest 2.0", v)
+	}
+}
+
+// TestReuseIncompatiblePinDropped: an explicit input constraint outranks
+// reuse — the pin is silently dropped, not an error.
+func TestReuseIncompatiblePinDropped(t *testing.T) {
+	installed := mustConcretize(t, versionedEnv(), "zl@1.0")
+	c := versionedEnv()
+	c.Reuse = &fakeSource{fp: "v1", cands: map[string]*spec.Spec{installed.FullHash(): installed}}
+	got := mustConcretize(t, c, "zl@2.0")
+	if v, _ := got.ConcreteVersion(); v.String() != "2.0" {
+		t.Errorf("explicit @2.0 yielded %s", v)
+	}
+}
+
+// TestReuseConflictingDepFallsBack: a reused configuration whose version
+// conflicts with a dependent's directive is retracted cleanly — the solve
+// succeeds as if the candidate were absent.
+func TestReuseConflictingDepFallsBack(t *testing.T) {
+	installed := mustConcretize(t, backtrackEnv(), "hwloc2") // newest: 1.11
+	c := backtrackEnv()
+	c.Backtracking = true
+	c.Reuse = &fakeSource{fp: "v1", cands: map[string]*spec.Spec{installed.FullHash(): installed}}
+	got := mustConcretize(t, c, "ptool") // ptool strictly needs hwloc2@1.9
+	if v, _ := got.Dep("hwloc2").ConcreteVersion(); v.String() != "1.9" {
+		t.Errorf("hwloc2 = %s, want 1.9 after dropping the 1.11 pin", v)
+	}
+}
+
+// TestReuseRanksInstalledProviderFirst: reuse reorders provider choice — an
+// installed provider wins over the default ranking even for the greedy
+// algorithm, which is how `-reuse` avoids §4.5's conflict without search.
+func TestReuseRanksInstalledProviderFirst(t *testing.T) {
+	installed := mustConcretize(t, backtrackEnv(), "bbbnet")
+	c := backtrackEnv() // greedy: aaanet ranks first and conflicts on ptool
+	c.Reuse = &fakeSource{fp: "v1", cands: map[string]*spec.Spec{installed.FullHash(): installed}}
+	got := mustConcretize(t, c, "ptool")
+	if got.Dep("bbbnet") == nil {
+		t.Errorf("installed provider bbbnet not chosen:\n%s", got.TreeString())
+	}
+	if c.Stats.Backtracks() != 0 {
+		t.Errorf("reuse ranking should make the greedy pass succeed, %d backtracks", c.Stats.Backtracks())
+	}
+}
+
+// TestReuseCacheInvalidation (satellite: memo-cache soundness): the memo key
+// carries the reuse fingerprint, so an install/uninstall — which changes the
+// fingerprint — must never be answered from a stale entry, while an
+// unchanged source hits the cache.
+func TestReuseCacheInvalidation(t *testing.T) {
+	installed := mustConcretize(t, versionedEnv(), "zl@1.0")
+	c := versionedEnv()
+	c.Cache = NewCache(16)
+	src := &fakeSource{fp: "gen1", cands: map[string]*spec.Spec{installed.FullHash(): installed}}
+	c.Reuse = src
+
+	abstract := syntax.MustParse("zl")
+	first, hit, err := c.ConcretizeCached(abstract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first solve should miss the cache")
+	}
+	if v, _ := first.ConcreteVersion(); v.String() != "1.0" {
+		t.Fatalf("first solve = %s, want reused 1.0", v)
+	}
+
+	// Same fingerprint: served from cache.
+	if _, hit, err := c.ConcretizeCached(abstract); err != nil || !hit {
+		t.Fatalf("unchanged source should hit the cache (hit=%v, err=%v)", hit, err)
+	}
+
+	// "Uninstall" zl@1.0: fingerprint moves, candidates empty. The cached
+	// reuse answer must not be served; the fresh solve picks newest 2.0.
+	src.fp, src.cands = "gen2", map[string]*spec.Spec{}
+	second, hit, err := c.ConcretizeCached(abstract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("changed source must not be answered from the cache")
+	}
+	if v, _ := second.ConcreteVersion(); v.String() != "2.0" {
+		t.Errorf("after uninstall, cached reuse answer leaked: got %s, want 2.0", v)
+	}
+}
+
+// TestMultiReuse: candidates merge across sources; nil members are skipped;
+// the fingerprint covers every member.
+func TestMultiReuse(t *testing.T) {
+	a := &fakeSource{fp: "a", cands: map[string]*spec.Spec{"h1": spec.New("p1")}}
+	b := &fakeSource{fp: "b", cands: map[string]*spec.Spec{"h2": spec.New("p2")}}
+
+	if MultiReuse() != nil || MultiReuse(nil, nil) != nil {
+		t.Error("no live sources should collapse to nil")
+	}
+	if got := MultiReuse(nil, a); got != ReuseSource(a) {
+		t.Error("single live source should pass through")
+	}
+
+	m := MultiReuse(a, b)
+	cands, err := m.ReuseCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 || cands["h1"] == nil || cands["h2"] == nil {
+		t.Errorf("merged candidates = %v", cands)
+	}
+	fp := m.ReuseFingerprint()
+	b.fp = "b2"
+	if m.ReuseFingerprint() == fp {
+		t.Error("fingerprint did not follow a member change")
+	}
+}
+
+// TestReuseParallel: the reuse path is safe under ConcretizeAll's worker
+// pool (run with -race).
+func TestReuseParallel(t *testing.T) {
+	installed := mustConcretize(t, versionedEnv(), "zl@1.0")
+	c := versionedEnv()
+	c.Parallelism = 4
+	c.Cache = NewCache(16)
+	c.Reuse = &fakeSource{fp: "v1", cands: map[string]*spec.Spec{installed.FullHash(): installed}}
+	var abstracts []*spec.Spec
+	for i := 0; i < 16; i++ {
+		if i%2 == 0 {
+			abstracts = append(abstracts, syntax.MustParse("zl"))
+		} else {
+			abstracts = append(abstracts, syntax.MustParse("zapp"))
+		}
+	}
+	out, err := c.ConcretizeAll(abstracts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		node := s
+		if s.Name == "zapp" {
+			node = s.Dep("zl")
+		}
+		if v, _ := node.ConcreteVersion(); v.String() != "1.0" {
+			t.Errorf("result %d: zl = %s, want reused 1.0", i, v)
+		}
+	}
+}
+
+// TestReuseSnapshotMemoized: candidate enumeration runs once per
+// fingerprint, not once per concretization.
+func TestReuseSnapshotMemoized(t *testing.T) {
+	installed := mustConcretize(t, versionedEnv(), "zl@1.0")
+	calls := 0
+	src := &countingSource{
+		fakeSource: fakeSource{fp: "v1", cands: map[string]*spec.Spec{installed.FullHash(): installed}},
+		calls:      &calls,
+	}
+	c := versionedEnv()
+	c.Reuse = src
+	mustConcretize(t, c, "zl")
+	mustConcretize(t, c, "zapp")
+	if calls != 1 {
+		t.Errorf("ReuseCandidates called %d times for one fingerprint, want 1", calls)
+	}
+	src.fp = "v2"
+	mustConcretize(t, c, "zl")
+	if calls != 2 {
+		t.Errorf("fingerprint change should re-enumerate, calls = %d", calls)
+	}
+}
+
+type countingSource struct {
+	fakeSource
+	calls *int
+}
+
+func (s *countingSource) ReuseCandidates() (map[string]*spec.Spec, error) {
+	*s.calls++
+	return s.fakeSource.ReuseCandidates()
+}
+
+// TestReuseSourceError: a failing source surfaces as a concretization
+// error instead of silently solving without reuse.
+func TestReuseSourceError(t *testing.T) {
+	c := versionedEnv()
+	c.Reuse = errSource{}
+	if _, err := c.Concretize(syntax.MustParse("zl")); err == nil {
+		t.Error("source failure should propagate")
+	}
+}
+
+type errSource struct{}
+
+func (errSource) ReuseCandidates() (map[string]*spec.Spec, error) {
+	return nil, fmt.Errorf("backend down")
+}
+func (errSource) ReuseFingerprint() string { return "err:1" }

@@ -1,0 +1,240 @@
+package solve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestCompareProviders: the lexicographic criteria — reuse outranks policy
+// rank, rank outranks name, name breaks ties deterministically.
+func TestCompareProviders(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Provider
+		want int // sign only
+	}{
+		{"reused wins over rank", Provider{Name: "z", Rank: 9, Reused: true}, Provider{Name: "a", Rank: 0}, -1},
+		{"rank wins over name", Provider{Name: "z", Rank: 0}, Provider{Name: "a", Rank: 1}, -1},
+		{"name breaks ties", Provider{Name: "a"}, Provider{Name: "b"}, -1},
+		{"equal", Provider{Name: "a"}, Provider{Name: "a"}, 0},
+	}
+	for _, c := range cases {
+		got := CompareProviders(c.a, c.b)
+		if sign(got) != c.want {
+			t.Errorf("%s: CompareProviders = %d, want sign %d", c.name, got, c.want)
+		}
+		if c.want != 0 && sign(CompareProviders(c.b, c.a)) != -c.want {
+			t.Errorf("%s: comparison not antisymmetric", c.name)
+		}
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestRankProviders(t *testing.T) {
+	ps := []Provider{
+		{Name: "mvapich", Rank: 2},
+		{Name: "openmpi", Rank: 1 << 20},
+		{Name: "mpich", Rank: 1 << 20, Reused: true},
+		{Name: "cray-mpi", Rank: 1},
+	}
+	RankProviders(ps)
+	want := []string{"mpich", "cray-mpi", "mvapich", "openmpi"}
+	for i, p := range ps {
+		if p.Name != want[i] {
+			t.Fatalf("rank order = %v, want %v", names(ps), want)
+		}
+	}
+}
+
+func names(ps []Provider) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// TestMinimizeCoreMinimal: with two independent conflicts among three
+// candidate facts, the core keeps exactly the conflicting two.
+func TestMinimizeCoreMinimal(t *testing.T) {
+	facts := []Fact{
+		{ID: 0, Detail: "a@1"},
+		{ID: 1, Detail: "b@2"},
+		{ID: 2, Detail: "c@3"},
+	}
+	// SAT iff both fact 0 and fact 2 are removed; fact 1 is innocent.
+	satWithout := func(removed []Fact) bool {
+		gone := map[int]bool{}
+		for _, f := range removed {
+			gone[f.ID] = true
+		}
+		return gone[0] && gone[2]
+	}
+	core := MinimizeCore(facts, satWithout)
+	got := map[int]bool{}
+	for _, f := range core {
+		got[f.ID] = true
+	}
+	if !reflect.DeepEqual(got, map[int]bool{0: true, 2: true}) {
+		t.Errorf("core = %v, want facts 0 and 2", RenderFacts(core))
+	}
+}
+
+// TestMinimizeCoreDirectiveConflict: when removing everything still leaves
+// the problem UNSAT (the conflict lives in package directives, not the
+// input), there is no core.
+func TestMinimizeCoreDirectiveConflict(t *testing.T) {
+	facts := []Fact{{ID: 0}, {ID: 1}}
+	if core := MinimizeCore(facts, func([]Fact) bool { return false }); core != nil {
+		t.Errorf("core = %v, want nil for a directive-level conflict", core)
+	}
+}
+
+// TestMinimizeCoreAlreadySat: if the empty removal set repairs the problem
+// the input constraints are not to blame — no core.
+func TestMinimizeCoreAlreadySat(t *testing.T) {
+	facts := []Fact{{ID: 0}}
+	if core := MinimizeCore(facts, func([]Fact) bool { return true }); core != nil {
+		t.Errorf("core = %v, want nil when even the empty removal repairs", core)
+	}
+}
+
+func TestMinimizeCoreEmptyCandidates(t *testing.T) {
+	if core := MinimizeCore(nil, func([]Fact) bool { return true }); core != nil {
+		t.Errorf("core = %v, want nil for no candidates", core)
+	}
+}
+
+// TestTrailNilSafe: a nil trail swallows writes, so hot paths need no guard.
+func TestTrailNilSafe(t *testing.T) {
+	var tr *Trail
+	tr.Addf("ignored %d", 1)
+	if lines := tr.Lines(); lines != nil {
+		t.Errorf("nil trail lines = %v", lines)
+	}
+	tr = NewTrail()
+	tr.Addf("a %d", 1)
+	tr.Addf("b")
+	if got := tr.Lines(); !reflect.DeepEqual(got, []string{"a 1", "b"}) {
+		t.Errorf("lines = %v", got)
+	}
+}
+
+// scriptedEval fails a fixed number of leading attempts, recording the
+// forced assignment of each.
+type scriptedEval struct {
+	failures int
+	calls    []map[string]string
+}
+
+func (e *scriptedEval) Try(forced map[string]string) (*spec.Spec, error) {
+	cp := make(map[string]string, len(forced))
+	for k, v := range forced {
+		cp[k] = v
+	}
+	e.calls = append(e.calls, cp)
+	if len(e.calls) <= e.failures {
+		return nil, errors.New("conflict")
+	}
+	return spec.New("ok"), nil
+}
+
+func testProblem() *Problem {
+	return &Problem{
+		Root:     "root",
+		Packages: map[string]*PackageFacts{"root": {Name: "root", Versions: []string{"1.0"}}},
+		Virtuals: []VirtualFacts{
+			{Name: "mpi", Reachable: true, Providers: []Provider{{Name: "openmpi"}, {Name: "mpich"}}},
+			{Name: "blas", Reachable: false, Providers: []Provider{{Name: "openblas"}}},
+		},
+	}
+}
+
+// TestSearchGreedyFirst: a satisfiable instance costs exactly one oracle
+// call with nothing forced, and no backtrack is counted.
+func TestSearchGreedyFirst(t *testing.T) {
+	eval := &scriptedEval{}
+	backtracks := 0
+	s := &Solver{Problem: testProblem(), Eval: eval, Branch: true, OnAttempt: func() { backtracks++ }}
+	if _, err := s.Search(); err != nil {
+		t.Fatal(err)
+	}
+	if len(eval.calls) != 1 || len(eval.calls[0]) != 0 {
+		t.Errorf("greedy instance made %d calls, first forced %v", len(eval.calls), eval.calls[0])
+	}
+	if backtracks != 0 {
+		t.Errorf("greedy success counted %d backtracks", backtracks)
+	}
+}
+
+// TestSearchBacktracks: when the greedy leaf conflicts, branching explores
+// provider assignments in criteria order and counts attempts past the first.
+func TestSearchBacktracks(t *testing.T) {
+	eval := &scriptedEval{failures: 2}
+	backtracks := 0
+	tr := NewTrail()
+	s := &Solver{Problem: testProblem(), Eval: eval, Trail: tr, Branch: true, OnAttempt: func() { backtracks++ }}
+	if _, err := s.Search(); err != nil {
+		t.Fatal(err)
+	}
+	if backtracks == 0 {
+		t.Error("no backtracks counted after a greedy conflict")
+	}
+	// Only the reachable virtual is branched on; the unreachable one never
+	// appears in a forced assignment.
+	for _, call := range eval.calls {
+		if _, ok := call["blas"]; ok {
+			t.Errorf("unreachable virtual was branched on: %v", call)
+		}
+	}
+	if !containsLine(tr.Lines(), "prune: virtual blas unreachable from root") {
+		t.Errorf("trail missing prune line: %v", tr.Lines())
+	}
+}
+
+// TestSearchExhaustionReportsGreedyError: on a fully UNSAT instance the
+// first (greedy) conflict is what the caller sees.
+func TestSearchExhaustionReportsGreedyError(t *testing.T) {
+	eval := &scriptedEval{failures: 1 << 10}
+	s := &Solver{Problem: testProblem(), Eval: eval, Branch: true}
+	_, err := s.Search()
+	if err == nil {
+		t.Fatal("exhausted search should fail")
+	}
+	if err.Error() != "conflict" {
+		t.Errorf("err = %v, want the greedy conflict", err)
+	}
+}
+
+// TestSearchNoBranch: without Branch only the greedy leaf is tried.
+func TestSearchNoBranch(t *testing.T) {
+	eval := &scriptedEval{failures: 1}
+	s := &Solver{Problem: testProblem(), Eval: eval}
+	if _, err := s.Search(); err == nil {
+		t.Fatal("greedy-only solver should report the first conflict")
+	}
+	if len(eval.calls) != 1 {
+		t.Errorf("greedy-only solver made %d calls", len(eval.calls))
+	}
+}
+
+func containsLine(lines []string, want string) bool {
+	for _, l := range lines {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}

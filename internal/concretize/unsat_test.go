@@ -1,0 +1,179 @@
+package concretize
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/pkg"
+	"repro/internal/repo"
+	"repro/internal/syntax"
+)
+
+// cyclicEnv builds a repository whose dependency graph is acyclic by
+// default but cyclic under a variant: cyca +loop depends on cycb, and cycb
+// always depends on cyca.
+func cyclicEnv() *Concretizer {
+	r := repo.NewRepo("test")
+	r.MustAdd(pkg.New("cyca").Describe("a").WithVersion("1.0", "x").
+		WithVariant("loop", false, "close the cycle").
+		DependsOn("cycb", pkg.When("+loop")))
+	r.MustAdd(pkg.New("cycb").Describe("b").WithVersion("1.0", "x").
+		DependsOn("cyca"))
+	return New(repo.NewPath(r), config.New(), compiler.LLNLRegistry())
+}
+
+// TestMinimalUnsatCores drives the table of §4.5-style failures: each UNSAT
+// input must carry a minimal core naming exactly the guilty constraints —
+// not the full implication trail — and removing the core from the input
+// must make it satisfiable (checked programmatically, not by eye).
+func TestMinimalUnsatCores(t *testing.T) {
+	cases := []struct {
+		name string
+		env  func() *Concretizer
+		expr string
+		core []string // exact Detail set of the expected minimal core
+	}{
+		{
+			name: "conflicting version pin",
+			env:  backtrackEnv, // ptool needs hwloc2@1.9; the input pins 1.7
+			expr: "ptool ^hwloc2@1.7",
+			core: []string{"hwloc2@1.7"},
+		},
+		{
+			name: "provider conflict",
+			env:  backtrackEnv, // forcing aaanet forces hwloc2@1.11 against ptool's 1.9
+			expr: "ptool ^aaanet",
+			core: []string{"ptool ^aaanet"},
+		},
+		{
+			name: "missing compiler",
+			env:  testEnv,
+			expr: "libelf%craycc",
+			core: []string{"libelf%craycc"},
+		},
+		{
+			name: "cyclic conditional",
+			env:  cyclicEnv, // +loop activates the cycb edge, closing a cycle
+			expr: "cyca+loop",
+			core: []string{"cyca+loop"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.env()
+			c.Backtracking = true
+			abstract := syntax.MustParse(tc.expr)
+			_, err := c.Concretize(abstract)
+			if err == nil {
+				t.Fatalf("Concretize(%q) should be UNSAT", tc.expr)
+			}
+			var unsat *UnsatError
+			if !errors.As(err, &unsat) {
+				t.Fatalf("want UnsatError, got %T: %v", err, err)
+			}
+			if got := unsat.CoreStrings(); !sameSet(got, tc.core) {
+				t.Errorf("core = %v, want %v", got, tc.core)
+			}
+			// The core is a correction set: dropping exactly those
+			// constraints must make the input satisfiable.
+			cons := abstract.Constraints()
+			trial := abstract
+			for _, f := range unsat.Core {
+				trial = trial.DropConstraint(cons[f.ID])
+			}
+			if _, err := c.Concretize(trial); err != nil {
+				t.Errorf("input minus core should concretize, got: %v", err)
+			}
+			// Minimality: the core is smaller than the reified constraint
+			// set whenever innocent constraints exist alongside it.
+			if len(unsat.Core) >= len(cons) && len(cons) > 1 {
+				t.Errorf("core has %d facts — the whole input (%d constraints), not a minimal core",
+					len(unsat.Core), len(cons))
+			}
+		})
+	}
+}
+
+func sameSet(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	seen := map[string]bool{}
+	for _, g := range got {
+		seen[g] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestUnsatErrorTransparent: Error() and errors.As behave exactly as the
+// undecorated failure would, so message-matching callers see no change.
+func TestUnsatErrorTransparent(t *testing.T) {
+	c := backtrackEnv()
+	c.Backtracking = true
+	_, err := c.Concretize(syntax.MustParse("ptool ^hwloc2@1.7"))
+	if err == nil {
+		t.Fatal("should be UNSAT")
+	}
+	var unsat *UnsatError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("want UnsatError, got %v", err)
+	}
+	if err.Error() != unsat.Err.Error() {
+		t.Errorf("Error() = %q, want underlying %q", err.Error(), unsat.Err.Error())
+	}
+}
+
+// TestWhyNotGolden pins the rendered "why not" chain for the version-pin
+// conflict: cause line, core section, and an implication trail tail.
+func TestWhyNotGolden(t *testing.T) {
+	c := backtrackEnv()
+	c.Backtracking = true
+	_, err := c.Concretize(syntax.MustParse("ptool ^hwloc2@1.7"))
+	var unsat *UnsatError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("want UnsatError, got %v", err)
+	}
+	got := unsat.WhyNot()
+	for _, want := range []string{
+		"why not: ",
+		"minimal unsat core — removing these input constraints makes the spec satisfiable:\n  - hwloc2@1.7 (version constraint on hwloc2)",
+		"implication trail:",
+		"greedy pass conflicts:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("WhyNot missing %q:\n%s", want, got)
+		}
+	}
+	if strings.HasSuffix(got, "\n") {
+		t.Error("WhyNot should not end with a newline")
+	}
+}
+
+// TestDirectiveConflictNoCore: a conflict between package directives alone
+// (no input constraint to blame) reports the plain error, not an UnsatError.
+func TestDirectiveConflictNoCore(t *testing.T) {
+	r := repo.NewRepo("test")
+	r.MustAdd(pkg.New("liba").Describe("a").WithVersion("1.0", "x").DependsOn("common@1.0"))
+	r.MustAdd(pkg.New("libb").Describe("b").WithVersion("1.0", "x").DependsOn("common@2.0"))
+	r.MustAdd(pkg.New("common").Describe("c").WithVersion("1.0", "x").WithVersion("2.0", "x"))
+	r.MustAdd(pkg.New("app").Describe("app").WithVersion("1.0", "x").
+		DependsOn("liba").DependsOn("libb"))
+	c := New(repo.NewPath(r), config.New(), compiler.LLNLRegistry())
+	c.Backtracking = true
+	_, err := c.Concretize(syntax.MustParse("app"))
+	if err == nil {
+		t.Fatal("app should be UNSAT")
+	}
+	var unsat *UnsatError
+	if errors.As(err, &unsat) {
+		t.Errorf("directive-level conflict should not grow a core, got %v", unsat.CoreStrings())
+	}
+}

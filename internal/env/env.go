@@ -47,6 +47,10 @@ type Host struct {
 	Modules *modules.Generator
 	// IsMPI feeds view templates' ${MPINAME} placeholder.
 	IsMPI func(string) bool
+	// Reuse makes Plan concretize against what already exists — the
+	// environment's lockfile and the store — so re-planning prefers
+	// installed hashes over newest versions (`env install -reuse`).
+	Reuse bool
 }
 
 // Environment is one named manifest + lockfile directory.
@@ -222,13 +226,18 @@ func (e *Environment) Plan(h *Host) (*Plan, error) {
 		}
 		abstracts = append(abstracts, a)
 	}
-	conc := concretize.New(h.Repos, cfg, h.Compilers)
-	conc.Cache = h.Cache
-	concrete, err := conc.ConcretizeAll(abstracts)
+	lock, err := e.ReadLock()
 	if err != nil {
 		return nil, err
 	}
-	lock, err := e.ReadLock()
+	conc := concretize.New(h.Repos, cfg, h.Compilers)
+	conc.Cache = h.Cache
+	if h.Reuse {
+		// Prefer what the environment already locked, then anything else
+		// installed in the store.
+		conc.Reuse = concretize.MultiReuse(lock, h.Store)
+	}
+	concrete, err := conc.ConcretizeAll(abstracts)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package env
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/simfs"
 	"repro/internal/spec"
@@ -36,6 +38,32 @@ func (l *Lock) Spec(hash string) (*spec.Spec, error) {
 		return nil, fmt.Errorf("env: lockfile has no spec for hash %s", hash)
 	}
 	return syntax.DecodeJSON(raw)
+}
+
+// ReuseCandidates decodes every locked concrete DAG, keyed by full hash —
+// a lockfile is a ReuseSource, so re-planning under -reuse sticks to the
+// configurations the environment already committed to. Undecodable
+// entries are skipped; the lock is a preference here, not a requirement.
+func (l *Lock) ReuseCandidates() (map[string]*spec.Spec, error) {
+	out := make(map[string]*spec.Spec, len(l.Specs))
+	for hash := range l.Specs {
+		s, err := l.Spec(hash)
+		if err != nil {
+			continue
+		}
+		out[hash] = s
+	}
+	return out, nil
+}
+
+// ReuseFingerprint identifies the locked set by its sorted root hashes.
+func (l *Lock) ReuseFingerprint() string {
+	hashes := make([]string, 0, len(l.Specs))
+	for h := range l.Specs {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	return "lock:" + strings.Join(hashes, ",")
 }
 
 // readLock loads a lockfile; a missing file is an empty lock (the

@@ -1,0 +1,115 @@
+package env_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/env"
+)
+
+// TestApplyReuseLockSubsetOfStore: re-planning with Reuse set resolves
+// against the lockfile and the store — an unconstrained respecification of
+// an installed root keeps the installed (older) configuration, and every
+// hash in the resulting lock is already installed.
+func TestApplyReuseLockSubsetOfStore(t *testing.T) {
+	s, h := newHost(t)
+	h.Reuse = true
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"libelf@0.8.12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+
+	// Loosen the manifest: the pin goes away, but under -reuse the solver
+	// must stick with the installed 0.8.12 rather than rebuild at 0.8.13.
+	if err := e.RemoveSpec("libelf@0.8.12"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddSpec("libelf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Keep) != 1 || len(res.Plan.Add) != 0 {
+		t.Errorf("reuse plan should keep the installed root: add=%d keep=%d remove=%d",
+			len(res.Plan.Add), len(res.Plan.Keep), len(res.Plan.Remove))
+	}
+
+	lock, err := e.ReadLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lock.Roots) != 1 {
+		t.Fatalf("lock roots = %+v", lock.Roots)
+	}
+	root, err := lock.Spec(lock.Roots[0].Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.ConcreteVersion(); v.String() != "0.8.12" {
+		t.Errorf("reuse re-lock picked %s, want installed 0.8.12", v)
+	}
+
+	// Every locked hash is already installed: lock ⊆ store.
+	installed, err := h.Store.ReuseCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range lock.Roots {
+		dag, err := lock.Spec(lr.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range dag.TopoOrder() {
+			if n.External {
+				continue
+			}
+			if _, ok := installed[n.FullHash()]; !ok {
+				t.Errorf("locked %s (%s) not installed", n.Name, n.FullHash())
+			}
+		}
+	}
+}
+
+// TestApplyWithoutReuseUpgrades: the control — without Reuse the same
+// loosened manifest re-concretizes to the newest version.
+func TestApplyWithoutReuseUpgrades(t *testing.T) {
+	s, h := newHost(t)
+	e, err := env.Create(s.FS, core.EnvRoot, "dev", []string{"libelf@0.8.12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveSpec("libelf@0.8.12"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddSpec("libelf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	lock, err := e.ReadLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lock.Spec(lock.Roots[0].Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.ConcreteVersion(); v.String() == "0.8.12" {
+		t.Error("without reuse the loosened spec should pick the newest version")
+	}
+}

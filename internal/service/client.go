@@ -345,8 +345,19 @@ func (c *Client) post(path string, req, resp any) error {
 
 // Concretize resolves an abstract spec expression on the server.
 func (c *Client) Concretize(expr string) (*ConcretizeResponse, error) {
+	return c.ConcretizeWith(ConcretizeRequest{Spec: expr})
+}
+
+// ConcretizeReuse resolves an expression against what already exists on
+// the daemon (server store + mirror buildcache).
+func (c *Client) ConcretizeReuse(expr string) (*ConcretizeResponse, error) {
+	return c.ConcretizeWith(ConcretizeRequest{Spec: expr, Reuse: true})
+}
+
+// ConcretizeWith resolves a fully specified concretize request.
+func (c *Client) ConcretizeWith(req ConcretizeRequest) (*ConcretizeResponse, error) {
 	var out ConcretizeResponse
-	if err := c.post("/v1/concretize", ConcretizeRequest{Spec: expr}, &out); err != nil {
+	if err := c.post("/v1/concretize", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

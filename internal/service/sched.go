@@ -7,7 +7,6 @@ import (
 	"net/http"
 	"time"
 
-	"repro/internal/buildcache"
 	"repro/internal/sched"
 	"repro/internal/spec"
 )
@@ -67,7 +66,10 @@ type FailRequest struct {
 // and completion verification checks the pushed archive against its
 // recorded SHA-256.
 func (s *Server) newScheduler() *sched.Scheduler {
-	cache := buildcache.New(buildcache.NewMirrorBackend(s.cfg.Mirror))
+	// s.bc is the server's shared buildcache view — the same ReuseSource
+	// the reuse concretizer reads, so scheduler dedup and `-reuse`
+	// answers agree on what "already built" means.
+	cache := s.bc
 	return sched.New(sched.Config{
 		LeaseTTL:    s.cfg.LeaseTTL,
 		MaxAttempts: s.cfg.MaxAttempts,

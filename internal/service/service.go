@@ -27,6 +27,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/build"
+	"repro/internal/buildcache"
 	"repro/internal/concretize"
 	"repro/internal/fetch"
 	"repro/internal/sched"
@@ -73,6 +75,8 @@ type Server struct {
 	flights flightGroup
 	stats   stats
 	sched   *sched.Scheduler
+	bc      *buildcache.Cache
+	reuse   *concretize.Concretizer
 	logMu   sync.Mutex
 }
 
@@ -82,6 +86,11 @@ func NewServer(cfg Config) *Server {
 		cfg.Log = io.Discard
 	}
 	s := &Server{cfg: cfg}
+	// One buildcache view over the mirror's build_cache/ area serves the
+	// scheduler's dedup, completion verification, and the reuse
+	// concretizer — the same "already built" facts everywhere.
+	s.bc = buildcache.New(buildcache.NewMirrorBackend(cfg.Mirror))
+	s.reuse = s.newReuseConcretizer()
 	s.sched = s.newScheduler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/blobs", s.handleBlobList)
@@ -239,6 +248,22 @@ type ConcretizeRequest struct {
 	// submits the DAG to the lease scheduler and streams assembly
 	// progress as NDJSON JobStatus lines.
 	Mode string `json:"mode,omitempty"`
+	// Reuse concretizes against what already exists on the daemon (the
+	// server store plus the mirror's buildcache), preferring installed
+	// and cached hashes over newest versions.
+	Reuse bool `json:"reuse,omitempty"`
+}
+
+// ConcretizeErrorResponse is the 422 body for an unsatisfiable spec: the
+// error text, and — when a minimal unsat core exists — the core facts and
+// the rendered "why not" chain.
+type ConcretizeErrorResponse struct {
+	Error string `json:"error"`
+	// UnsatCore lists the minimal set of input constraints whose removal
+	// makes the spec satisfiable.
+	UnsatCore []string `json:"unsat_core,omitempty"`
+	// WhyNot is the human-readable chain (`spack-go spec --why-not`).
+	WhyNot string `json:"why_not,omitempty"`
 }
 
 // ConcretizeResponse carries a concretized DAG back to the client.
@@ -294,14 +319,49 @@ func (s *Server) concretizeRequest(w http.ResponseWriter, r *http.Request) (conc
 		http.Error(w, "parse spec: "+err.Error(), http.StatusBadRequest)
 		return nil, req, false, false
 	}
-	c, cached, err := s.cfg.Concretizer.ConcretizeCached(abstract)
+	conc := s.cfg.Concretizer
+	if req.Reuse && s.reuse != nil {
+		conc = s.reuse
+	}
+	c, cached, err := conc.ConcretizeCached(abstract)
 	if err != nil {
 		// The spec parsed but cannot be satisfied — the client's
-		// constraint problem, not a malformed request.
-		http.Error(w, "concretize: "+err.Error(), http.StatusUnprocessableEntity)
+		// constraint problem, not a malformed request. An unsat core, when
+		// one exists, rides along so clients can render the "why not"
+		// chain without re-solving.
+		resp := ConcretizeErrorResponse{Error: "concretize: " + err.Error()}
+		var unsat *concretize.UnsatError
+		if errors.As(err, &unsat) {
+			resp.UnsatCore = unsat.CoreStrings()
+			resp.WhyNot = unsat.WhyNot()
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
 		return nil, req, false, false
 	}
 	return c, req, cached, true
+}
+
+// newReuseConcretizer derives the `-reuse` solver from the configured one:
+// same repositories, policy, registry, and shared memo cache (sound — the
+// cache key carries the reuse fingerprint), plus a ReuseSource over the
+// server store and the mirror's buildcache. It is a separate instance so
+// reuse and non-reuse requests never race on one concretizer's snapshot.
+func (s *Server) newReuseConcretizer() *concretize.Concretizer {
+	base := s.cfg.Concretizer
+	if base == nil {
+		return nil
+	}
+	rc := concretize.New(base.Path, base.Config, base.Registry)
+	rc.Backtracking = base.Backtracking
+	rc.MaxIters = base.MaxIters
+	rc.Cache = base.Cache
+	var srcs []concretize.ReuseSource
+	if s.cfg.Builder != nil && s.cfg.Builder.Store != nil {
+		srcs = append(srcs, s.cfg.Builder.Store)
+	}
+	srcs = append(srcs, s.bc)
+	rc.Reuse = concretize.MultiReuse(srcs...)
+	return rc
 }
 
 // InstallResponse reports one server-side install.

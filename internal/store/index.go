@@ -41,6 +41,12 @@ type Index interface {
 	Remove(hash string)
 	// Len counts records.
 	Len() int
+	// Generation is a counter that advances on every mutation (insert,
+	// promote, remove, replace). It fingerprints the index contents
+	// cheaply: equal generations on one process's index imply an unchanged
+	// candidate set, which the concretizer's reuse snapshot and memo-cache
+	// keys rely on.
+	Generation() uint64
 	// Select returns records accepted by filter (nil accepts everything),
 	// sorted by prefix — the snapshot iterator consumers use instead of
 	// copying the whole index.
@@ -119,6 +125,12 @@ func (ix *MutexIndex) Len() int {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	return len(ix.records)
+}
+
+func (ix *MutexIndex) Generation() uint64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.gen
 }
 
 func (ix *MutexIndex) Select(filter func(*Record) bool) []*Record {

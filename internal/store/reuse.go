@@ -1,0 +1,30 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// ReuseCandidates returns every installed configuration keyed by full DAG
+// hash — the store's half of the concretizer's ReuseSource seam. Record
+// specs are cloned on insert and immutable afterwards, so they are handed
+// out directly.
+func (st *Store) ReuseCandidates() (map[string]*spec.Spec, error) {
+	recs := st.index.Select(nil)
+	out := make(map[string]*spec.Spec, len(recs))
+	for _, r := range recs {
+		if r.Spec == nil {
+			continue
+		}
+		out[r.Spec.FullHash()] = r.Spec
+	}
+	return out, nil
+}
+
+// ReuseFingerprint identifies the current installed set: the index
+// generation advances on every install, uninstall, promote, or reload, so
+// a reuse answer computed before a store mutation never survives it.
+func (st *Store) ReuseFingerprint() string {
+	return fmt.Sprintf("store:%d", st.index.Generation())
+}

@@ -124,6 +124,20 @@ func (ix *ShardedIndex) Len() int {
 	return n
 }
 
+// Generation sums the per-shard generation counters. Any mutation bumps
+// exactly one shard's counter, so the sum advances on every mutation; it
+// can only stand still while the contents stand still.
+func (ix *ShardedIndex) Generation() uint64 {
+	var gen uint64
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		gen += sh.gen
+		sh.mu.RUnlock()
+	}
+	return gen
+}
+
 func (ix *ShardedIndex) Select(filter func(*Record) bool) []*Record {
 	var out []*Record
 	for i := range ix.shards {
