@@ -1,8 +1,26 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-service bench-sched bench-check crash-race experiments examples vet clean
+.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-service bench-sched bench-lifecycle bench-check crash-race experiments examples vet lint clean
 
 all: vet test
+
+# STATICCHECK pins the analyzer version so local runs and CI lint with
+# the same binary; bump the pin here and nowhere else.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+
+# One lint entry point for local runs and CI: gofmt drift, go vet, and
+# the pinned staticcheck. Fetching staticcheck needs the module proxy;
+# on an offline machine that step degrades to a warning instead of
+# failing the build (vet and gofmt still gate).
+lint:
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt drift in:"; echo "$$fmt_out"; exit 1; fi
+	go vet ./...
+	@if go run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		go run $(STATICCHECK) ./...; \
+	else \
+		echo "warning: staticcheck unavailable (offline?); skipped"; \
+	fi
 
 test:
 	go test ./...
@@ -72,20 +90,32 @@ bench-sched:
 		| go run ./cmd/benchjson -o BENCH_sched.json
 	cat BENCH_sched.json
 
+# Store-lifecycle benchmarks: a journaled GC sweep of the ARES store
+# with a majority of its bytes demoted to garbage, rendered to
+# BENCH_lifecycle.json with the derived reclaim percentage (zeroed if
+# any live prefix is not byte-identical after the sweep).
+bench-lifecycle:
+	go test -run '^$$' -bench 'LifecycleGC' -benchmem . \
+		| tee bench_lifecycle.txt \
+		| go run ./cmd/benchjson -o BENCH_lifecycle.json
+	cat BENCH_lifecycle.json
+
 # Regression gate: every committed benchmark report must clear its
 # declared acceptance bar (warm concretize ≥10x, sharded store ≥2x at 8
 # workers, cached ARES install ≥5x, warm env lockfile ≥10x, service
 # herd coalescing ≥8 clients per cache-miss build, 4-worker scheduler
-# scaling ≥2x).
+# scaling ≥2x, GC reclaim ≥95% of dead bytes with the live closure
+# byte-identical).
 bench-check:
-	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json BENCH_service.json BENCH_sched.json
+	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json BENCH_service.json BENCH_sched.json BENCH_lifecycle.json
 
 # The transactional-integrity suite under the race detector: every
 # crash-injection sweep (journal recovery, env apply/uninstall, view
-# refresh) across the packages that stage through internal/txn.
+# refresh, GC and mirror-prune sweeps) across the packages that stage
+# through internal/txn.
 crash-race:
 	go test -race -run 'Crash|Recover|Fault|HalfLink' \
-		./internal/txn/ ./internal/store/ ./internal/views/ ./internal/modules/ ./internal/env/ ./internal/buildcache/
+		./internal/txn/ ./internal/store/ ./internal/views/ ./internal/modules/ ./internal/env/ ./internal/buildcache/ ./internal/lifecycle/
 
 experiments:
 	go run ./cmd/experiments -all
@@ -98,4 +128,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt bench_service.txt bench_sched.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt bench_service.txt bench_sched.txt bench_lifecycle.txt

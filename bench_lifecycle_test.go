@@ -1,0 +1,209 @@
+// Store-lifecycle benchmarks (run via `make bench-lifecycle` →
+// BENCH_lifecycle.json):
+//
+//	BenchmarkLifecycleGC/ares50 — build the 47-package ARES stack, demote
+//	    every record, and re-anchor a mid-DAG root chosen so roughly half
+//	    the store's bytes go dead. One journaled GC sweep must then
+//	    reclaim the dead half completely while leaving the live closure
+//	    byte-identical. The acceptance bar (enforced by `benchjson
+//	    -check`) is lifecycle_gc_reclaim_pct ≥ 95 — the reclaimed share
+//	    of dead bytes, zeroed outright if any live prefix changed.
+package repro
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/lifecycle"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// prefixDigest hashes one install prefix's full contents — paths, link
+// targets, and file bytes — the byte-identity witness for live installs.
+func prefixDigest(st *store.Store, prefix string) (uint64, error) {
+	h := fnv.New64a()
+	err := st.FS.Walk(prefix, func(p string, isLink bool) error {
+		fmt.Fprintf(h, "%s|", p)
+		if isLink {
+			tgt, err := st.FS.Readlink(p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(h, ">%s|", tgt)
+			return nil
+		}
+		data, err := st.FS.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		h.Write(data)
+		return nil
+	})
+	return h.Sum64(), err
+}
+
+// gcScenario demotes every ARES record and re-anchors the mid-DAG node
+// whose dependency closure splits the store's bytes closest to half,
+// returning the chosen live root and the byte split.
+func gcScenario(st *store.Store, root *spec.Spec) (liveRoot *spec.Spec, liveBytes, totalBytes int64, err error) {
+	sizes := make(map[string]int64)
+	for _, r := range st.All() {
+		if r.Spec.External {
+			continue
+		}
+		sz := st.FS.TreeSize(r.Prefix)
+		sizes[r.Spec.FullHash()] = sz
+		totalBytes += sz
+		st.MarkImplicit(r.Spec)
+	}
+	var bestDiff int64 = -1
+	for _, n := range root.TopoOrder() {
+		if n.External || n == root {
+			continue
+		}
+		var closure int64
+		for _, d := range n.TopoOrder() {
+			closure += sizes[d.FullHash()]
+		}
+		diff := 2*closure - totalBytes
+		if diff < 0 {
+			diff = -diff
+		}
+		if bestDiff < 0 || diff < bestDiff {
+			bestDiff, liveRoot, liveBytes = diff, n, closure
+		}
+	}
+	if liveRoot == nil {
+		return nil, 0, 0, fmt.Errorf("no candidate live root in the DAG")
+	}
+	if !st.MarkExplicit(liveRoot) {
+		return nil, 0, 0, fmt.Errorf("live root %s not installed", liveRoot.Name)
+	}
+	return liveRoot, liveBytes, totalBytes, nil
+}
+
+func BenchmarkLifecycleGC(b *testing.B) {
+	bcSetup()
+	if bcErr != nil {
+		b.Fatal(bcErr)
+	}
+	b.Run("ares50", func(b *testing.B) {
+		var reclaimPct, intact, deadPct float64
+		for i := 0; i < b.N; i++ {
+			m := newBenchMachine(nil)
+			if _, err := m.Build(bcSpec); err != nil {
+				b.Fatal(err)
+			}
+			st := m.Store
+			liveRoot, liveBytes, totalBytes, err := gcScenario(st, bcSpec)
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			pre := make(map[string]uint64)
+			for _, n := range liveRoot.TopoOrder() {
+				if n.External {
+					continue
+				}
+				rec, ok := st.Lookup(n)
+				if !ok {
+					b.Fatalf("live %s not installed", n.Name)
+				}
+				if pre[rec.Prefix], err = prefixDigest(st, rec.Prefix); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			gc := &lifecycle.GC{Store: st}
+			res, err := gc.Run(false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dead := res.Plan.DeadBytes
+			if dead == 0 {
+				b.Fatal("scenario produced no dead bytes")
+			}
+
+			intact = 1
+			for prefix, want := range pre {
+				got, err := prefixDigest(st, prefix)
+				if err != nil || got != want {
+					intact = 0
+				}
+			}
+			reclaimPct = float64(res.Reclaimed) / float64(dead) * 100
+			deadPct = float64(dead) / float64(totalBytes) * 100
+			_ = liveBytes
+		}
+		b.ReportMetric(reclaimPct, "gc-reclaim-pct")
+		b.ReportMetric(intact, "live-intact")
+		b.ReportMetric(deadPct, "dead-pct")
+		b.ReportMetric(float64(bcSpec.Size()), "dag-nodes")
+	})
+}
+
+// TestLifecycleBenchSanity keeps the bench scenario honest under plain
+// `go test`: the chosen split must actually kill a substantial share of
+// the store, the sweep must reclaim every dead byte, and the live
+// closure must survive byte-identical.
+func TestLifecycleBenchSanity(t *testing.T) {
+	bcSetup()
+	if bcErr != nil {
+		t.Fatal(bcErr)
+	}
+	m := newBenchMachine(nil)
+	if _, err := m.Build(bcSpec); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Store
+	liveRoot, liveBytes, totalBytes, err := gcScenario(st, bcSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(totalBytes-liveBytes) / float64(totalBytes)
+	if frac < 0.2 || frac > 0.8 {
+		t.Fatalf("dead fraction %.2f is not a meaningful split (live root %s)", frac, liveRoot.Name)
+	}
+
+	pre := make(map[string]uint64)
+	for _, n := range liveRoot.TopoOrder() {
+		if n.External {
+			continue
+		}
+		rec, ok := st.Lookup(n)
+		if !ok {
+			t.Fatalf("live %s not installed", n.Name)
+		}
+		if pre[rec.Prefix], err = prefixDigest(st, rec.Prefix); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gc := &lifecycle.GC{Store: st}
+	res, err := gc.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reclaimed != res.Plan.DeadBytes {
+		t.Fatalf("reclaimed %d of %d dead bytes", res.Reclaimed, res.Plan.DeadBytes)
+	}
+	for prefix, want := range pre {
+		got, err := prefixDigest(st, prefix)
+		if err != nil {
+			t.Fatalf("live prefix %s unreadable after gc: %v", prefix, err)
+		}
+		if got != want {
+			t.Fatalf("live prefix %s changed across gc", prefix)
+		}
+	}
+	for _, n := range liveRoot.TopoOrder() {
+		if n.External {
+			continue
+		}
+		if _, ok := st.Lookup(n); !ok {
+			t.Fatalf("live %s collected", n.Name)
+		}
+	}
+}

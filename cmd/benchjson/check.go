@@ -39,6 +39,10 @@ var bars = []bar{
 	// Distributed scheduler: 4 lease workers must at least halve the
 	// one-worker virtual makespan of the cold ARES DAG.
 	{"sched_scaling_4w", 2},
+	// Lifecycle: GC of a majority-dead ARES store reclaims ≥95% of the
+	// dead bytes with the live closure byte-identical (the intact flag
+	// zeroes the metric otherwise).
+	{"lifecycle_gc_reclaim_pct", 95},
 }
 
 // checkReport evaluates one parsed report against the declared bars,

@@ -205,6 +205,14 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 	if localJ8 := metric("BenchmarkSchedWorkers/local/j8", "virtual-sec"); sw8 > 0 && localJ8 > 0 {
 		d["sched_vs_local_j8"] = sw8 / localJ8
 	}
+	// Lifecycle: a GC sweep over a majority-dead ARES store must reclaim
+	// every dead byte while leaving the live closure byte-identical. The
+	// live-intact flag (1 or 0) multiplies in so any drift in a surviving
+	// prefix zeroes the metric and fails the bar outright.
+	gcPct := metric("BenchmarkLifecycleGC/ares50", "gc-reclaim-pct")
+	if gcIntact := metric("BenchmarkLifecycleGC/ares50", "live-intact"); gcPct > 0 {
+		d["lifecycle_gc_reclaim_pct"] = gcPct * gcIntact
+	}
 	// Environments: re-running `env install` against an unchanged lockfile
 	// must be a cheap no-op diff, not a second install.
 	envCold := ns("BenchmarkEnvInstall/cold")

@@ -7,18 +7,22 @@
 package main
 
 import (
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/ares"
 	"repro/internal/build"
+	"repro/internal/buildcache"
 	"repro/internal/concretize"
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/modules"
 	"repro/internal/repo"
 	"repro/internal/service"
@@ -50,10 +54,17 @@ commands:
   table1 <spec>          render a concretized spec under each site layout
   serve                  run the buildcache/concretize/install HTTP daemon
   work -url <daemon>     run this machine as a remote build worker (lease loop)
+  gc [-dry-run]          reclaim installs unreachable from any root or env lockfile
   buildcache push <spec>...   install specs and pack them as binary archives
   buildcache pull <spec>...   install specs from binary archives only
-  buildcache list             list cached binary archives
+  buildcache list             list cached binary archives (origin + signature status)
+  buildcache prune -max-size N | -max-age D   evict cold archives (LRU) until bounds fit
   buildcache keys             print archive SHA-256 checksums
+  buildcache keys generate <name>        mint a trusted Ed25519 signing key
+  buildcache keys add <name> <hex-pub>   import another site's public key (untrusted)
+  buildcache keys trust <name>           mark an imported key trusted
+  buildcache keys list                   list registered keys
+  buildcache keys policy [off|warn|enforce]  show or set the trust policy
   env create <name> [spec...]      create a named environment (-view PATH)
   env add <name> <spec>...         add specs to an environment manifest
   env rm <name> <spec>...          remove specs from an environment manifest
@@ -105,8 +116,10 @@ func main() {
 	if *flagOnlyCache {
 		opts = append(opts, core.WithCachePolicy(build.CacheOnly))
 	}
+	var remoteBE *service.HTTPBackend
 	if *flagCacheURL != "" {
-		opts = append(opts, core.WithBuildCacheBackend(service.NewHTTPBackend(*flagCacheURL)))
+		remoteBE = service.NewHTTPBackend(*flagCacheURL)
+		opts = append(opts, core.WithBuildCacheBackend(remoteBE))
 	}
 	if *flagAres {
 		opts = append(opts, core.WithRepos(ares.Repo()))
@@ -120,6 +133,12 @@ func main() {
 	s, err := core.New(opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if remoteBE != nil {
+		// Remote pushes carry a detached signature header when this
+		// machine's keyring has a signing identity, so a daemon enforcing
+		// a trust policy accepts them.
+		remoteBE.Signer = s.Keyring
 	}
 	if *flagProvider != "" {
 		s.Config.Site.SetProviderOrder("mpi", *flagProvider)
@@ -190,6 +209,8 @@ func run(w io.Writer, s *core.Spack, cmd string, args []string) error {
 		return cmdWork(w, s, args)
 	case "serve":
 		return cmdServe(w, s, args)
+	case "gc":
+		return cmdGC(w, s, args)
 	case "buildcache":
 		return cmdBuildcache(w, s, args)
 	case "env":
@@ -536,9 +557,65 @@ func cmdLmod(w io.Writer, s *core.Spack, args []string) error {
 	return nil
 }
 
+func cmdGC(w io.Writer, s *core.Spack, args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ContinueOnError)
+	dryRun := fs.Bool("dry-run", false, "report what a sweep would reclaim without deleting anything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("gc takes no arguments")
+	}
+	res, err := s.GC().Run(*dryRun)
+	if err != nil {
+		return err
+	}
+	p := res.Plan
+	verb := "reclaimed"
+	if *dryRun {
+		verb = "would reclaim"
+	}
+	fmt.Fprintf(w, "==> gc: %d roots anchor %d live installs; %s %d installs (%dB)\n",
+		p.Roots, len(p.Live), verb, len(p.Dead), p.DeadBytes)
+	for _, d := range p.Dead {
+		extras := ""
+		if d.Module != "" {
+			extras += " +module"
+		}
+		if d.Archive {
+			extras += " +archive"
+		}
+		fmt.Fprintf(w, "    %-40s %8dB  %s%s\n", d.Spec, d.Bytes, d.Prefix, extras)
+	}
+	if !*dryRun {
+		fmt.Fprintf(w, "==> removed %d records, %d module files, %d archives\n",
+			res.Records, res.ModuleFiles, res.Archives)
+	}
+	return nil
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix (powers of
+// 1024), e.g. "512K", "100M", "2G", or plain bytes.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 1048576, 512K, 100M, 2G)", s)
+	}
+	return n * mult, nil
+}
+
 func cmdBuildcache(w io.Writer, s *core.Spack, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("buildcache needs a subcommand: push, pull, list, or keys")
+		return fmt.Errorf("buildcache needs a subcommand: push, pull, list, prune, or keys")
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
@@ -596,11 +673,62 @@ func cmdBuildcache(w io.Writer, s *core.Spack, args []string) error {
 		}
 		fmt.Fprintf(w, "==> %d cached archives\n", len(entries))
 		for _, e := range entries {
-			fmt.Fprintf(w, "    %-14s @%-8s %s (%d files)\n",
-				e.Package, e.Version, e.FullHash[:8], e.Files)
+			sig := "unsigned"
+			switch {
+			case e.Signed && e.Trusted:
+				sig = "signed:" + e.SignedBy + " (trusted)"
+			case e.Signed:
+				sig = "signed:" + e.SignedBy
+			}
+			fmt.Fprintf(w, "    %-14s @%-8s %s (%d files)  %s\n",
+				e.Package, e.Version, e.FullHash[:8], e.Files, sig)
+			if e.Origin != "" {
+				fmt.Fprintf(w, "        origin: %s\n", e.Origin)
+			}
+		}
+		return nil
+	case "prune":
+		fs := flag.NewFlagSet("buildcache prune", flag.ContinueOnError)
+		maxSize := fs.String("max-size", "", "size budget (bytes, or with K/M/G suffix)")
+		maxAge := fs.Duration("max-age", 0, "evict archives last accessed longer ago than this")
+		dryRun := fs.Bool("dry-run", false, "report the eviction set without deleting anything")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		var maxBytes int64
+		if *maxSize != "" {
+			var err error
+			if maxBytes, err = parseSize(*maxSize); err != nil {
+				return err
+			}
+		}
+		res, err := lifecycle.Prune(s.BuildCache, s.Store, lifecycle.PruneOptions{
+			MaxBytes: maxBytes, MaxAge: *maxAge, DryRun: *dryRun,
+		})
+		if err != nil {
+			return err
+		}
+		verb := "evicted"
+		if *dryRun {
+			verb = "would evict"
+		}
+		fmt.Fprintf(w, "==> prune: %d archives (%dB total); %s %d (%dB)\n",
+			res.Examined, res.TotalBytes, verb, len(res.Evicted), res.Reclaimed)
+		for _, u := range res.Evicted {
+			fmt.Fprintf(w, "    %s  %8dB\n", u.FullHash[:8], u.Bytes)
 		}
 		return nil
 	case "keys":
+		return cmdBuildcacheKeys(w, s, rest)
+	default:
+		return fmt.Errorf("unknown buildcache subcommand %q (want push, pull, list, prune, or keys)", sub)
+	}
+}
+
+// cmdBuildcacheKeys drives the signing-key registry. Bare `keys` keeps
+// the historical behaviour of printing archive checksums.
+func cmdBuildcacheKeys(w io.Writer, s *core.Spack, args []string) error {
+	if len(args) == 0 {
 		keys, err := s.BuildCache.Keys()
 		if err != nil {
 			return err
@@ -615,9 +743,79 @@ func cmdBuildcache(w io.Writer, s *core.Spack, args []string) error {
 			fmt.Fprintf(w, "    %s  sha256=%s\n", h[:8], keys[h])
 		}
 		return nil
-	default:
-		return fmt.Errorf("unknown buildcache subcommand %q (want push, pull, list, or keys)", sub)
 	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "generate":
+		name, err := one(rest, "key name")
+		if err != nil {
+			return err
+		}
+		pub, err := s.Keyring.Generate(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "==> generated trusted signing key %q\n    public: %x\n", name, pub)
+		return nil
+	case "add":
+		if len(rest) != 2 {
+			return fmt.Errorf("buildcache keys add needs <name> <hex-public-key>")
+		}
+		pub, err := hex.DecodeString(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad public key hex: %w", err)
+		}
+		if err := s.Keyring.Add(rest[0], pub); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "==> added key %q (untrusted; run `buildcache keys trust %s` to trust it)\n",
+			rest[0], rest[0])
+		return nil
+	case "trust":
+		name, err := one(rest, "key name")
+		if err != nil {
+			return err
+		}
+		if err := s.Keyring.Trust(name); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "==> key %q is now trusted\n", name)
+		return nil
+	case "list":
+		keys := s.Keyring.List()
+		fmt.Fprintf(w, "==> %d registered keys (policy: %s)\n", len(keys), policyName(s.Keyring.Policy()))
+		for _, k := range keys {
+			trust := "untrusted"
+			if k.Trusted {
+				trust = "trusted"
+			}
+			fmt.Fprintf(w, "    %-16s %-10s %x\n", k.Name, trust, k.Public)
+		}
+		return nil
+	case "policy":
+		if len(rest) == 0 {
+			fmt.Fprintf(w, "==> trust policy: %s\n", policyName(s.Keyring.Policy()))
+			return nil
+		}
+		p, err := buildcache.ParseTrustPolicy(rest[0])
+		if err != nil {
+			return err
+		}
+		if err := s.Keyring.SetPolicy(p); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "==> trust policy set to %s\n", policyName(p))
+		return nil
+	default:
+		return fmt.Errorf("unknown keys subcommand %q (want generate, add, trust, list, or policy)", sub)
+	}
+}
+
+func policyName(p buildcache.TrustPolicy) string {
+	if p == buildcache.TrustOff {
+		return "off"
+	}
+	return string(p)
 }
 
 func cmdTable1(w io.Writer, s *core.Spack, args []string) error {

@@ -26,8 +26,17 @@ func cmdServe(w io.Writer, s *core.Spack, args []string) error {
 	runFor := fs.Duration("for", 0, "serve for this long, then shut down (0 = until SIGINT/SIGTERM)")
 	leaseTTL := fs.Duration("lease-ttl", 2*time.Minute, "scheduler lease TTL between worker heartbeats")
 	maxAttempts := fs.Int("max-attempts", 3, "build attempts per DAG node before poisoning its dependents")
+	maxCacheSize := fs.String("max-cache-size", "", "self-bound the build_cache area to this size (K/M/G suffixes)")
+	maxCacheAge := fs.Duration("max-cache-age", 0, "evict archives last accessed longer ago than this after each upload")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var maxCacheBytes int64
+	if *maxCacheSize != "" {
+		var err error
+		if maxCacheBytes, err = parseSize(*maxCacheSize); err != nil {
+			return err
+		}
 	}
 
 	logw := io.Writer(w)
@@ -41,6 +50,13 @@ func cmdServe(w io.Writer, s *core.Spack, args []string) error {
 		Log:         logw,
 		LeaseTTL:    *leaseTTL,
 		MaxAttempts: *maxAttempts,
+		// The daemon judges uploads against this machine's keyring and
+		// its persisted trust policy, and self-bounds its mirror.
+		Verifier:      s.Keyring,
+		TrustPolicy:   s.Keyring.Policy(),
+		MaxCacheBytes: maxCacheBytes,
+		MaxCacheAge:   *maxCacheAge,
+		GC:            s.GC(),
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {

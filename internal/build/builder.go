@@ -126,6 +126,19 @@ func (b *Builder) BuildTxn(root *spec.Spec, t *txn.Txn) (*Result, error) {
 	}
 
 	nodes := root.TopoOrder()
+
+	// Pin the DAG's hashes for the duration of the build: dependencies
+	// installed mid-DAG are implicit and not yet referenced by any indexed
+	// root, so a concurrent garbage-collection sweep — which runs between
+	// node installs, while no install transaction is open — must see them
+	// as live until the build releases them.
+	hashes := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		hashes = append(hashes, n.FullHash())
+	}
+	unpin := b.Store.Pin(hashes...)
+	defer unpin()
+
 	byName := make(map[string]*spec.Spec, len(nodes))
 	indeg := make(map[string]int, len(nodes))
 	dependents := make(map[string][]string, len(nodes))

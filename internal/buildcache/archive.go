@@ -79,6 +79,23 @@ func ChecksumOf(data []byte) string { return checksumOf(data) }
 func archiveName(hash string) string  { return hash + ".spack.json" }
 func checksumName(hash string) string { return hash + ".sha256" }
 
+// sigName is the detached signature object for a full spec hash (a
+// Signature document signing the recorded checksum); absent for archives
+// pushed without a signing identity.
+func sigName(hash string) string { return hash + ".sig" }
+
+// hashOfName inverts the three object names back to the full spec hash,
+// reporting which suffix the name carried. Lifecycle sweeps use it to
+// group an archive with its checksum and signature as one unit.
+func hashOfName(name string) (hash string, ok bool) {
+	for _, suffix := range []string{".spack.json", ".sha256", ".sig"} {
+		if h, found := strings.CutSuffix(name, suffix); found {
+			return h, true
+		}
+	}
+	return "", false
+}
+
 // reloc is one source→target path rewrite.
 type reloc struct{ from, to string }
 

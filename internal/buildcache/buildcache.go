@@ -51,6 +51,10 @@ const (
 	KindDeps Kind = "deps"
 	// KindIO: the backend or target filesystem failed.
 	KindIO Kind = "io"
+	// KindSignature: the archive is unsigned, signed by an untrusted
+	// key, or carries an invalid signature, and the trust policy is
+	// enforcing.
+	KindSignature Kind = "signature"
 )
 
 // Error reports a failed cache operation.
@@ -84,6 +88,15 @@ type Entry struct {
 	FullHash string
 	Checksum string
 	Files    int
+	// Origin is the spec string recorded in the archive — where the
+	// binaries came from, for provenance listings.
+	Origin string
+	// Signed reports whether a detached signature rides with the
+	// archive; SignedBy names the signing key when one does. Trusted is
+	// the verdict of the cache's Verifier (always false without one).
+	Signed   bool
+	SignedBy string
+	Trusted  bool
 }
 
 // PullResult reports a successful Pull.
@@ -96,12 +109,26 @@ type PullResult struct {
 	Time time.Duration
 	// Files is how many files and symlinks the archive carried.
 	Files int
+	// Warning carries a trust-policy complaint that did not block the
+	// pull (TrustWarn) — "archive is unsigned", an untrusted key, etc.
+	Warning string
 }
 
 // Cache is a binary build cache over a byte-transport backend (a mirror's
 // build_cache/ area or a directory tree).
 type Cache struct {
 	be Backend
+
+	// Signer, when set, signs each pushed archive's checksum with a
+	// detached signature (stored as <hash>.sig). A Signer whose Sign
+	// returns (nil, nil) has no identity configured; the push proceeds
+	// unsigned.
+	Signer Signer
+	// Verifier judges detached signatures on the read path; Policy
+	// decides what an unsigned or untrusted archive may do there. The
+	// zero values keep the pre-signing behaviour.
+	Verifier Verifier
+	Policy   TrustPolicy
 }
 
 // New creates a cache on a backend.
@@ -156,6 +183,12 @@ func (c *Cache) Verify(hash string) error {
 	}
 	if got != want {
 		return fail(KindChecksum, fmt.Errorf("archive sha256 %s does not match recorded %s", got, want))
+	}
+	// Trust gate: under TrustEnforce an unsigned or untrusted archive
+	// fails verification outright — the daemon's proof-of-work check
+	// inherits the signature requirement through this path.
+	if _, err := c.checkSignature("verify", hash, hash, want); err != nil {
+		return err
 	}
 	return nil
 }
@@ -256,9 +289,30 @@ func (c *Cache) Push(st *store.Store, s *spec.Spec) (*Entry, error) {
 	if err := c.be.Put(checksumName(ar.FullHash), []byte(sum+"\n")); err != nil {
 		return fail(KindIO, err)
 	}
+	signed := false
+	if c.Signer != nil {
+		sig, err := c.Signer.Sign(sum)
+		if err != nil {
+			return fail(KindSignature, err)
+		}
+		if sig != nil {
+			if err := c.be.Put(sigName(ar.FullHash), sig); err != nil {
+				return fail(KindIO, err)
+			}
+			signed = true
+		}
+	}
+	if !signed {
+		// An unsigned push must not leave a stale signature from an
+		// earlier signed push claiming trust the new bytes never earned.
+		if err := c.be.Delete(sigName(ar.FullHash)); err != nil {
+			return fail(KindIO, err)
+		}
+	}
 	return &Entry{
 		Package: ar.Package, Version: ar.Version,
 		FullHash: ar.FullHash, Checksum: sum, Files: len(ar.Files),
+		Origin: ar.Spec, Signed: signed,
 	}, nil
 }
 
@@ -324,6 +378,13 @@ func (c *Cache) PullTxn(st *store.Store, t *txn.Txn, s *spec.Spec, explicit bool
 	want := strings.TrimSpace(string(sumData))
 	if got := checksumOf(payload); got != want {
 		return fail(KindChecksum, fmt.Errorf("archive checksum %s does not match recorded %s", got[:12], want))
+	}
+	// Trust gate: judge the detached signature before any archive byte
+	// is trusted. Enforce rejects; warn records the complaint on the
+	// result and proceeds.
+	warning, err := c.checkSignature("pull", s.String(), hash, want)
+	if err != nil {
+		return nil, err
 	}
 
 	var ar Archive
@@ -434,7 +495,7 @@ func (c *Cache) PullTxn(st *store.Store, t *txn.Txn, s *spec.Spec, explicit bool
 		}
 		return fail(KindIO, err)
 	}
-	return &PullResult{Record: rec, Ran: ran, Time: meter.Cost(), Files: files}, nil
+	return &PullResult{Record: rec, Ran: ran, Time: meter.Cost(), Files: files, Warning: warning}, nil
 }
 
 // recordedOrClean accepts a file whose occurrence counts are either
@@ -477,10 +538,21 @@ func (c *Cache) List() ([]*Entry, error) {
 		if sd, ok, _ := c.be.Get(checksumName(hash)); ok {
 			sum = strings.TrimSpace(string(sd))
 		}
-		out = append(out, &Entry{
+		e := &Entry{
 			Package: ar.Package, Version: ar.Version,
 			FullHash: ar.FullHash, Checksum: sum, Files: len(ar.Files),
-		})
+			Origin: ar.Spec,
+		}
+		if sigData, ok, _ := c.be.Get(sigName(hash)); ok {
+			e.Signed = true
+			if sig, err := DecodeSignature(sigData); err == nil {
+				e.SignedBy = sig.Key
+			}
+			if c.Verifier != nil && sum != "" {
+				e.Trusted = c.Verifier.VerifySignature(sum, sigData) == nil
+			}
+		}
+		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Package != out[j].Package {
@@ -491,6 +563,82 @@ func (c *Cache) List() ([]*Entry, error) {
 		}
 		return out[i].FullHash < out[j].FullHash
 	})
+	return out, nil
+}
+
+// Delete removes an archive and its sidecars (checksum, signature) from
+// the backend. Missing objects are a no-op, so deleting an unknown hash
+// is harmless.
+func (c *Cache) Delete(hash string) error {
+	for _, name := range []string{archiveName(hash), checksumName(hash), sigName(hash)} {
+		if err := c.be.Delete(name); err != nil {
+			return &Error{Op: "delete", Spec: hash, Kind: KindIO, Err: err}
+		}
+	}
+	return nil
+}
+
+// StageDelete stages the removal of an archive and its sidecars into a
+// journaled transaction, when the backend supports it (TxnDeleter).
+// Reports false when it does not — the caller falls back to Delete after
+// commit.
+func (c *Cache) StageDelete(t *txn.Txn, hash string) bool {
+	d, ok := c.be.(TxnDeleter)
+	if !ok {
+		return false
+	}
+	for _, name := range []string{archiveName(hash), checksumName(hash), sigName(hash)} {
+		d.StageDelete(t, name)
+	}
+	return true
+}
+
+// ArchiveUsage aggregates the backend's per-object access stamps into
+// one unit per cached archive: the archive, its checksum, and any
+// signature count together, under the most recent access of the three.
+type ArchiveUsage struct {
+	FullHash string
+	Bytes    int64
+	Seq      uint64
+	Last     time.Time
+}
+
+// Usage enumerates cached archives with their sizes and last accesses,
+// sorted by hash — the input the LRU mirror prune ranks. Backends
+// without access stamps (no UsageReporter) report an error.
+func (c *Cache) Usage() ([]ArchiveUsage, error) {
+	ur, ok := c.be.(UsageReporter)
+	if !ok {
+		return nil, fmt.Errorf("buildcache: backend %T records no access stamps", c.be)
+	}
+	us, err := ur.Usage()
+	if err != nil {
+		return nil, err
+	}
+	byHash := make(map[string]*ArchiveUsage)
+	for _, u := range us {
+		hash, ok := hashOfName(u.Name)
+		if !ok {
+			continue
+		}
+		au := byHash[hash]
+		if au == nil {
+			au = &ArchiveUsage{FullHash: hash}
+			byHash[hash] = au
+		}
+		au.Bytes += u.Size
+		if u.Seq > au.Seq {
+			au.Seq = u.Seq
+		}
+		if u.Last.After(au.Last) {
+			au.Last = u.Last
+		}
+	}
+	out := make([]ArchiveUsage, 0, len(byHash))
+	for _, au := range byHash {
+		out = append(out, *au)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullHash < out[j].FullHash })
 	return out, nil
 }
 

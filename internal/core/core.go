@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/build"
 	"repro/internal/buildcache"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/extensions"
 	"repro/internal/fetch"
+	"repro/internal/lifecycle"
 	"repro/internal/modules"
 	"repro/internal/repo"
 	"repro/internal/simfs"
@@ -46,7 +49,11 @@ type Spack struct {
 	Modules     *modules.Generator
 	Views       *views.Manager
 	Extensions  *extensions.Manager
+	Keyring     *lifecycle.Keyring
 }
+
+// KeysPath is where an instance persists its signing-key registry.
+const KeysPath = "/spack/etc/spack/keys.json"
 
 // Option customizes New.
 type Option func(*options)
@@ -160,6 +167,18 @@ func New(opts ...Option) (*Spack, error) {
 	}
 	bc := buildcache.New(be)
 
+	// The key registry is always wired: an empty keyring signs nothing
+	// (Sign returns nil, nil) and its persisted policy is off by default,
+	// so the pre-signing behaviour holds until keys are generated and the
+	// policy is raised.
+	keys, err := lifecycle.OpenKeyring(fs, KeysPath)
+	if err != nil {
+		return nil, err
+	}
+	bc.Signer = keys
+	bc.Verifier = keys
+	bc.Policy = keys.Policy()
+
 	b := build.NewBuilder(st, path, o.registry)
 	b.Mirror = mirror
 	b.Cache = bc
@@ -184,6 +203,7 @@ func New(opts ...Option) (*Spack, error) {
 		Mirror:      mirror,
 		BuildCache:  bc,
 		Modules:     &modules.Generator{FS: fs, Root: "/spack/share", Kind: modules.KindDotkit},
+		Keyring:     keys,
 	}
 	s.Views = views.NewManager(fs, o.cfg, s.IsMPI)
 	// Views journal into the store's transaction directory so a crashed
@@ -205,6 +225,33 @@ func MustNew(opts ...Option) *Spack {
 
 // EnvRoot is where this instance keeps named environments.
 const EnvRoot = env.DefaultRoot
+
+// GC assembles a garbage-collection pass over this instance: the store
+// plus its module files, view links, cached archives, and every
+// environment lockfile under EnvRoot as additional roots. View
+// directories are derived from the configured link rules, so the sweep
+// prunes dangling links left by earlier processes.
+func (s *Spack) GC() *lifecycle.GC {
+	dirs := make(map[string]bool)
+	for _, rule := range s.Config.LinkRules() {
+		if i := strings.LastIndexByte(rule.Template, '/'); i > 0 {
+			dirs[rule.Template[:i]] = true
+		}
+	}
+	viewDirs := make([]string, 0, len(dirs))
+	for d := range dirs {
+		viewDirs = append(viewDirs, d)
+	}
+	sort.Strings(viewDirs)
+	return &lifecycle.GC{
+		Store:    s.Store,
+		Modules:  s.Modules,
+		Views:    s.Views,
+		Cache:    s.BuildCache,
+		EnvRoots: []string{EnvRoot},
+		ViewDirs: viewDirs,
+	}
+}
 
 // EnvHost exposes the instance's subsystems as an environment host, so
 // `spack env` operations run against the same store, builder, module

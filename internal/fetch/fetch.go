@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/pkg"
 	"repro/internal/version"
@@ -96,18 +97,48 @@ type Mirror struct {
 	releases   map[string][]version.Version // package -> available versions
 	blobs      map[string][]byte            // name -> opaque payload
 	blobSums   map[string]string            // name -> SHA-256 hex, recorded at PutBlob
+	blobStamps map[string]blobStamp         // name -> last-access stamp
+	blobSeq    uint64                       // logical clock behind the stamps
 	fetches    int
 	blobReads  int
 	blobWrites int
 }
 
+// blobStamp records when a blob was last touched: a logical sequence
+// number (total order across reads and writes on this mirror) and the
+// wall-clock time, so prunes can evict by recency or by age.
+type blobStamp struct {
+	seq uint64
+	at  time.Time
+}
+
+// BlobUsage describes one blob's size and last access — the per-blob
+// facts an LRU cache prune ranks evictions by. Seq orders accesses
+// totally within this mirror's lifetime; Last is the wall-clock side for
+// age bounds. Blobs never touched since the mirror came up carry their
+// PutBlob stamp.
+type BlobUsage struct {
+	Name string
+	Size int64
+	Seq  uint64
+	Last time.Time
+}
+
 // NewMirror creates an empty mirror.
 func NewMirror() *Mirror {
 	return &Mirror{
-		releases: make(map[string][]version.Version),
-		blobs:    make(map[string][]byte),
-		blobSums: make(map[string]string),
+		releases:   make(map[string][]version.Version),
+		blobs:      make(map[string][]byte),
+		blobSums:   make(map[string]string),
+		blobStamps: make(map[string]blobStamp),
 	}
+}
+
+// touchBlob advances the logical clock and stamps a blob. Callers hold
+// the write lock.
+func (m *Mirror) touchBlob(name string) {
+	m.blobSeq++
+	m.blobStamps[name] = blobStamp{seq: m.blobSeq, at: time.Now()}
 }
 
 // Publish registers a release so the mirror will serve it.
@@ -185,6 +216,7 @@ func (m *Mirror) PutBlob(name string, data []byte) {
 	m.mu.Lock()
 	m.blobs[name] = buf
 	m.blobSums[name] = hex.EncodeToString(sum[:])
+	m.touchBlob(name)
 	m.blobWrites++
 	m.mu.Unlock()
 }
@@ -220,6 +252,7 @@ func (m *Mirror) Blob(name string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	m.touchBlob(name)
 	m.blobReads++
 	out := make([]byte, len(data))
 	copy(out, data)
@@ -231,7 +264,22 @@ func (m *Mirror) DeleteBlob(name string) {
 	m.mu.Lock()
 	delete(m.blobs, name)
 	delete(m.blobSums, name)
+	delete(m.blobStamps, name)
 	m.mu.Unlock()
+}
+
+// BlobUsages returns size and last-access facts for every stored blob,
+// sorted by name.
+func (m *Mirror) BlobUsages() []BlobUsage {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]BlobUsage, 0, len(m.blobs))
+	for name, data := range m.blobs {
+		st := m.blobStamps[name]
+		out = append(out, BlobUsage{Name: name, Size: int64(len(data)), Seq: st.seq, Last: st.at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Blobs lists the stored blob names, sorted.

@@ -1,0 +1,188 @@
+package lifecycle_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lifecycle"
+	"repro/internal/simfs"
+	"repro/internal/store"
+)
+
+// The crash sweeps inject a fault at every successive filesystem
+// operation of a full GC (and prune) run and prove the recovered site is
+// always exactly the pre- or the post-sweep state — never in between.
+// State is judged from a reopened store (journal recovery included), the
+// way the next process would see the disk.
+
+// crashOps are the mutating simfs operations a sweep faults one at a
+// time. Reads are not faulted: a failed read aborts before the commit
+// point and is covered by the write sweep's early indices.
+var crashOps = []string{"write", "rename", "symlink", "remove", "mkdir"}
+
+// lifecycleSnapshot captures everything the pre-or-post guarantee
+// covers: the on-disk store index (via a fresh store.Open, which runs
+// journal recovery), and every file and symlink under the install tree,
+// module root, cache directory, and view forest.
+func lifecycleSnapshot(t *testing.T, fs *simfs.FS) string {
+	t.Helper()
+	st, err := store.Open(fs, storeRoot, store.SpackLayout{})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	if names, _ := fs.List(st.JournalDir()); len(names) != 0 {
+		t.Fatalf("journal not drained after recovery: %v", names)
+	}
+	var b strings.Builder
+	for _, r := range st.Select(nil) {
+		fmt.Fprintf(&b, "rec %s %s explicit=%v %s\n",
+			r.Spec.FullHash(), r.Prefix, r.Explicit, store.RecordOrigin(r))
+	}
+	for _, dir := range []string{storeRoot, moduleRoot, cacheDir, viewRoot} {
+		err := fs.Walk(dir, func(p string, isLink bool) error {
+			if strings.HasPrefix(p, storeRoot+"/.spack-db") {
+				return nil // database shards and journal are the mechanism, not the state
+			}
+			if isLink {
+				tgt, _ := fs.Readlink(p)
+				fmt.Fprintf(&b, "lnk %s -> %s\n", p, tgt)
+			} else {
+				fmt.Fprintf(&b, "file %s\n", p)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", dir, err)
+		}
+	}
+	return b.String()
+}
+
+// swapFS points every layer of a machine at a different filesystem —
+// the moment the crashing process's faults start counting.
+func (m *machine) swapFS(fs *simfs.FS) {
+	m.FS = fs
+	m.Store.FS = fs
+	m.Modules.FS = fs
+	m.Views.FS = fs
+	m.Backend.FS = fs
+}
+
+// sweep runs scenario against every fault index of every mutating op.
+// setup prepares a clean machine on a healthy filesystem; scenario then
+// runs with faults armed. The recovered disk must equal pre or post
+// exactly, and the sweep must witness both outcomes overall.
+func sweep(t *testing.T, pre, post string, setup func(t *testing.T, fs *simfs.FS) *machine, scenario func(m *machine) error) {
+	t.Helper()
+	if pre == post {
+		t.Fatal("pre and post states are identical; the scenario tests nothing")
+	}
+	sawPre, sawPost := false, false
+	for _, op := range crashOps {
+		t.Run(op, func(t *testing.T) {
+			for n := 0; ; n++ {
+				if n > 5000 {
+					t.Fatal("fault sweep did not reach a clean run")
+				}
+				healthy := simfs.New(simfs.TempFS)
+				m := setup(t, healthy)
+
+				// The crashing process sees faults only from here on.
+				faulty := healthy.FailAfter(op, n)
+				m.swapFS(faulty)
+				err := scenario(m)
+				failed := err != nil
+
+				got := lifecycleSnapshot(t, healthy)
+				switch got {
+				case pre:
+					sawPre = true
+				case post:
+					sawPost = true
+				default:
+					t.Fatalf("%s fault at op %d: recovered state is neither pre nor post:\n--- got ---\n%s--- pre ---\n%s--- post ---\n%s",
+						op, n, got, pre, post)
+				}
+				if !failed {
+					if got != post {
+						t.Fatalf("%s at %d: run succeeded but state is not post", op, n)
+					}
+					break // fault budget exhausted without tripping: sweep done
+				}
+			}
+		})
+	}
+	if !sawPre || !sawPost {
+		t.Errorf("sweep saw pre=%v post=%v; want both outcomes", sawPre, sawPost)
+	}
+}
+
+// TestGCCrashRecovery faults every filesystem operation of a GC sweep
+// that reclaims a whole demoted DAG — index records, prefix trees,
+// module files, cached archives, and view links in one transaction.
+func TestGCCrashRecovery(t *testing.T) {
+	setup := func(t *testing.T, fs *simfs.FS) *machine {
+		t.Helper()
+		m := mustMachine(t, fs)
+		concrete := m.install(t, "libdwarf")
+		if !m.Store.MarkImplicit(concrete) {
+			t.Fatal("demote failed")
+		}
+		return m
+	}
+	run := func(m *machine) error {
+		_, err := m.gc().Run(false)
+		return err
+	}
+
+	preFS := simfs.New(simfs.TempFS)
+	setup(t, preFS)
+	pre := lifecycleSnapshot(t, preFS)
+
+	postFS := simfs.New(simfs.TempFS)
+	mPost := setup(t, postFS)
+	if err := run(mPost); err != nil {
+		t.Fatal(err)
+	}
+	post := lifecycleSnapshot(t, postFS)
+
+	sweep(t, pre, post, setup, run)
+}
+
+// TestPruneCrashRecovery faults every filesystem operation of an LRU
+// prune that evicts the coldest archive (its payload and checksum as one
+// staged unit) through the store journal.
+func TestPruneCrashRecovery(t *testing.T) {
+	setup := func(t *testing.T, fs *simfs.FS) *machine {
+		t.Helper()
+		m := mustMachine(t, fs)
+		m.install(t, "libdwarf") // archives: libelf (pushed first, coldest), libdwarf
+		return m
+	}
+	run := func(m *machine) error {
+		usages, err := m.Cache.Usage()
+		if err != nil {
+			return err
+		}
+		var total int64
+		for _, u := range usages {
+			total += u.Bytes
+		}
+		_, err = lifecycle.Prune(m.Cache, m.Store, lifecycle.PruneOptions{MaxBytes: total - 1})
+		return err
+	}
+
+	preFS := simfs.New(simfs.TempFS)
+	setup(t, preFS)
+	pre := lifecycleSnapshot(t, preFS)
+
+	postFS := simfs.New(simfs.TempFS)
+	mPost := setup(t, postFS)
+	if err := run(mPost); err != nil {
+		t.Fatal(err)
+	}
+	post := lifecycleSnapshot(t, postFS)
+
+	sweep(t, pre, post, setup, run)
+}

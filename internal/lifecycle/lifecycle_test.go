@@ -1,0 +1,501 @@
+package lifecycle_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/build"
+	"repro/internal/buildcache"
+	"repro/internal/compiler"
+	"repro/internal/concretize"
+	"repro/internal/config"
+	"repro/internal/env"
+	"repro/internal/fetch"
+	"repro/internal/lifecycle"
+	"repro/internal/modules"
+	"repro/internal/repo"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/syntax"
+	"repro/internal/views"
+)
+
+const (
+	storeRoot  = "/spack/opt"
+	moduleRoot = "/spack/share"
+	cacheDir   = "/spack/mirror/build_cache"
+	viewRoot   = "/spack/views"
+	envRoot    = "/spack/envs"
+	keysPath   = "/spack/etc/spack/keys.json"
+)
+
+// machine wires every layer a lifecycle sweep touches — store, builder,
+// module generator, view manager, and an FS-backed binary cache — over a
+// single filesystem, so sweeps and fault injection all see one disk.
+type machine struct {
+	FS        *simfs.FS
+	Store     *store.Store
+	Builder   *build.Builder
+	Conc      *concretize.Concretizer
+	Modules   *modules.Generator
+	Views     *views.Manager
+	Backend   *buildcache.FSBackend
+	Cache     *buildcache.Cache
+	Repos     *repo.Path
+	Compilers *compiler.Registry
+}
+
+func newMachine(fs *simfs.FS) (*machine, error) {
+	st, err := store.New(fs, storeRoot, store.SpackLayout{})
+	if err != nil {
+		return nil, err
+	}
+	path := repo.NewPath(repo.Builtin())
+	cfg := config.New()
+	if err := cfg.Site.AddLinkRule("", viewRoot+"/${PACKAGE}"); err != nil {
+		return nil, err
+	}
+	reg := compiler.LLNLRegistry()
+	b := build.NewBuilder(st, path, reg)
+	mirror := fetch.NewMirror()
+	repo.PublishAll(mirror, repo.Builtin())
+	b.Mirror = mirror
+	b.Config = cfg
+	be, err := buildcache.NewFSBackend(fs, cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	vm := views.NewManager(fs, cfg, nil)
+	vm.Journal = st.JournalDir()
+	return &machine{
+		FS: fs, Store: st, Builder: b,
+		Conc:    concretize.New(path, cfg, reg),
+		Modules: &modules.Generator{FS: fs, Root: moduleRoot, Kind: modules.KindDotkit},
+		Views:   vm, Backend: be, Cache: buildcache.New(be),
+		Repos: path, Compilers: reg,
+	}, nil
+}
+
+func mustMachine(t *testing.T, fs *simfs.FS) *machine {
+	t.Helper()
+	m, err := newMachine(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// gc builds the sweep covering every layer of the machine.
+func (m *machine) gc() *lifecycle.GC {
+	return &lifecycle.GC{
+		Store: m.Store, Modules: m.Modules, Views: m.Views, Cache: m.Cache,
+		EnvRoots: []string{envRoot}, ViewDirs: []string{viewRoot},
+	}
+}
+
+func (m *machine) concretize(t *testing.T, expr string) *spec.Spec {
+	t.Helper()
+	out, err := m.Conc.Concretize(syntax.MustParse(expr))
+	if err != nil {
+		t.Fatalf("concretize %q: %v", expr, err)
+	}
+	return out
+}
+
+// install builds expr from source and materializes every artifact a
+// sweep cares about: a module file per node, an archive per node in the
+// cache, and refreshed view links.
+func (m *machine) install(t *testing.T, expr string) *spec.Spec {
+	t.Helper()
+	concrete, err := m.installErr(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return concrete
+}
+
+func (m *machine) installErr(expr string) (*spec.Spec, error) {
+	parsed, err := syntax.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	concrete, err := m.Conc.Concretize(parsed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Builder.Build(concrete); err != nil {
+		return nil, err
+	}
+	for _, n := range concrete.TopoOrder() {
+		if n.External {
+			continue
+		}
+		rec, ok := m.Store.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("%s not installed after build", n.Name)
+		}
+		if _, err := m.Modules.Generate(n, rec.Prefix); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := m.Cache.PushDAG(m.Store, concrete); err != nil {
+		return nil, err
+	}
+	if _, err := m.Views.Refresh(m.Store); err != nil {
+		return nil, err
+	}
+	// Per-node install transactions leave database persistence to the
+	// caller (the historical Install contract); persist so reopening
+	// processes — the crash sweeps' recovery checks — see the records.
+	if err := m.Store.Save(); err != nil {
+		return nil, err
+	}
+	return concrete, nil
+}
+
+// treeSnapshot captures every file's content and every symlink's target
+// under a prefix — the byte-identity witness that a sweep left live
+// installs untouched.
+func treeSnapshot(t *testing.T, fs *simfs.FS, root string) string {
+	t.Helper()
+	var b strings.Builder
+	err := fs.Walk(root, func(p string, isLink bool) error {
+		if isLink {
+			tgt, _ := fs.Readlink(p)
+			fmt.Fprintf(&b, "lnk %s -> %s\n", p, tgt)
+			return nil
+		}
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "file %s %d %x\n", p, len(data), data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", root, err)
+	}
+	return b.String()
+}
+
+func TestGCAllLiveIsNoOp(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	concrete := m.install(t, "libdwarf")
+
+	res, err := m.gc().Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Dead) != 0 || res.Records != 0 {
+		t.Fatalf("gc on a fully live store reclaimed %d records (dead %d)", res.Records, len(res.Plan.Dead))
+	}
+	if res.Plan.Roots == 0 {
+		t.Fatal("explicit root not counted as an anchor")
+	}
+	for _, n := range concrete.TopoOrder() {
+		if _, ok := m.Store.Lookup(n); !ok {
+			t.Fatalf("%s lost by a no-op gc", n.Name)
+		}
+	}
+}
+
+// TestGCReclaimsDemotedCone demotes one of two overlapping explicit
+// roots: the shared sub-DAG must stay — byte-identical, with modules,
+// archives, and view links intact — while the demoted remainder loses
+// its prefixes, module files, archives, and links.
+func TestGCReclaimsDemotedCone(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	callpath := m.install(t, "callpath") // closure includes dyninst, libdwarf, libelf, an MPI
+	dyninst := m.install(t, "dyninst")   // shared sub-DAG, explicitly anchored
+
+	live := make(map[string]bool)
+	for _, n := range dyninst.TopoOrder() {
+		live[n.FullHash()] = true
+	}
+	var deadSpecs []*spec.Spec
+	for _, n := range callpath.TopoOrder() {
+		if !live[n.FullHash()] && !n.External {
+			deadSpecs = append(deadSpecs, n)
+		}
+	}
+	if len(deadSpecs) == 0 {
+		t.Fatal("callpath closure adds nothing over dyninst; scenario tests nothing")
+	}
+
+	// Byte-identity reference for everything that must survive.
+	var liveTrees []string
+	for _, n := range dyninst.TopoOrder() {
+		rec, ok := m.Store.Lookup(n)
+		if !ok {
+			t.Fatalf("%s not installed", n.Name)
+		}
+		liveTrees = append(liveTrees, treeSnapshot(t, m.FS, rec.Prefix))
+	}
+
+	if !m.Store.MarkImplicit(callpath) {
+		t.Fatal("MarkImplicit(callpath) found no record")
+	}
+	res, err := m.gc().Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Records != len(deadSpecs) {
+		t.Fatalf("reclaimed %d records, want %d", res.Records, len(deadSpecs))
+	}
+	if res.Reclaimed <= 0 || res.Reclaimed != res.Plan.DeadBytes {
+		t.Fatalf("reclaimed %d bytes, plan said %d", res.Reclaimed, res.Plan.DeadBytes)
+	}
+	if res.ModuleFiles != len(deadSpecs) || res.Archives != len(deadSpecs) {
+		t.Fatalf("swept %d module files and %d archives, want %d of each",
+			res.ModuleFiles, res.Archives, len(deadSpecs))
+	}
+	for _, n := range deadSpecs {
+		if _, ok := m.Store.Lookup(n); ok {
+			t.Errorf("dead %s still indexed", n.Name)
+		}
+		if exists, _ := m.FS.Stat(m.Modules.FileName(n)); exists {
+			t.Errorf("dead %s still has a module file", n.Name)
+		}
+		if m.Cache.Has(n.FullHash()) {
+			t.Errorf("dead %s still has a cached archive", n.Name)
+		}
+		if exists, _ := m.FS.Stat(viewRoot + "/" + n.Name); exists {
+			t.Errorf("dead %s still has a view link", n.Name)
+		}
+	}
+	for i, n := range dyninst.TopoOrder() {
+		rec, ok := m.Store.Lookup(n)
+		if !ok {
+			t.Fatalf("live %s collected", n.Name)
+		}
+		if got := treeSnapshot(t, m.FS, rec.Prefix); got != liveTrees[i] {
+			t.Errorf("live %s prefix changed across gc", n.Name)
+		}
+		if exists, _ := m.FS.Stat(m.Modules.FileName(n)); !exists {
+			t.Errorf("live %s lost its module file", n.Name)
+		}
+		if !m.Cache.Has(n.FullHash()) {
+			t.Errorf("live %s lost its cached archive", n.Name)
+		}
+	}
+	if tgt, err := m.FS.Readlink(viewRoot + "/dyninst"); err != nil || !strings.HasPrefix(tgt, storeRoot+"/") {
+		t.Errorf("live view link broken: %q, %v", tgt, err)
+	}
+	if names, _ := m.FS.List(m.Store.JournalDir()); len(names) != 0 {
+		t.Errorf("journal not drained after gc: %v", names)
+	}
+}
+
+func TestGCDryRunDeletesNothing(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	concrete := m.install(t, "libdwarf")
+	m.Store.MarkImplicit(concrete)
+
+	res, err := m.gc().Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Dead) != len(concrete.TopoOrder()) {
+		t.Fatalf("dry run found %d dead, want the whole %d-node closure",
+			len(res.Plan.Dead), len(concrete.TopoOrder()))
+	}
+	if res.Records != 0 || res.Reclaimed != 0 {
+		t.Fatalf("dry run reports work done: %+v", res)
+	}
+	for _, n := range concrete.TopoOrder() {
+		rec, ok := m.Store.Lookup(n)
+		if !ok {
+			t.Fatalf("dry run removed %s from the index", n.Name)
+		}
+		if exists, _ := m.FS.Stat(rec.Prefix); !exists {
+			t.Fatalf("dry run removed prefix %s", rec.Prefix)
+		}
+		if !m.Cache.Has(n.FullHash()) {
+			t.Fatalf("dry run removed %s's archive", n.Name)
+		}
+	}
+}
+
+// TestGCEnvLockfileAnchorsRoots proves an environment's spack.lock keeps
+// its DAG live even when no explicit store flag survives — and that
+// deleting the environment releases it.
+func TestGCEnvLockfileAnchorsRoots(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	e, err := env.Create(m.FS, envRoot, "dev", []string{"libdwarf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &env.Host{
+		FS: m.FS, Config: m.Builder.Config, Repos: m.Repos, Compilers: m.Compilers,
+		Store: m.Store, Builder: m.Builder, Modules: m.Modules,
+	}
+	if _, err := e.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	// Demote everything: the lockfile is now the only anchor.
+	for _, r := range m.Store.All() {
+		m.Store.MarkImplicit(r.Spec)
+	}
+
+	res, err := m.gc().Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 {
+		t.Fatalf("gc collected %d records anchored by an env lockfile", res.Records)
+	}
+	if res.Plan.Roots == 0 {
+		t.Fatal("env lockfile root not counted as an anchor")
+	}
+
+	// Removing the lockfile releases the environment's whole DAG.
+	if err := m.FS.Remove(e.LockPath()); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.gc().Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("gc kept records after their only anchor (the lockfile) was removed")
+	}
+	if len(m.Store.All()) != 0 {
+		t.Fatalf("%d records survive with no anchors", len(m.Store.All()))
+	}
+}
+
+// TestGCPinKeepsUnreferencedRecords proves the pin registry (the
+// builder's mid-flight guard) excludes hashes from collection until
+// every pin is released.
+func TestGCPinKeepsUnreferencedRecords(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	concrete := m.install(t, "libdwarf")
+	m.Store.MarkImplicit(concrete)
+
+	var hashes []string
+	for _, n := range concrete.TopoOrder() {
+		hashes = append(hashes, n.FullHash())
+	}
+	unpin := m.Store.Pin(hashes...)
+	res, err := m.gc().Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 {
+		t.Fatalf("gc collected %d pinned records", res.Records)
+	}
+
+	unpin()
+	res, err = m.gc().Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != len(hashes) {
+		t.Fatalf("gc after unpin collected %d records, want %d", res.Records, len(hashes))
+	}
+}
+
+func TestPruneLRUEvictsColdestWithinBudget(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	concrete := m.install(t, "libdwarf") // archives: libelf (pushed first), libdwarf
+
+	// Warm libelf: verification reads the archive, stamping its access.
+	dep := concrete.Dep("libelf")
+	if err := m.Cache.Verify(dep.FullHash()); err != nil {
+		t.Fatal(err)
+	}
+	usages, err := m.Cache.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(usages) != 2 {
+		t.Fatalf("usage reports %d archives, want 2", len(usages))
+	}
+	var total int64
+	for _, u := range usages {
+		total += u.Bytes
+	}
+
+	res, err := lifecycle.Prune(m.Cache, m.Store, lifecycle.PruneOptions{MaxBytes: total - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0].FullHash != concrete.FullHash() {
+		t.Fatalf("evicted %v, want exactly the cold libdwarf archive", res.Evicted)
+	}
+	if m.Cache.Has(concrete.FullHash()) {
+		t.Error("evicted archive still present")
+	}
+	if !m.Cache.Has(dep.FullHash()) {
+		t.Error("warm archive evicted")
+	}
+	// The survivor still round-trips: checksum and payload intact.
+	if err := m.Cache.Verify(dep.FullHash()); err != nil {
+		t.Errorf("survivor fails verification after prune: %v", err)
+	}
+	if names, _ := m.FS.List(m.Store.JournalDir()); len(names) != 0 {
+		t.Errorf("journal not drained after staged prune: %v", names)
+	}
+}
+
+// TestPruneMaxAgeTreatsUnstampedAsColdest reopens the backend (a fresh
+// process: all stamps zero) and proves an age bound reaps the whole
+// unstamped population.
+func TestPruneMaxAgeTreatsUnstampedAsColdest(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	m.install(t, "libdwarf")
+
+	// A fresh process over the same directory: no in-memory stamps.
+	be2, err := buildcache.NewFSBackend(m.FS, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache2 := buildcache.New(be2)
+	res, err := lifecycle.Prune(cache2, m.Store, lifecycle.PruneOptions{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 2 {
+		t.Fatalf("age prune evicted %d archives, want both unstamped ones", len(res.Evicted))
+	}
+	left, err := be2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("files survive a full age prune: %v", left)
+	}
+}
+
+func TestPruneDryRunAndBounds(t *testing.T) {
+	m := mustMachine(t, simfs.New(simfs.TempFS))
+	concrete := m.install(t, "libdwarf")
+
+	if _, err := lifecycle.Prune(m.Cache, m.Store, lifecycle.PruneOptions{}); err == nil {
+		t.Fatal("prune with no bounds must refuse to run")
+	}
+	res, err := lifecycle.Prune(m.Cache, m.Store, lifecycle.PruneOptions{MaxBytes: 1, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 2 {
+		t.Fatalf("dry run planned %d evictions, want 2", len(res.Evicted))
+	}
+	for _, n := range concrete.TopoOrder() {
+		if !m.Cache.Has(n.FullHash()) {
+			t.Fatalf("dry run deleted %s's archive", n.Name)
+		}
+	}
+	// A generous budget evicts nothing.
+	res, err = lifecycle.Prune(m.Cache, m.Store, lifecycle.PruneOptions{MaxBytes: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 0 {
+		t.Fatalf("within-budget prune evicted %d archives", len(res.Evicted))
+	}
+}

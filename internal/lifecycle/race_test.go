@@ -1,0 +1,82 @@
+package lifecycle_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/simfs"
+)
+
+// TestGCConcurrentInstallRace races a destructive GC sweep against a
+// source build whose DAG overlaps the collectable set. The store's
+// lifecycle lock serializes the sweep against in-flight install
+// transactions and the builder's whole-DAG pin keeps mid-flight nodes
+// out of the live-set computation, so whichever interleaving the
+// scheduler picks, the build's closure must be fully installed and
+// intact afterward. Run under -race this doubles as the locking proof.
+func TestGCConcurrentInstallRace(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		m := mustMachine(t, simfs.New(simfs.TempFS))
+		// Seed a demoted DAG: libdwarf and libelf are collectable the
+		// moment the sweep starts, and exactly what the dyninst build
+		// wants to reuse (or re-install) mid-flight.
+		seed := m.install(t, "libdwarf")
+		m.Store.MarkImplicit(seed)
+		concrete := m.concretize(t, "dyninst")
+
+		var wg sync.WaitGroup
+		errs := make(chan error, 2)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, err := m.Builder.Build(concrete)
+			errs <- err
+		}()
+		go func() {
+			defer wg.Done()
+			_, err := m.gc().Run(false)
+			errs <- err
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for _, n := range concrete.TopoOrder() {
+			if n.External {
+				continue
+			}
+			rec, ok := m.Store.Lookup(n)
+			if !ok {
+				t.Fatalf("iteration %d: %s missing after concurrent gc", i, n.Name)
+			}
+			if exists, _ := m.FS.Stat(rec.Prefix); !exists {
+				t.Fatalf("iteration %d: %s prefix collected out from under the build", i, n.Name)
+			}
+			if _, err := m.Store.ReadProvenance(rec.Prefix); err != nil {
+				t.Fatalf("iteration %d: %s provenance unreadable: %v", i, n.Name, err)
+			}
+		}
+		if names, _ := m.FS.List(m.Store.JournalDir()); len(names) != 0 {
+			t.Fatalf("iteration %d: journal not drained: %v", i, names)
+		}
+		// A quiescent follow-up sweep must keep the build's closure: the
+		// explicit dyninst root anchors everything it linked against.
+		res, err := m.gc().Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range concrete.TopoOrder() {
+			if n.External {
+				continue
+			}
+			if _, ok := m.Store.Lookup(n); !ok {
+				t.Fatalf("iteration %d: follow-up gc collected live %s (swept %d records)",
+					i, n.Name, res.Records)
+			}
+		}
+	}
+}

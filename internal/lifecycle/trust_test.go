@@ -1,0 +1,418 @@
+package lifecycle_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/buildcache"
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+	"repro/internal/service"
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func mustKeyring(t *testing.T, fs *simfs.FS) *lifecycle.Keyring {
+	t.Helper()
+	k, err := lifecycle.OpenKeyring(fs, keysPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyringGenerateSignVerify(t *testing.T) {
+	fs := simfs.New(simfs.TempFS)
+	ring := mustKeyring(t, fs)
+	if sig, err := ring.Sign("deadbeef"); err != nil || sig != nil {
+		t.Fatalf("empty keyring Sign = (%v, %v), want (nil, nil) — push proceeds unsigned", sig, err)
+	}
+	if _, err := ring.Generate("site-key"); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := ring.Sign("deadbeef")
+	if err != nil || sig == nil {
+		t.Fatalf("Sign = (%v, %v), want a signature document", sig, err)
+	}
+	if err := ring.VerifySignature("deadbeef", sig); err != nil {
+		t.Fatalf("self-signed checksum does not verify: %v", err)
+	}
+	if err := ring.VerifySignature("d00dfeed", sig); err == nil {
+		t.Fatal("signature verified against a different checksum")
+	}
+	if _, err := ring.Generate("site-key"); err == nil {
+		t.Fatal("duplicate key name accepted")
+	}
+}
+
+func TestKeyringPersistsAcrossOpens(t *testing.T) {
+	fs := simfs.New(simfs.TempFS)
+	ring := mustKeyring(t, fs)
+	pub, err := ring.Generate("site-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.SetPolicy(buildcache.TrustEnforce); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := ring.Sign("cafef00d")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	again := mustKeyring(t, fs) // the next process
+	if got := again.Policy(); got != buildcache.TrustEnforce {
+		t.Fatalf("policy = %q after reopen, want enforce", got)
+	}
+	keys := again.List()
+	if len(keys) != 1 || keys[0].Name != "site-key" || !keys[0].Trusted {
+		t.Fatalf("reopened keyring lists %+v", keys)
+	}
+	if keys[0].Private != nil {
+		t.Fatal("List leaked a private key half")
+	}
+	if string(keys[0].Public) != string(pub) {
+		t.Fatal("public key changed across reopen")
+	}
+	if err := again.VerifySignature("cafef00d", sig); err != nil {
+		t.Fatalf("reopened keyring cannot verify its own signature: %v", err)
+	}
+}
+
+func TestKeyringTrustGate(t *testing.T) {
+	siteA := mustKeyring(t, simfs.New(simfs.TempFS))
+	if _, err := siteA.Generate("a-key"); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := siteA.Sign("0123abcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubA := siteA.List()[0].Public
+
+	siteB := mustKeyring(t, simfs.New(simfs.TempFS))
+	if err := siteB.VerifySignature("0123abcd", sig); err == nil ||
+		!strings.Contains(err.Error(), "not in the keyring") {
+		t.Fatalf("unknown key error = %v", err)
+	}
+	if err := siteB.Add("from-a", []byte("short")); err == nil {
+		t.Fatal("malformed public key accepted")
+	}
+	if err := siteB.Add("from-a", pubA); err != nil {
+		t.Fatal(err)
+	}
+	if err := siteB.VerifySignature("0123abcd", sig); err == nil ||
+		!strings.Contains(err.Error(), "not trusted") {
+		t.Fatalf("untrusted key error = %v", err)
+	}
+	if err := siteB.Trust("from-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := siteB.VerifySignature("0123abcd", sig); err != nil {
+		t.Fatalf("trusted key rejected: %v", err)
+	}
+	if err := siteB.Trust("nobody"); err == nil {
+		t.Fatal("trusting an unregistered key succeeded")
+	}
+}
+
+// pullDAG pulls every non-external node dependencies-first, returning
+// the root's result or the first error.
+func pullDAG(cache *buildcache.Cache, st *store.Store, root *spec.Spec) (*buildcache.PullResult, error) {
+	var last *buildcache.PullResult
+	for _, n := range root.TopoOrder() {
+		if n.External {
+			continue
+		}
+		pr, err := cache.Pull(st, n, n.Name == root.Name)
+		if err != nil {
+			return nil, err
+		}
+		last = pr
+	}
+	return last, nil
+}
+
+// TestTrustPolicyMatrix exercises every consumer-side gate combination:
+// archives that are unsigned, signed by an untrusted key, or signed by a
+// trusted key, pulled under warn and enforce policies, over both the
+// filesystem mirror backend and the HTTP daemon backend. warn lets the
+// bytes through with a diagnostic; enforce fails the pull with a
+// signature error before anything is installed.
+func TestTrustPolicyMatrix(t *testing.T) {
+	type cell struct {
+		signer string // "unsigned", "untrusted", "trusted"
+		policy buildcache.TrustPolicy
+		ok     bool   // pull should succeed
+		warns  string // substring the warning must carry ("" = clean)
+	}
+	cells := []cell{
+		{"unsigned", buildcache.TrustWarn, true, "unsigned"},
+		{"unsigned", buildcache.TrustEnforce, false, ""},
+		{"untrusted", buildcache.TrustWarn, true, "not trusted"},
+		{"untrusted", buildcache.TrustEnforce, false, ""},
+		{"trusted", buildcache.TrustWarn, true, ""},
+		{"trusted", buildcache.TrustEnforce, true, ""},
+	}
+	for _, backend := range []string{"fs", "http"} {
+		for _, c := range cells {
+			t.Run(fmt.Sprintf("%s/%s/%s", backend, c.signer, c.policy), func(t *testing.T) {
+				// The shared transport both sites talk to.
+				var pushBE, pullBE buildcache.Backend
+				switch backend {
+				case "fs":
+					be, err := buildcache.NewFSBackend(simfs.New(simfs.TempFS), "/mirror/build_cache")
+					if err != nil {
+						t.Fatal(err)
+					}
+					pushBE, pullBE = be, be
+				case "http":
+					daemon := core.MustNew(core.WithJobs(2))
+					srv := service.NewServer(service.Config{
+						Mirror: daemon.Mirror, Concretizer: daemon.Concretizer, Builder: daemon.Builder,
+					})
+					ts := httptest.NewServer(srv)
+					t.Cleanup(ts.Close)
+					push := service.NewHTTPBackend(ts.URL)
+					pushBE, pullBE = push, service.NewHTTPBackend(ts.URL)
+				}
+
+				// Site A builds, optionally signs, and pushes.
+				a := mustMachine(t, simfs.New(simfs.TempFS))
+				ringA := mustKeyring(t, a.FS)
+				if c.signer != "unsigned" {
+					if _, err := ringA.Generate("a-key"); err != nil {
+						t.Fatal(err)
+					}
+				}
+				cacheA := buildcache.New(pushBE)
+				cacheA.Signer = ringA
+				if hb, ok := pushBE.(*service.HTTPBackend); ok {
+					hb.Signer = ringA // sign uploads in transit too
+				}
+				concrete := a.concretize(t, "libdwarf")
+				if _, err := a.Builder.Build(concrete); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cacheA.PushDAG(a.Store, concrete); err != nil {
+					t.Fatal(err)
+				}
+
+				// Site B registers A's key per the scenario and pulls.
+				b := mustMachine(t, simfs.New(simfs.TempFS))
+				ringB := mustKeyring(t, b.FS)
+				if c.signer != "unsigned" {
+					if err := ringB.Add("site-a", ringA.List()[0].Public); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if c.signer == "trusted" {
+					if err := ringB.Trust("site-a"); err != nil {
+						t.Fatal(err)
+					}
+				}
+				cacheB := buildcache.New(pullBE)
+				cacheB.Verifier = ringB
+				cacheB.Policy = c.policy
+
+				pr, err := pullDAG(cacheB, b.Store, concrete)
+				if !c.ok {
+					if err == nil {
+						t.Fatal("pull succeeded under enforce; want a signature rejection")
+					}
+					if kind := buildcache.ErrorKind(err); kind != buildcache.KindSignature {
+						t.Fatalf("pull error kind = %q (%v), want signature", kind, err)
+					}
+					if _, ok := b.Store.Lookup(concrete); ok {
+						t.Fatal("rejected archive was installed anyway")
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("pull failed under %q: %v", c.policy, err)
+				}
+				if c.warns == "" {
+					if pr.Warning != "" {
+						t.Fatalf("clean pull carries warning %q", pr.Warning)
+					}
+				} else if !strings.Contains(pr.Warning, c.warns) {
+					t.Fatalf("warning = %q, want mention of %q", pr.Warning, c.warns)
+				}
+				if _, ok := b.Store.Lookup(concrete); !ok {
+					t.Fatal("accepted pull did not install")
+				}
+			})
+		}
+	}
+}
+
+// TestDaemonEnforcesUploadSignatures covers the producer-side gate: a
+// daemon running an enforce policy refuses archive uploads that are
+// unsigned or signed by a key outside its trust set, and persists the
+// accepted signature so later pullers verify it end-to-end.
+func TestDaemonEnforcesUploadSignatures(t *testing.T) {
+	trusted := mustKeyring(t, simfs.New(simfs.TempFS))
+	if _, err := trusted.Generate("site-a"); err != nil {
+		t.Fatal(err)
+	}
+	daemonRing := mustKeyring(t, simfs.New(simfs.TempFS))
+	if err := daemonRing.Add("site-a", trusted.List()[0].Public); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemonRing.Trust("site-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	daemon := core.MustNew(core.WithJobs(2))
+	srv := service.NewServer(service.Config{
+		Mirror: daemon.Mirror, Concretizer: daemon.Concretizer, Builder: daemon.Builder,
+		Verifier: daemonRing, TrustPolicy: buildcache.TrustEnforce,
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	a := mustMachine(t, simfs.New(simfs.TempFS))
+	concrete := a.concretize(t, "libdwarf")
+	if _, err := a.Builder.Build(concrete); err != nil {
+		t.Fatal(err)
+	}
+
+	push := func(signer buildcache.Signer) error {
+		be := service.NewHTTPBackend(ts.URL)
+		be.Signer = signer
+		cache := buildcache.New(be)
+		cache.Signer = signer
+		_, err := cache.PushDAG(a.Store, concrete)
+		return err
+	}
+
+	if err := push(nil); err == nil {
+		t.Fatal("daemon accepted an unsigned archive under enforce")
+	}
+	rogue := mustKeyring(t, simfs.New(simfs.TempFS))
+	if _, err := rogue.Generate("rogue"); err != nil {
+		t.Fatal(err)
+	}
+	if err := push(rogue); err == nil {
+		t.Fatal("daemon accepted an archive signed by an untrusted key")
+	}
+	if err := push(trusted); err != nil {
+		t.Fatalf("daemon rejected a trusted signature: %v", err)
+	}
+
+	// The accepted signature is persisted server-side: a puller that
+	// trusts site-a verifies the archive without trusting the daemon.
+	b := mustMachine(t, simfs.New(simfs.TempFS))
+	ringB := mustKeyring(t, b.FS)
+	if err := ringB.Add("site-a", trusted.List()[0].Public); err != nil {
+		t.Fatal(err)
+	}
+	if err := ringB.Trust("site-a"); err != nil {
+		t.Fatal(err)
+	}
+	cacheB := buildcache.New(service.NewHTTPBackend(ts.URL))
+	cacheB.Verifier = ringB
+	cacheB.Policy = buildcache.TrustEnforce
+	if _, err := pullDAG(cacheB, b.Store, concrete); err != nil {
+		t.Fatalf("enforced pull of a daemon-vetted archive failed: %v", err)
+	}
+}
+
+// TestSignedCacheRoundTrip is the push→sign→pull-verify→tamper→reject
+// smoke test CI runs as its own step: a trusted signature survives the
+// round trip, and both signature-stripping and re-signing with a foreign
+// key are rejected under enforce.
+func TestSignedCacheRoundTrip(t *testing.T) {
+	be, err := buildcache.NewFSBackend(simfs.New(simfs.TempFS), "/mirror/build_cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := mustMachine(t, simfs.New(simfs.TempFS))
+	ringA := mustKeyring(t, a.FS)
+	if _, err := ringA.Generate("site-a"); err != nil {
+		t.Fatal(err)
+	}
+	cacheA := buildcache.New(be)
+	cacheA.Signer = ringA
+	concrete := a.concretize(t, "libdwarf")
+	if _, err := a.Builder.Build(concrete); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := cacheA.PushDAG(a.Store, concrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Signed {
+			t.Fatalf("push left %s unsigned", e.Package)
+		}
+	}
+
+	pull := func(t *testing.T) error {
+		t.Helper()
+		b := mustMachine(t, simfs.New(simfs.TempFS))
+		ringB := mustKeyring(t, b.FS)
+		if err := ringB.Add("site-a", ringA.List()[0].Public); err != nil {
+			t.Fatal(err)
+		}
+		if err := ringB.Trust("site-a"); err != nil {
+			t.Fatal(err)
+		}
+		cacheB := buildcache.New(be)
+		cacheB.Verifier = ringB
+		cacheB.Policy = buildcache.TrustEnforce
+		_, err := pullDAG(cacheB, b.Store, concrete)
+		return err
+	}
+
+	if err := pull(t); err != nil {
+		t.Fatalf("signed round trip failed: %v", err)
+	}
+
+	// Tamper 1: strip the root's signature. Enforce must reject.
+	hash := concrete.FullHash()
+	if err := be.Delete(hash + ".sig"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pull(t); buildcache.ErrorKind(err) != buildcache.KindSignature {
+		t.Fatalf("stripped signature: pull error = %v, want a signature rejection", err)
+	}
+
+	// Tamper 2: an attacker re-signs the checksum with their own key.
+	// The key is not in the puller's ring, so enforce still rejects.
+	rogue := mustKeyring(t, simfs.New(simfs.TempFS))
+	if _, err := rogue.Generate("rogue"); err != nil {
+		t.Fatal(err)
+	}
+	sumData, ok, err := be.Get(hash + ".sha256")
+	if err != nil || !ok {
+		t.Fatalf("checksum missing: %v", err)
+	}
+	sum := strings.TrimSpace(string(sumData)) // signatures cover the trimmed checksum
+	rogueSig, err := rogue.Sign(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Put(hash+".sig", rogueSig); err != nil {
+		t.Fatal(err)
+	}
+	if err := pull(t); buildcache.ErrorKind(err) != buildcache.KindSignature {
+		t.Fatalf("foreign re-sign: pull error = %v, want a signature rejection", err)
+	}
+
+	// Restoring the legitimate signature restores the round trip.
+	goodSig, err := ringA.Sign(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Put(hash+".sig", goodSig); err != nil {
+		t.Fatal(err)
+	}
+	if err := pull(t); err != nil {
+		t.Fatalf("restored signature still rejected: %v", err)
+	}
+}

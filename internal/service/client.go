@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildcache"
 	"repro/internal/spec"
 	"repro/internal/syntax"
 )
@@ -41,6 +43,11 @@ type HTTPBackend struct {
 	// Backoff is the delay before the first retry, doubling per
 	// attempt (default 10ms).
 	Backoff time.Duration
+	// Signer, when set, attaches a detached signature over each uploaded
+	// archive's SHA-256 as an X-Spack-Signature header, so a daemon
+	// enforcing a trust policy accepts the push. Only archive payloads
+	// (*.spack.json) are signed — sidecars ride the archive's trust.
+	Signer buildcache.Signer
 }
 
 // sharedTransport is the connection pool every HTTPBackend and Client
@@ -121,10 +128,21 @@ func (b *HTTPBackend) retry(fn func() error) error {
 }
 
 // Put uploads a payload with its SHA-256 declared, so the server
-// rejects (rather than stores) bytes torn in transit.
+// rejects (rather than stores) bytes torn in transit. Archive payloads
+// are additionally signed when a Signer is wired.
 func (b *HTTPBackend) Put(name string, data []byte) error {
 	sum := sha256.Sum256(data)
 	sumHex := hex.EncodeToString(sum[:])
+	var sigHeader string
+	if b.Signer != nil && strings.HasSuffix(name, ".spack.json") {
+		sig, err := b.Signer.Sign(sumHex)
+		if err != nil {
+			return fmt.Errorf("service: sign %s: %w", name, err)
+		}
+		if sig != nil {
+			sigHeader = base64.StdEncoding.EncodeToString(sig)
+		}
+	}
 	return b.retry(func() error {
 		req, err := http.NewRequest(http.MethodPut, b.blobURL(name), bytes.NewReader(data))
 		if err != nil {
@@ -132,6 +150,9 @@ func (b *HTTPBackend) Put(name string, data []byte) error {
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
 		req.Header.Set("X-Content-Sha256", sumHex)
+		if sigHeader != "" {
+			req.Header.Set("X-Spack-Signature", sigHeader)
+		}
 		resp, err := b.client().Do(req)
 		if err != nil {
 			return transient("put %s: %w", name, err)
@@ -284,6 +305,32 @@ func (b *HTTPBackend) List() ([]string, error) {
 	return names, nil
 }
 
+// Delete removes a blob; a missing name is a no-op, matching the local
+// backends.
+func (b *HTTPBackend) Delete(name string) error {
+	return b.retry(func() error {
+		req, err := http.NewRequest(http.MethodDelete, b.blobURL(name), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := b.client().Do(req)
+		if err != nil {
+			return transient("delete %s: %w", name, err)
+		}
+		defer drain(resp)
+		switch {
+		case resp.StatusCode == http.StatusOK,
+			resp.StatusCode == http.StatusNoContent,
+			resp.StatusCode == http.StatusNotFound:
+			return nil
+		case resp.StatusCode >= 500:
+			return transient("delete %s: server said %s", name, resp.Status)
+		default:
+			return fmt.Errorf("service: delete %s: server said %s", name, resp.Status)
+		}
+	})
+}
+
 // drain discards and closes a response body so the connection is
 // reusable.
 func drain(resp *http.Response) {
@@ -379,6 +426,16 @@ func (c *Client) ConcretizeSpec(expr string) (*spec.Spec, error) {
 func (c *Client) Install(expr string) (*InstallResponse, error) {
 	var out InstallResponse
 	if err := c.post("/v1/install", ConcretizeRequest{Spec: expr}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GC asks the daemon to run a garbage-collection sweep over its store
+// and mirror cache.
+func (c *Client) GC(dryRun bool) (*GCResponse, error) {
+	var out GCResponse
+	if err := c.post("/v1/gc", GCRequest{DryRun: dryRun}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

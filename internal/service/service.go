@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -32,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"repro/internal/buildcache"
 	"repro/internal/concretize"
 	"repro/internal/fetch"
+	"repro/internal/lifecycle"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/syntax"
@@ -64,6 +67,22 @@ type Config struct {
 	// MaxAttempts bounds per-node build attempts before the scheduler
 	// poisons the node's dependent cone (default 3).
 	MaxAttempts int
+	// Verifier and TrustPolicy gate the daemon's archive intake and its
+	// proof-of-work checks: archive uploads must carry a valid
+	// X-Spack-Signature under TrustEnforce, and the scheduler's lease
+	// completion verification inherits the same policy through the
+	// daemon's cache view. Zero values keep signatures off.
+	Verifier    buildcache.Verifier
+	TrustPolicy buildcache.TrustPolicy
+	// MaxCacheBytes / MaxCacheAge self-bound the mirror's build_cache
+	// area: after each archive upload that pushes the cache over budget,
+	// the daemon sweeps least-recently-used archives until it fits.
+	// Zero disables each bound.
+	MaxCacheBytes int64
+	MaxCacheAge   time.Duration
+	// GC, when set, serves POST /v1/gc; nil assembles a sweep over the
+	// builder's store and the daemon's cache view with no extra roots.
+	GC *lifecycle.GC
 }
 
 // Server is the daemon. Create with NewServer, mount as an
@@ -78,6 +97,10 @@ type Server struct {
 	bc      *buildcache.Cache
 	reuse   *concretize.Concretizer
 	logMu   sync.Mutex
+	// pruneMu serializes the self-bounding cache sweeps triggered by
+	// archive uploads; gcMu serializes /v1/gc runs.
+	pruneMu sync.Mutex
+	gcMu    sync.Mutex
 }
 
 // NewServer assembles the daemon's routes around a configuration.
@@ -90,12 +113,19 @@ func NewServer(cfg Config) *Server {
 	// scheduler's dedup, completion verification, and the reuse
 	// concretizer — the same "already built" facts everywhere.
 	s.bc = buildcache.New(buildcache.NewMirrorBackend(cfg.Mirror))
+	// Wiring the trust policy onto the daemon's cache view gates every
+	// consumer at once: the scheduler's completion Verify, the reuse
+	// concretizer's "already built" facts, and /v1/gc's archive sweeps.
+	s.bc.Verifier = cfg.Verifier
+	s.bc.Policy = cfg.TrustPolicy
 	s.reuse = s.newReuseConcretizer()
 	s.sched = s.newScheduler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/blobs", s.handleBlobList)
 	mux.HandleFunc("GET /v1/blobs/{name...}", s.handleBlobGet)
 	mux.HandleFunc("PUT /v1/blobs/{name...}", s.handleBlobPut)
+	mux.HandleFunc("DELETE /v1/blobs/{name...}", s.handleBlobDelete)
+	mux.HandleFunc("POST /v1/gc", s.handleGC)
 	mux.HandleFunc("POST /v1/concretize", s.handleConcretize)
 	mux.HandleFunc("POST /v1/install", s.handleInstall)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -232,10 +262,149 @@ func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
 			http.StatusBadRequest)
 		return
 	}
+	// Archive uploads pass the trust gate: under TrustEnforce an archive
+	// must arrive with a valid X-Spack-Signature over its SHA-256 (which
+	// for archive blobs is the recorded checksum). An accepted signature
+	// is persisted as the archive's <hash>.sig sidecar, so pullers can
+	// verify without trusting this daemon.
+	isArchive := strings.HasPrefix(name, cachePrefix) && strings.HasSuffix(name, ".spack.json")
+	var sigData []byte
+	if isArchive {
+		if h := r.Header.Get("X-Spack-Signature"); h != "" {
+			sig, err := base64.StdEncoding.DecodeString(h)
+			if err != nil {
+				http.Error(w, "bad X-Spack-Signature: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			sigData = sig
+		}
+		if s.cfg.TrustPolicy == buildcache.TrustEnforce {
+			if sigData == nil {
+				http.Error(w, "archive upload rejected: unsigned (trust policy is enforce)",
+					http.StatusForbidden)
+				return
+			}
+			if s.cfg.Verifier == nil {
+				http.Error(w, "archive upload rejected: no keyring to verify against",
+					http.StatusForbidden)
+				return
+			}
+			if err := s.cfg.Verifier.VerifySignature(sumHex, sigData); err != nil {
+				http.Error(w, "archive upload rejected: "+err.Error(), http.StatusForbidden)
+				return
+			}
+		}
+	}
 	s.cfg.Mirror.PutBlob(name, data)
+	if sigData != nil {
+		s.cfg.Mirror.PutBlob(strings.TrimSuffix(name, ".spack.json")+".sig", sigData)
+	}
 	s.stats.blobs.bytesIn.Add(int64(len(data)))
 	w.Header().Set("ETag", `"`+sumHex+`"`)
 	w.WriteHeader(http.StatusCreated)
+	if isArchive {
+		s.pruneToBudget()
+	}
+}
+
+func (s *Server) handleBlobDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.cfg.Mirror.BlobSum(name); !ok {
+		http.Error(w, "no such blob: "+name, http.StatusNotFound)
+		return
+	}
+	s.cfg.Mirror.DeleteBlob(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// pruneToBudget sweeps the mirror's build_cache area back under the
+// configured size/age bounds — the self-bounding half of a fleet mirror.
+// Sweeps serialize; failures only log (the upload already succeeded).
+func (s *Server) pruneToBudget() {
+	if s.cfg.MaxCacheBytes <= 0 && s.cfg.MaxCacheAge <= 0 {
+		return
+	}
+	s.pruneMu.Lock()
+	defer s.pruneMu.Unlock()
+	res, err := lifecycle.Prune(s.bc, nil, lifecycle.PruneOptions{
+		MaxBytes: s.cfg.MaxCacheBytes,
+		MaxAge:   s.cfg.MaxCacheAge,
+	})
+	if err != nil {
+		s.logMu.Lock()
+		fmt.Fprintf(s.cfg.Log, "prune: %v\n", err)
+		s.logMu.Unlock()
+		return
+	}
+	if len(res.Evicted) > 0 {
+		s.stats.pruned.Add(int64(len(res.Evicted)))
+		s.logMu.Lock()
+		fmt.Fprintf(s.cfg.Log, "prune: evicted %d archives, %dB\n", len(res.Evicted), res.Reclaimed)
+		s.logMu.Unlock()
+	}
+}
+
+// GCRequest is the body of POST /v1/gc.
+type GCRequest struct {
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// GCDead is one reclaimable installation in a GCResponse.
+type GCDead struct {
+	Spec     string `json:"spec"`
+	FullHash string `json:"full_hash"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// GCResponse reports a garbage-collection sweep over the daemon's store
+// and cache.
+type GCResponse struct {
+	DryRun      bool     `json:"dry_run"`
+	Roots       int      `json:"roots"`
+	Live        int      `json:"live"`
+	Dead        []GCDead `json:"dead,omitempty"`
+	DeadBytes   int64    `json:"dead_bytes"`
+	Reclaimed   int64    `json:"reclaimed"`
+	Records     int      `json:"records"`
+	ModuleFiles int      `json:"module_files"`
+	Archives    int      `json:"archives"`
+}
+
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	var req GCRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	g := s.cfg.GC
+	if g == nil {
+		if s.cfg.Builder == nil || s.cfg.Builder.Store == nil {
+			http.Error(w, "daemon has no store to collect", http.StatusServiceUnavailable)
+			return
+		}
+		g = &lifecycle.GC{Store: s.cfg.Builder.Store, Cache: s.bc}
+	}
+	s.gcMu.Lock()
+	res, err := g.Run(req.DryRun)
+	s.gcMu.Unlock()
+	if err != nil {
+		http.Error(w, "gc: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := GCResponse{
+		DryRun:      req.DryRun,
+		Roots:       res.Plan.Roots,
+		Live:        len(res.Plan.Live),
+		DeadBytes:   res.Plan.DeadBytes,
+		Reclaimed:   res.Reclaimed,
+		Records:     res.Records,
+		ModuleFiles: res.ModuleFiles,
+		Archives:    res.Archives,
+	}
+	for _, d := range res.Plan.Dead {
+		resp.Dead = append(resp.Dead, GCDead{Spec: d.Spec, FullHash: d.FullHash, Bytes: d.Bytes})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ConcretizeRequest is the body of POST /v1/concretize, /v1/install,

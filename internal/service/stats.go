@@ -95,6 +95,7 @@ type stats struct {
 	leases       endpointCounters
 	other        endpointCounters
 	sourceBuilds atomic.Int64
+	pruned       atomic.Int64
 }
 
 // endpoint maps a request path to its counter family.
@@ -124,6 +125,7 @@ func (s *stats) snapshot() Stats {
 		Leases:       s.leases.snapshot(),
 		Other:        s.other.snapshot(),
 		SourceBuilds: s.sourceBuilds.Load(),
+		Pruned:       s.pruned.Load(),
 	}
 }
 
@@ -158,6 +160,8 @@ type Stats struct {
 	// node from source — the "cache-miss builds" a thundering herd
 	// must collapse to one of.
 	SourceBuilds int64 `json:"source_builds"`
+	// Pruned counts archives the self-bounding cache sweep has evicted.
+	Pruned int64 `json:"pruned,omitempty"`
 	// Sched snapshots the lease scheduler's gauges: node states across
 	// all jobs, reclaimed/rejected lease counts, and live workers.
 	Sched sched.Stats `json:"sched"`

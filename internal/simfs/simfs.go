@@ -528,3 +528,29 @@ func (fs *FS) FileCount() int {
 	defer fs.store.mu.RUnlock()
 	return len(fs.store.files)
 }
+
+// TreeSize returns the total payload bytes of the regular files at or
+// under a path (symlinks count their target string). It is an accounting
+// walk — no payload is copied and no latency is charged — so lifecycle
+// planners can size prefixes and cache areas cheaply.
+func (fs *FS) TreeSize(p string) int64 {
+	p = clean(p)
+	fs.store.mu.RLock()
+	defer fs.store.mu.RUnlock()
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	var total int64
+	for f, n := range fs.store.files {
+		if f != p && !strings.HasPrefix(f, prefix) {
+			continue
+		}
+		if n.symlink != "" {
+			total += int64(len(n.symlink))
+		} else {
+			total += int64(len(n.data))
+		}
+	}
+	return total
+}

@@ -37,6 +37,10 @@ type Index interface {
 	// flag), reporting whether the hash was present. The flip happens
 	// under the index lock so snapshots never observe a torn record.
 	Promote(hash string) bool
+	// Demote clears the explicit flag — the inverse of Promote, used when
+	// a root is released so garbage collection may reclaim its exclusive
+	// cone. Reports whether the hash was present.
+	Demote(hash string) bool
 	// Remove deletes a hash; missing hashes are a no-op.
 	Remove(hash string)
 	// Len counts records.
@@ -107,6 +111,20 @@ func (ix *MutexIndex) Promote(hash string) bool {
 	}
 	if !r.Explicit {
 		r.Explicit = true
+		ix.gen++
+	}
+	return true
+}
+
+func (ix *MutexIndex) Demote(hash string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r, ok := ix.records[hash]
+	if !ok {
+		return false
+	}
+	if r.Explicit {
+		r.Explicit = false
 		ix.gen++
 	}
 	return true

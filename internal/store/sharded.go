@@ -103,6 +103,21 @@ func (ix *ShardedIndex) Promote(hash string) bool {
 	return true
 }
 
+func (ix *ShardedIndex) Demote(hash string) bool {
+	sh := &ix.shards[shardOf(hash)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.records[hash]
+	if !ok {
+		return false
+	}
+	if r.Explicit {
+		r.Explicit = false
+		sh.gen++
+	}
+	return true
+}
+
 func (ix *ShardedIndex) Remove(hash string) {
 	sh := &ix.shards[shardOf(hash)]
 	sh.mu.Lock()

@@ -204,6 +204,16 @@ type Store struct {
 
 	flightMu sync.Mutex
 	flights  map[string]*flight // hash -> in-progress install
+
+	// gcMu is the lifecycle lock: install and uninstall transactions hold
+	// it shared, a garbage-collection sweep (Quiesce) holds it exclusively
+	// so its live-set computation and staged deletions never interleave
+	// with a mutation.
+	gcMu sync.RWMutex
+	// pins keeps in-progress build DAGs out of the collectable set; see
+	// Pin. Guarded by pinMu, not gcMu — pinning must not block on a sweep.
+	pinMu sync.Mutex
+	pins  map[string]int
 }
 
 // Option customizes New/Open.
@@ -217,7 +227,7 @@ func WithIndex(ix Index) Option { return func(st *Store) { st.index = ix } }
 // New creates a store rooted at root (e.g. "/spack/opt") on a filesystem.
 func New(fs *simfs.FS, root string, layout Layout, opts ...Option) (*Store, error) {
 	st := &Store{FS: fs, Root: strings.TrimSuffix(root, "/"), Layout: layout,
-		flights: make(map[string]*flight)}
+		flights: make(map[string]*flight), pins: make(map[string]int)}
 	for _, fn := range opts {
 		fn(st)
 	}

@@ -88,6 +88,13 @@ func (st *Store) InstallTxn(t *txn.Txn, s *spec.Spec, explicit bool, origin stri
 		return r, false, nil
 	}
 
+	// Hold the lifecycle lock shared for the whole install (including the
+	// waiter path), so a garbage-collection sweep never observes — or
+	// deletes — a half-made prefix. InstallTxn never nests within itself,
+	// so the shared lock cannot self-deadlock against a waiting sweep.
+	st.gcMu.RLock()
+	defer st.gcMu.RUnlock()
+
 	st.flightMu.Lock()
 	if f, ok := st.flights[hash]; ok {
 		// Another goroutine is already building this configuration: wait
@@ -206,6 +213,8 @@ func (st *Store) installLeader(t *txn.Txn, s *spec.Spec, hash string, explicit b
 // checks and view computation in the same transaction see the post-state;
 // a rollback hook restores it.
 func (st *Store) UninstallTxn(t *txn.Txn, s *spec.Spec, force bool) error {
+	st.gcMu.RLock()
+	defer st.gcMu.RUnlock()
 	hash := s.FullHash()
 	r, ok := st.index.Lookup(hash)
 	if !ok {
