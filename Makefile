@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-service bench-sched bench-lifecycle bench-check crash-race experiments examples vet lint clean
+.PHONY: all test race bench bench-concretize bench-store bench-buildcache bench-env bench-service bench-sched bench-lifecycle bench-splice bench-check crash-race experiments examples vet lint clean
 
 all: vet test
 
@@ -100,22 +100,33 @@ bench-lifecycle:
 		| go run ./cmd/benchjson -o BENCH_lifecycle.json
 	cat BENCH_lifecycle.json
 
+# Splice benchmarks: the installed ARES stack rewired from zlib@1.2.7
+# to 1.2.8 by relocating archived binaries (one transaction per cone)
+# vs. recompiling the same dependent cone from source, rendered to
+# BENCH_splice.json with the derived splice-vs-rebuild speedup
+# (simulated install time, as in Fig. 10).
+bench-splice:
+	go test -run '^$$' -bench 'SpliceVsRebuild' -benchmem . \
+		| tee bench_splice.txt \
+		| go run ./cmd/benchjson -o BENCH_splice.json
+	cat BENCH_splice.json
+
 # Regression gate: every committed benchmark report must clear its
 # declared acceptance bar (warm concretize ≥10x, sharded store ≥2x at 8
 # workers, cached ARES install ≥5x, warm env lockfile ≥10x, service
 # herd coalescing ≥8 clients per cache-miss build, 4-worker scheduler
 # scaling ≥2x, GC reclaim ≥95% of dead bytes with the live closure
-# byte-identical).
+# byte-identical, splice ≥5x over rebuilding the cone).
 bench-check:
-	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json BENCH_service.json BENCH_sched.json BENCH_lifecycle.json
+	go run ./cmd/benchjson -check BENCH_concretize.json BENCH_store.json BENCH_buildcache.json BENCH_env.json BENCH_service.json BENCH_sched.json BENCH_lifecycle.json BENCH_splice.json
 
 # The transactional-integrity suite under the race detector: every
 # crash-injection sweep (journal recovery, env apply/uninstall, view
-# refresh, GC and mirror-prune sweeps) across the packages that stage
-# through internal/txn.
+# refresh, GC and mirror-prune sweeps, mid-splice crashes) across the
+# packages that stage through internal/txn.
 crash-race:
 	go test -race -run 'Crash|Recover|Fault|HalfLink' \
-		./internal/txn/ ./internal/store/ ./internal/views/ ./internal/modules/ ./internal/env/ ./internal/buildcache/ ./internal/lifecycle/
+		./internal/txn/ ./internal/store/ ./internal/views/ ./internal/modules/ ./internal/env/ ./internal/buildcache/ ./internal/lifecycle/ ./internal/splice/
 
 experiments:
 	go run ./cmd/experiments -all
@@ -128,4 +139,4 @@ examples:
 	go run ./examples/toolstack
 
 clean:
-	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt bench_service.txt bench_sched.txt bench_lifecycle.txt
+	rm -f spack-go test_output.txt bench_output.txt experiments_output.txt bench_concretize.txt bench_store.txt bench_buildcache.txt bench_env.txt bench_service.txt bench_sched.txt bench_lifecycle.txt bench_splice.txt

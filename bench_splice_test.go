@@ -1,0 +1,197 @@
+// Splice benchmarks (run via `make bench-splice` → BENCH_splice.json):
+//
+//	BenchmarkSpliceVsRebuild/{splice,rebuild-cone} — the ARES stack is
+//	    installed against zlib@1.2.7; then zlib moves to 1.2.8. The
+//	    splice leg rewires the dependent cone by relocating archived
+//	    binaries under new hashes; the rebuild leg compiles the same cone
+//	    from source (everything outside the cone is reused either way).
+//	    Both legs report simulated install time (virtual-sec, as in
+//	    Fig. 10). The acceptance bar (enforced by `benchjson -check`) is
+//	    splice_vs_rebuild_speedup ≥ 5.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ares"
+	"repro/internal/build"
+	"repro/internal/buildcache"
+	"repro/internal/compiler"
+	"repro/internal/concretize"
+	"repro/internal/config"
+	"repro/internal/fetch"
+	"repro/internal/repo"
+	"repro/internal/spec"
+	"repro/internal/splice"
+	"repro/internal/store"
+	"repro/internal/syntax"
+)
+
+var (
+	spOnce  sync.Once
+	spOld   *spec.Spec        // concretized ARES DAG pinned to zlib@1.2.7
+	spRepl  *spec.Spec        // concretized zlib@1.2.8 replacement
+	spNew   *spec.Spec        // the spliced DAG (rebuild leg's target)
+	spCone  int               // nodes between the root and zlib, inclusive of the root
+	spCache *buildcache.Cache // seeded once with the old DAG + replacement
+	spErr   error
+)
+
+// spSetup concretizes the scenario once and seeds a shared cache with
+// every old-DAG archive plus the replacement, so each iteration machine
+// assembles its pre-splice state by pulling binaries.
+func spSetup() {
+	bcSetup() // shared source mirror + concretizer plumbing
+	if bcErr != nil {
+		spErr = bcErr
+		return
+	}
+	spOnce.Do(func() {
+		c := concretize.New(repo.NewPath(ares.Repo(), repo.Builtin()), config.New(), compiler.LLNLRegistry())
+		if spOld, spErr = c.Concretize(syntax.MustParse("ares@15.07 ^zlib@1.2.7")); spErr != nil {
+			return
+		}
+		if spRepl, spErr = c.Concretize(syntax.MustParse("zlib@1.2.8")); spErr != nil {
+			return
+		}
+		if spNew, spErr = spec.SpliceDep(spOld, "zlib", spRepl); spErr != nil {
+			return
+		}
+		spCone = len(spec.SpliceCone(spOld, "zlib"))
+
+		seed := newBenchMachine(nil)
+		if _, spErr = seed.Build(spOld); spErr != nil {
+			return
+		}
+		if _, spErr = seed.Build(spRepl); spErr != nil {
+			return
+		}
+		spCache = buildcache.New(buildcache.NewMirrorBackend(fetch.NewMirror()))
+		if _, spErr = spCache.PushDAG(seed.Store, spOld); spErr != nil {
+			return
+		}
+		_, spErr = spCache.PushDAG(seed.Store, spRepl)
+	})
+}
+
+// spMachine assembles one pre-splice machine: the old DAG and the
+// replacement installed (pulled from the shared cache), ready for either
+// leg.
+func spMachine(tb testing.TB) *build.Builder {
+	tb.Helper()
+	m := newBenchMachine(spCache)
+	if _, err := m.Build(spOld); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := m.Build(spRepl); err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSpliceVsRebuild(b *testing.B) {
+	spSetup()
+	if spErr != nil {
+		b.Fatal(spErr)
+	}
+	b.Run("splice", func(b *testing.B) {
+		var virtual float64
+		for i := 0; i < b.N; i++ {
+			m := spMachine(b)
+			sp := &splice.Splicer{Store: m.Store, Cache: spCache}
+			res, err := sp.Run(spOld, "zlib", spRepl, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Installed != spCone || res.FromArchive != spCone {
+				b.Fatalf("spliced %d (%d from archive), want the full %d-node cone from archives",
+					res.Installed, res.FromArchive, spCone)
+			}
+			virtual = res.Time.Seconds()
+		}
+		b.ReportMetric(virtual, "virtual-sec")
+		b.ReportMetric(float64(spCone), "cone-nodes")
+	})
+	b.Run("rebuild-cone", func(b *testing.B) {
+		var virtual float64
+		for i := 0; i < b.N; i++ {
+			m := spMachine(b)
+			// The spliced hashes are not cached, so the cone compiles from
+			// source; CacheNever makes that explicit.
+			m.CachePolicy = build.CacheNever
+			res, err := m.Build(spNew)
+			if err != nil {
+				b.Fatal(err)
+			}
+			built := 0
+			for _, rep := range res.Reports {
+				if !rep.Reused && !rep.FromCache && !rep.External {
+					built++
+				}
+			}
+			if built != spCone {
+				b.Fatalf("rebuilt %d nodes, want the %d-node cone", built, spCone)
+			}
+			virtual = res.WallTime.Seconds()
+		}
+		b.ReportMetric(virtual, "virtual-sec")
+		b.ReportMetric(float64(spCone), "cone-nodes")
+	})
+}
+
+// TestSpliceBenchSanity keeps the bench wiring honest under plain `go
+// test`: the splice must cover a multi-node cone with spliced
+// provenance, and its virtual cost must clear the 5x bar against the
+// cone rebuild it replaces.
+func TestSpliceBenchSanity(t *testing.T) {
+	spSetup()
+	if spErr != nil {
+		t.Fatal(spErr)
+	}
+	if spCone < 2 {
+		t.Fatalf("cone has %d nodes; the scenario should cover a chain", spCone)
+	}
+
+	m := spMachine(t)
+	sp := &splice.Splicer{Store: m.Store, Cache: spCache}
+	res, err := sp.Run(spOld, "zlib", spRepl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Installed != spCone {
+		t.Fatalf("spliced %d nodes, want %d", res.Installed, spCone)
+	}
+	for _, n := range spNew.TopoOrder() {
+		if n.External {
+			continue
+		}
+		rec, ok := m.Store.Lookup(n)
+		if !ok {
+			t.Fatalf("%s missing after splice", n.Name)
+		}
+		if in(spec.SpliceCone(spOld, "zlib"), n.Name) && store.RecordOrigin(rec) != store.OriginSpliced {
+			t.Fatalf("%s origin = %q, want spliced", n.Name, rec.Origin)
+		}
+	}
+
+	rb := spMachine(t)
+	rb.CachePolicy = build.CacheNever
+	rebuild, err := rb.Build(spNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := rebuild.WallTime.Seconds() / res.Time.Seconds(); speedup < 5 {
+		t.Fatalf("splice speedup = %.1fx (splice %v vs rebuild %v), below the 5x bar",
+			speedup, res.Time, rebuild.WallTime)
+	}
+}
+
+func in(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

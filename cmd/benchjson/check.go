@@ -43,6 +43,9 @@ var bars = []bar{
 	// dead bytes with the live closure byte-identical (the intact flag
 	// zeroes the metric otherwise).
 	{"lifecycle_gc_reclaim_pct", 95},
+	// Splice: rewiring the ARES zlib cone by relocation must beat
+	// recompiling that cone ≥5x in simulated install time.
+	{"splice_vs_rebuild_speedup", 5},
 }
 
 // checkReport evaluates one parsed report against the declared bars,

@@ -103,6 +103,27 @@ func TestDeriveBuildcacheSpeedup(t *testing.T) {
 	}
 }
 
+func TestDeriveSpliceSpeedup(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkSpliceVsRebuild/splice",
+			Metrics: map[string]float64{"virtual-sec": 0.05}},
+		{Name: "BenchmarkSpliceVsRebuild/rebuild-cone",
+			Metrics: map[string]float64{"virtual-sec": 5.0}},
+	}
+	d := derive(benches)
+	if got := d["splice_vs_rebuild_speedup"]; got != 100 {
+		t.Errorf("splice_vs_rebuild_speedup = %v, want 100", got)
+	}
+	if _, fails := checkReport("x.json", report(d)); len(fails) != 0 {
+		t.Errorf("derived splice report should clear its bar: %v", fails)
+	}
+	// A splice as slow as the rebuild it replaces misses the bar.
+	benches[0].Metrics["virtual-sec"] = 4.0
+	if _, fails := checkReport("x.json", report(derive(benches))); len(fails) != 1 {
+		t.Errorf("slow splice must miss the bar: %v", fails)
+	}
+}
+
 func TestDeriveEnvWarmSpeedup(t *testing.T) {
 	benches := []Benchmark{
 		{Name: "BenchmarkEnvInstall/cold", Metrics: map[string]float64{"ns/op": 50e6}},

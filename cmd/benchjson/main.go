@@ -213,6 +213,14 @@ func derive(benchmarks []Benchmark) map[string]float64 {
 	if gcIntact := metric("BenchmarkLifecycleGC/ares50", "live-intact"); gcPct > 0 {
 		d["lifecycle_gc_reclaim_pct"] = gcPct * gcIntact
 	}
+	// Splice: rewiring the ARES stack's zlib dependent cone by relocating
+	// archived binaries vs. recompiling the same cone from source, in
+	// simulated install time (both legs reuse everything outside the cone).
+	spliceV := metric("BenchmarkSpliceVsRebuild/splice", "virtual-sec")
+	rebuildV := metric("BenchmarkSpliceVsRebuild/rebuild-cone", "virtual-sec")
+	if spliceV > 0 && rebuildV > 0 {
+		d["splice_vs_rebuild_speedup"] = rebuildV / spliceV
+	}
 	// Environments: re-running `env install` against an unchanged lockfile
 	// must be a cheap no-op diff, not a second install.
 	envCold := ns("BenchmarkEnvInstall/cold")

@@ -52,6 +52,9 @@ commands:
   diff <specA> <specB>   compare two concretized configurations
   lmod <spec>...         install specs and generate an Lmod hierarchy
   table1 <spec>          render a concretized spec under each site layout
+  splice [-dry-run] [-replace DEP] <root> <replacement>
+                         rewire an installed root onto an installed replacement
+                         dependency without rebuilding (relocation only)
   serve                  run the buildcache/concretize/install HTTP daemon
   work -url <daemon>     run this machine as a remote build worker (lease loop)
   gc [-dry-run]          reclaim installs unreachable from any root or env lockfile
@@ -65,6 +68,7 @@ commands:
   buildcache keys trust <name>           mark an imported key trusted
   buildcache keys list                   list registered keys
   buildcache keys policy [off|warn|enforce]  show or set the trust policy
+  buildcache keys fetch [-trust] <url>   import a serve daemon's public keys
   env create <name> [spec...]      create a named environment (-view PATH)
   env add <name> <spec>...         add specs to an environment manifest
   env rm <name> <spec>...          remove specs from an environment manifest
@@ -209,6 +213,8 @@ func run(w io.Writer, s *core.Spack, cmd string, args []string) error {
 		return cmdWork(w, s, args)
 	case "serve":
 		return cmdServe(w, s, args)
+	case "splice":
+		return cmdSplice(w, s, args)
 	case "gc":
 		return cmdGC(w, s, args)
 	case "buildcache":
@@ -302,6 +308,75 @@ func cmdFind(w io.Writer, s *core.Spack, args []string) error {
 	fmt.Fprintf(w, "==> %d installed packages\n", len(recs))
 	for _, r := range recs {
 		fmt.Fprintf(w, "    %s\n        %s\n", r.Spec.String(), r.Prefix)
+		// Spliced installs carry their provenance: the hash they were
+		// rewired from and the full splice chain, oldest first.
+		if store.RecordOrigin(r) == store.OriginSpliced {
+			fmt.Fprintf(w, "        origin: spliced from %s", short(r.SplicedFrom))
+			if len(r.Lineage) > 1 {
+				fmt.Fprintf(w, " (lineage:")
+				for _, h := range r.Lineage {
+					fmt.Fprintf(w, " %s", short(h))
+				}
+				fmt.Fprintf(w, ")")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// short abbreviates a full hash for display.
+func short(h string) string {
+	if len(h) > 8 {
+		return h[:8]
+	}
+	return h
+}
+
+// cmdSplice rewires an installed root onto an already-installed
+// replacement dependency without rebuilding — the cone of packages
+// between them is re-materialized from cached archives (or installed
+// prefixes) with every store path rewritten, in one transaction.
+func cmdSplice(w io.Writer, s *core.Spack, args []string) error {
+	fs := flag.NewFlagSet("splice", flag.ContinueOnError)
+	fs.SetOutput(w)
+	dryRun := fs.Bool("dry-run", false, "print the plan without touching anything")
+	replace := fs.String("replace", "", "dependency name to replace (default: the replacement's package name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("splice needs <root-spec> <replacement-spec>")
+	}
+	res, err := s.Splice(fs.Arg(0), *replace, fs.Arg(1), *dryRun)
+	if err != nil {
+		return err
+	}
+	p := res.Plan
+	verb := "splicing"
+	if *dryRun {
+		verb = "would splice"
+	}
+	fmt.Fprintf(w, "==> %s %s: %s -> %s\n", verb, p.OldRoot.Name, p.Target, p.Replacement)
+	fmt.Fprintf(w, "    root %s -> %s\n", short(p.OldRootHash), short(p.NewRootHash))
+	for _, ch := range p.Cone {
+		src := "prefix"
+		if ch.FromArchive {
+			src = "archive"
+		}
+		fmt.Fprintf(w, "    %-14s %s -> %s  (from %s)\n", ch.Name, short(ch.OldHash), short(ch.NewHash), src)
+	}
+	for _, path := range p.Envs {
+		fmt.Fprintf(w, "    retargets lockfile %s\n", path)
+	}
+	if *dryRun {
+		return nil
+	}
+	fmt.Fprintf(w, "==> spliced %d packages (%d from archive, %d from prefix, %d reused) in %v\n",
+		res.Installed, res.FromArchive, res.FromPrefix, res.Reused, res.Time)
+	fmt.Fprintf(w, "    %d module files, %d lockfiles updated\n", res.ModuleFiles, res.Envs)
+	for _, warn := range res.Warnings {
+		fmt.Fprintf(w, "    warning: %s\n", warn)
 	}
 	return nil
 }
@@ -685,6 +760,10 @@ func cmdBuildcache(w io.Writer, s *core.Spack, args []string) error {
 			if e.Origin != "" {
 				fmt.Fprintf(w, "        origin: %s\n", e.Origin)
 			}
+			if e.SplicedFrom != "" {
+				fmt.Fprintf(w, "        spliced from %s (lineage %d deep)\n",
+					short(e.SplicedFrom), len(e.Lineage))
+			}
 		}
 		return nil
 	case "prune":
@@ -806,9 +885,67 @@ func cmdBuildcacheKeys(w io.Writer, s *core.Spack, args []string) error {
 		}
 		fmt.Fprintf(w, "==> trust policy set to %s\n", policyName(p))
 		return nil
+	case "fetch":
+		return cmdKeysFetch(w, s, rest)
 	default:
-		return fmt.Errorf("unknown keys subcommand %q (want generate, add, trust, list, or policy)", sub)
+		return fmt.Errorf("unknown keys subcommand %q (want generate, add, trust, list, policy, or fetch)", sub)
 	}
+}
+
+// cmdKeysFetch imports a serve daemon's public signing keys into this
+// machine's registry, so pulls from that daemon verify without copying
+// hex key material out of band. Imported keys stay untrusted unless
+// -trust is given; keys already registered are left untouched.
+func cmdKeysFetch(w io.Writer, s *core.Spack, args []string) error {
+	fs := flag.NewFlagSet("buildcache keys fetch", flag.ContinueOnError)
+	fs.SetOutput(w)
+	trust := fs.Bool("trust", false, "mark the fetched keys trusted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := one(fs.Args(), "daemon URL")
+	if err != nil {
+		return err
+	}
+	keys, err := service.NewClient(url).Keys()
+	if err != nil {
+		return err
+	}
+	known := make(map[string]bool)
+	for _, k := range s.Keyring.List() {
+		known[k.Name] = true
+	}
+	added, trusted, skipped := 0, 0, 0
+	for _, k := range keys {
+		if known[k.Name] {
+			skipped++
+			fmt.Fprintf(w, "    %-16s already registered, skipped\n", k.Name)
+			continue
+		}
+		pub, err := hex.DecodeString(k.Public)
+		if err != nil {
+			return fmt.Errorf("key %q: bad public key hex: %w", k.Name, err)
+		}
+		if err := s.Keyring.Add(k.Name, pub); err != nil {
+			return err
+		}
+		added++
+		status := "untrusted"
+		if *trust {
+			if err := s.Keyring.Trust(k.Name); err != nil {
+				return err
+			}
+			trusted++
+			status = "trusted"
+		}
+		fmt.Fprintf(w, "    %-16s %-10s %s\n", k.Name, status, k.Public)
+	}
+	fmt.Fprintf(w, "==> fetched %d keys from %s: %d added (%d trusted), %d skipped\n",
+		len(keys), url, added, trusted, skipped)
+	if added > trusted && trusted == 0 {
+		fmt.Fprintf(w, "    run `buildcache keys trust <name>` to trust them\n")
+	}
+	return nil
 }
 
 func policyName(p buildcache.TrustPolicy) string {

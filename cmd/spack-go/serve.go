@@ -28,6 +28,7 @@ func cmdServe(w io.Writer, s *core.Spack, args []string) error {
 	maxAttempts := fs.Int("max-attempts", 3, "build attempts per DAG node before poisoning its dependents")
 	maxCacheSize := fs.String("max-cache-size", "", "self-bound the build_cache area to this size (K/M/G suffixes)")
 	maxCacheAge := fs.Duration("max-cache-age", 0, "evict archives last accessed longer ago than this after each upload")
+	maintenance := fs.Duration("maintenance-interval", 0, "run scheduled self-maintenance (gc + cache prune) about this often, with jitter (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +58,12 @@ func cmdServe(w io.Writer, s *core.Spack, args []string) error {
 		MaxCacheBytes: maxCacheBytes,
 		MaxCacheAge:   *maxCacheAge,
 		GC:            s.GC(),
+		// /v1/splice rewires server-side installs, /v1/keys publishes this
+		// machine's public signing keys, and the maintenance loop keeps the
+		// daemon's store and cache bounded unattended.
+		Splicer:             s.Splicer(),
+		Keyring:             s.Keyring,
+		MaintenanceInterval: *maintenance,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+func TestCmdSplice(t *testing.T) {
+	s := newCLI(t)
+	runCmd(t, s, "buildcache", "push", "libdwarf ^libelf@0.8.12")
+	runCmd(t, s, "install", "libelf@0.8.13")
+
+	// Dry run prints the plan without touching the store.
+	before := len(s.Store.Select(nil))
+	out := runCmd(t, s, "splice", "-dry-run", "libdwarf", "libelf@0.8.13")
+	for _, want := range []string{"would splice", "libdwarf", "(from archive)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dry-run output missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(s.Store.Select(nil)); got != before {
+		t.Fatalf("dry run changed the store: %d -> %d records", before, got)
+	}
+
+	out = runCmd(t, s, "splice", "libdwarf", "libelf@0.8.13")
+	if !strings.Contains(out, "==> spliced 1 packages (1 from archive, 0 from prefix, 0 reused)") {
+		t.Errorf("splice output:\n%s", out)
+	}
+
+	// find surfaces the provenance of the spliced install.
+	out = runCmd(t, s, "find", "libdwarf")
+	if !strings.Contains(out, "origin: spliced from ") {
+		t.Errorf("find output missing splice provenance:\n%s", out)
+	}
+}
+
+func TestCmdSpliceErrors(t *testing.T) {
+	s := newCLI(t)
+	for _, args := range [][]string{
+		{},
+		{"libdwarf"},
+		{"libdwarf", "libelf@0.8.13"}, // nothing installed
+	} {
+		var b strings.Builder
+		if err := run(&b, s, "splice", args); err == nil {
+			t.Errorf("splice %v should fail", args)
+		}
+	}
+}
+
+func TestCmdBuildcacheListShowsSplicedProvenance(t *testing.T) {
+	s := newCLI(t)
+	runCmd(t, s, "buildcache", "push", "libdwarf ^libelf@0.8.12")
+	runCmd(t, s, "install", "libelf@0.8.13")
+	runCmd(t, s, "splice", "libdwarf", "libelf@0.8.13")
+
+	// Push the spliced install; its archive metadata carries the lineage.
+	recs, err := s.Find("libdwarf ^libelf@0.8.13")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("spliced libdwarf not found: %v (%d records)", err, len(recs))
+	}
+	if store.RecordOrigin(recs[0]) != store.OriginSpliced {
+		t.Fatalf("origin = %s, want spliced", store.RecordOrigin(recs[0]))
+	}
+	if _, err := s.BuildCache.PushDAG(s.Store, recs[0].Spec); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, s, "buildcache", "list")
+	if !strings.Contains(out, "spliced from ") || !strings.Contains(out, "lineage 1 deep") {
+		t.Errorf("buildcache list missing splice provenance:\n%s", out)
+	}
+}
+
+func TestCmdKeysFetch(t *testing.T) {
+	// One daemon machine with a signing key, served over HTTP; a second
+	// machine imports the key by URL.
+	server := newCLI(t)
+	runCmd(t, server, "buildcache", "keys", "generate", "site-a")
+	var buf syncBuf
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(&buf, server, "serve", []string{"-addr", "127.0.0.1:0", "-for", "1500ms", "-quiet"})
+	}()
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if out := buf.String(); strings.Contains(out, "==> serving on ") {
+			line := out[strings.Index(out, "http://"):]
+			base = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced an address:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	client := core.MustNew()
+	out := runCmd(t, client, "buildcache", "keys", "fetch", "-trust", base)
+	if !strings.Contains(out, "==> fetched 1 keys") || !strings.Contains(out, "1 added (1 trusted)") {
+		t.Errorf("fetch output:\n%s", out)
+	}
+	keys := client.Keyring.List()
+	if len(keys) != 1 || keys[0].Name != "site-a" || !keys[0].Trusted {
+		t.Fatalf("imported keys = %+v, want one trusted site-a", keys)
+	}
+
+	// Refetching skips the registered key instead of erroring.
+	out = runCmd(t, client, "buildcache", "keys", "fetch", base)
+	if !strings.Contains(out, "0 added") || !strings.Contains(out, "1 skipped") {
+		t.Errorf("refetch output:\n%s", out)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"sort"
 	"strings"
 )
 
@@ -80,106 +79,25 @@ func archiveName(hash string) string  { return hash + ".spack.json" }
 func checksumName(hash string) string { return hash + ".sha256" }
 
 // sigName is the detached signature object for a full spec hash (a
-// Signature document signing the recorded checksum); absent for archives
-// pushed without a signing identity.
+// Signature document signing the recorded checksum and the metadata
+// digest); absent for archives pushed without a signing identity.
 func sigName(hash string) string { return hash + ".sig" }
 
-// hashOfName inverts the three object names back to the full spec hash,
+// metaName is the spec-metadata document for a full spec hash: the
+// provenance JSON (spec, origin, splice lineage, archive checksum) the
+// signature covers alongside the archive bytes.
+func metaName(hash string) string { return hash + ".meta" }
+
+// hashOfName inverts the four object names back to the full spec hash,
 // reporting which suffix the name carried. Lifecycle sweeps use it to
-// group an archive with its checksum and signature as one unit.
+// group an archive with its checksum, metadata and signature as one unit.
 func hashOfName(name string) (hash string, ok bool) {
-	for _, suffix := range []string{".spack.json", ".sha256", ".sig"} {
+	for _, suffix := range []string{".spack.json", ".sha256", ".sig", ".meta"} {
 		if h, found := strings.CutSuffix(name, suffix); found {
 			return h, true
 		}
 	}
 	return "", false
-}
-
-// reloc is one source→target path rewrite.
-type reloc struct{ from, to string }
-
-// relocTable orders rewrites longest-source-first so nested paths (a
-// dependency prefix inside the store root) are matched before their
-// parents — replacing the root first would corrupt every prefix
-// occurrence under it.
-func relocTable(pairs map[string]string) []reloc {
-	out := make([]reloc, 0, len(pairs))
-	for from, to := range pairs {
-		out = append(out, reloc{from: from, to: to})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i].from) != len(out[j].from) {
-			return len(out[i].from) > len(out[j].from)
-		}
-		return out[i].from < out[j].from
-	})
-	return out
-}
-
-// relocateBytes rewrites every occurrence of the table's source paths in
-// one pass (leftmost match, longest source wins) and returns the result
-// plus per-source occurrence counts. Push uses it with an identity
-// mapping to record the counts; Pull uses it with the real mapping and
-// compares against the recorded table.
-func relocateBytes(data []byte, table []reloc) ([]byte, map[string]int) {
-	counts := make(map[string]int)
-	if len(table) == 0 {
-		return data, counts
-	}
-	// Fast path: no source occurs at all (bulk data files).
-	s := string(data)
-	any := false
-	for _, r := range table {
-		if strings.Contains(s, r.from) {
-			any = true
-			break
-		}
-	}
-	if !any {
-		return data, counts
-	}
-	var b strings.Builder
-	b.Grow(len(s))
-	for i := 0; i < len(s); {
-		matched := false
-		for _, r := range table {
-			if strings.HasPrefix(s[i:], r.from) {
-				b.WriteString(r.to)
-				counts[r.from]++
-				i += len(r.from)
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			b.WriteByte(s[i])
-			i++
-		}
-	}
-	return []byte(b.String()), counts
-}
-
-// relocateString rewrites a single string (symlink targets).
-func relocateString(s string, table []reloc) string {
-	out, _ := relocateBytes([]byte(s), table)
-	return string(out)
-}
-
-// countsEqual compares a re-count against the recorded table, ignoring
-// zero entries on either side.
-func countsEqual(got, want map[string]int) bool {
-	for k, v := range want {
-		if v != 0 && got[k] != v {
-			return false
-		}
-	}
-	for k, v := range got {
-		if v != 0 && want[k] != v {
-			return false
-		}
-	}
-	return true
 }
 
 // parseBuildCommands extracts the recorded command lines from a

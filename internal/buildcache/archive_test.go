@@ -5,93 +5,6 @@ import (
 	"testing"
 )
 
-func TestRelocTableOrdersLongestSourceFirst(t *testing.T) {
-	table := relocTable(map[string]string{
-		"/spack/opt":              "/new/opt",
-		"/spack/opt/x/libelf-1.0": "/new/opt/y/libelf-1.0",
-		"/spack/opt/x":            "/new/opt/y",
-	})
-	if len(table) != 3 {
-		t.Fatalf("table has %d entries, want 3", len(table))
-	}
-	for i := 1; i < len(table); i++ {
-		if len(table[i].from) > len(table[i-1].from) {
-			t.Fatalf("table not longest-first: %q after %q", table[i].from, table[i-1].from)
-		}
-	}
-	if table[0].from != "/spack/opt/x/libelf-1.0" {
-		t.Errorf("longest source = %q, want the nested prefix", table[0].from)
-	}
-}
-
-func TestRelocateBytesNestedPrefixes(t *testing.T) {
-	table := relocTable(map[string]string{
-		"/spack/opt":        "/site/store",
-		"/spack/opt/libelf": "/site/store/libelf-relocated",
-	})
-	in := []byte("RPATH /spack/opt/libelf/lib\nroot=/spack/opt\n")
-	out, counts := relocateBytes(in, table)
-	want := "RPATH /site/store/libelf-relocated/lib\nroot=/site/store\n"
-	if string(out) != want {
-		t.Errorf("relocated = %q, want %q", out, want)
-	}
-	// The nested prefix must win over its parent: one count each.
-	if counts["/spack/opt/libelf"] != 1 || counts["/spack/opt"] != 1 {
-		t.Errorf("counts = %v, want one occurrence of each source", counts)
-	}
-}
-
-func TestRelocateBytesNoOccurrences(t *testing.T) {
-	table := relocTable(map[string]string{"/spack/opt": "/new"})
-	in := []byte("plain payload with no store paths")
-	out, counts := relocateBytes(in, table)
-	if string(out) != string(in) {
-		t.Errorf("clean payload was rewritten: %q", out)
-	}
-	if len(counts) != 0 {
-		t.Errorf("counts = %v, want empty", counts)
-	}
-}
-
-func TestRelocateString(t *testing.T) {
-	table := relocTable(map[string]string{"/a": "/b"})
-	if got := relocateString("/a/lib/libelf.so", table); got != "/b/lib/libelf.so" {
-		t.Errorf("relocateString = %q", got)
-	}
-}
-
-func TestCountsEqual(t *testing.T) {
-	cases := []struct {
-		got, want map[string]int
-		eq        bool
-	}{
-		{map[string]int{"/a": 2}, map[string]int{"/a": 2}, true},
-		{map[string]int{"/a": 2}, map[string]int{"/a": 3}, false},
-		{map[string]int{"/a": 2, "/b": 0}, map[string]int{"/a": 2}, true},
-		{map[string]int{}, map[string]int{"/a": 1}, false},
-		{map[string]int{"/a": 1}, map[string]int{}, false},
-		{map[string]int{}, map[string]int{}, true},
-	}
-	for i, c := range cases {
-		if got := countsEqual(c.got, c.want); got != c.eq {
-			t.Errorf("case %d: countsEqual(%v, %v) = %v, want %v", i, c.got, c.want, got, c.eq)
-		}
-	}
-}
-
-func TestRecordedOrClean(t *testing.T) {
-	want := map[string]map[string]int{"bin/app": {"/a": 1}}
-	if !recordedOrClean(want, "bin/app", map[string]int{"/a": 5}) {
-		t.Error("recorded file rejected")
-	}
-	if !recordedOrClean(want, "share/doc", map[string]int{}) {
-		t.Error("clean unrecorded file rejected")
-	}
-	if recordedOrClean(want, "share/doc", map[string]int{"/a": 1}) {
-		t.Error("dirty unrecorded file accepted")
-	}
-}
-
 func TestParseBuildCommands(t *testing.T) {
 	log := []byte("==> configure\nblah\n==> commands\ncc -c x.c\nld -o app x.o\n\n==> done\nother\n")
 	got := parseBuildCommands(log)
@@ -111,5 +24,32 @@ func TestArchiveChecksumDeterministic(t *testing.T) {
 	p2, _ := a.encode()
 	if checksumOf(p1) != checksumOf(p2) {
 		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestHashOfName(t *testing.T) {
+	for _, name := range []string{"abc.spack.json", "abc.sha256", "abc.sig", "abc.meta"} {
+		hash, ok := hashOfName(name)
+		if !ok || hash != "abc" {
+			t.Errorf("hashOfName(%q) = %q, %v", name, hash, ok)
+		}
+	}
+	if _, ok := hashOfName("abc.tmp1"); ok {
+		t.Error("hashOfName accepted a temp name")
+	}
+}
+
+func TestSignedMessageBindsMetadata(t *testing.T) {
+	bare := SignedMessage("sum", nil)
+	if bare != "sum" {
+		t.Errorf("bare message = %q, want the checksum alone", bare)
+	}
+	m1 := SignedMessage("sum", []byte(`{"origin":"source"}`))
+	m2 := SignedMessage("sum", []byte(`{"origin":"spliced"}`))
+	if m1 == m2 {
+		t.Error("different metadata produced the same signed message")
+	}
+	if m1 == bare || m2 == bare {
+		t.Error("metadata-bound message equals the bare message")
 	}
 }

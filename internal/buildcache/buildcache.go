@@ -3,35 +3,30 @@
 // rpath-based isolation. Push packs an installed prefix into a
 // deterministic relocatable archive — a manifest of files, the full
 // concrete spec as provenance, the recorded compiler command lines, a
-// SHA-256 checksum, and a relocation table of every occurrence of the
-// source store root and dependency prefixes. Pull verifies the checksum,
-// rewrites prefixes and rpaths through the relocation table, and installs
-// into the target store through the store.Index seam with the same
-// singleflight/promotion discipline as a real build — so build.Builder
-// can skip fetch/stage/compile for any DAG node whose full hash is
-// already cached, the way Spack's buildcaches do.
+// SHA-256 checksum, a signed metadata document, and a relocation table of
+// every occurrence of the source store root and dependency prefixes. Pull
+// verifies the checksum, rewrites prefixes and rpaths through the shared
+// relocate engine, and installs into the target store through the
+// store.Index seam with the same singleflight/promotion discipline as a
+// real build — so build.Builder can skip fetch/stage/compile for any DAG
+// node whose full hash is already cached, the way Spack's buildcaches do.
 package buildcache
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"path"
 	"sort"
 	"strings"
 	"time"
 
-	"repro/internal/buildenv"
+	"repro/internal/relocate"
 	"repro/internal/simfs"
 	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/syntax"
 	"repro/internal/txn"
 )
-
-// relocateFileCPU is the simulated CPU cost of scanning and rewriting one
-// archived file during Pull — tiny next to the compile time it replaces.
-const relocateFileCPU = 40 * time.Microsecond
 
 // Kind classifies cache failures so the builder can report why a node
 // fell back to a source build.
@@ -91,6 +86,11 @@ type Entry struct {
 	// Origin is the spec string recorded in the archive — where the
 	// binaries came from, for provenance listings.
 	Origin string
+	// SplicedFrom and Lineage carry the splice provenance recorded in the
+	// signed metadata document: the full hash this install was rewired
+	// from, and the whole chain.
+	SplicedFrom string
+	Lineage     []string
 	// Signed reports whether a detached signature rides with the
 	// archive; SignedBy names the signing key when one does. Trusted is
 	// the verdict of the cache's Verifier (always false without one).
@@ -119,10 +119,10 @@ type PullResult struct {
 type Cache struct {
 	be Backend
 
-	// Signer, when set, signs each pushed archive's checksum with a
-	// detached signature (stored as <hash>.sig). A Signer whose Sign
-	// returns (nil, nil) has no identity configured; the push proceeds
-	// unsigned.
+	// Signer, when set, signs each pushed archive with a detached
+	// signature (stored as <hash>.sig) over the checksum and metadata
+	// digest. A Signer whose Sign returns (nil, nil) has no identity
+	// configured; the push proceeds unsigned.
 	Signer Signer
 	// Verifier judges detached signatures on the read path; Policy
 	// decides what an unsigned or untrusted archive may do there. The
@@ -141,6 +141,20 @@ func New(be Backend) *Cache { return &Cache{be: be} }
 func (c *Cache) Has(hash string) bool {
 	ok, err := c.be.Stat(checksumName(hash))
 	return ok && err == nil
+}
+
+// meta fetches the metadata document for a hash; absent is (nil, nil) —
+// pre-metadata archives have none, and the signature scheme falls back
+// to covering the bare checksum.
+func (c *Cache) meta(hash string) ([]byte, error) {
+	data, ok, err := c.be.Get(metaName(hash))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return data, nil
 }
 
 // Verify checks that an archive for a full spec hash exists on the
@@ -186,17 +200,91 @@ func (c *Cache) Verify(hash string) error {
 	}
 	// Trust gate: under TrustEnforce an unsigned or untrusted archive
 	// fails verification outright — the daemon's proof-of-work check
-	// inherits the signature requirement through this path.
-	if _, err := c.checkSignature("verify", hash, hash, want); err != nil {
+	// inherits the signature requirement through this path. The metadata
+	// document rides into the signed message, so tampered provenance
+	// fails here too.
+	metaBytes, err := c.meta(hash)
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	if _, err := c.checkSignature("verify", hash, hash, want, metaBytes); err != nil {
 		return err
 	}
 	return nil
 }
 
+// RelocFiles converts the packed payload to the relocate engine's file
+// form, ready for relocate.Materialize.
+func (a *Archive) RelocFiles() []relocate.File {
+	out := make([]relocate.File, len(a.Files))
+	for i, f := range a.Files {
+		out[i] = relocate.File{Path: f.Path, Symlink: f.Symlink, Data: f.Data}
+	}
+	return out
+}
+
+// WantCounts returns the recorded relocation table keyed by file path —
+// the per-file occurrence counts Materialize re-verifies while rewriting.
+func (a *Archive) WantCounts() map[string]map[string]int {
+	out := make(map[string]map[string]int, len(a.Relocations))
+	for _, r := range a.Relocations {
+		out[r.Path] = r.Occurrences
+	}
+	return out
+}
+
+// Fetch retrieves, checksums, and trust-checks the archive for a full
+// spec hash without installing it — the splice executor re-materializes
+// cone prefixes from cached payloads through this path. The returned
+// warning carries a non-blocking trust complaint (TrustWarn), mirroring
+// Pull. KindMissing when the backend has no archive for the hash.
+func (c *Cache) Fetch(hash string) (*Archive, string, error) {
+	fail := func(kind Kind, err error) (*Archive, string, error) {
+		return nil, "", &Error{Op: "fetch", Spec: hash, Kind: kind, Err: err}
+	}
+	payload, ok, err := c.be.Get(archiveName(hash))
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	if !ok {
+		return fail(KindMissing, fmt.Errorf("no archive for hash %s", hash))
+	}
+	sumData, ok, err := c.be.Get(checksumName(hash))
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	if !ok {
+		return fail(KindChecksum, fmt.Errorf("archive has no checksum"))
+	}
+	want := strings.TrimSpace(string(sumData))
+	if got := checksumOf(payload); got != want {
+		return fail(KindChecksum, fmt.Errorf("archive checksum %s does not match recorded %s", got[:12], want))
+	}
+	metaBytes, err := c.meta(hash)
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	warning, err := c.checkSignature("fetch", hash, hash, want, metaBytes)
+	if err != nil {
+		return nil, "", err
+	}
+	var ar Archive
+	if err := json.Unmarshal(payload, &ar); err != nil {
+		return fail(KindManifest, fmt.Errorf("corrupt archive: %w", err))
+	}
+	if ar.Format != archiveFormatVersion {
+		return fail(KindManifest, fmt.Errorf("archive format %d not supported", ar.Format))
+	}
+	if ar.FullHash != hash {
+		return fail(KindManifest, fmt.Errorf("archive is for hash %s, want %s", ar.FullHash, hash))
+	}
+	return &ar, warning, nil
+}
+
 // Push packs the installed prefix of a concrete spec into a relocatable
-// archive and stores it (with its SHA-256 checksum) on the backend. The
-// spec must be installed; externals cannot be cached — their prefixes are
-// site-owned and not relocatable.
+// archive and stores it (with its SHA-256 checksum and signed metadata
+// document) on the backend. The spec must be installed; externals cannot
+// be cached — their prefixes are site-owned and not relocatable.
 func (c *Cache) Push(st *store.Store, s *spec.Spec) (*Entry, error) {
 	fail := func(kind Kind, err error) (*Entry, error) {
 		return nil, &Error{Op: "push", Spec: s.String(), Kind: kind, Err: err}
@@ -227,7 +315,7 @@ func (c *Cache) Push(st *store.Store, s *spec.Spec) (*Entry, error) {
 
 	// Dependency prefixes, resolved from the source store — the
 	// relocation sources alongside the store root and the own prefix.
-	sources := map[string]string{rec.Prefix: rec.Prefix, st.Root: st.Root}
+	sources := []string{rec.Prefix, st.Root}
 	for _, dn := range s.TopoOrder() {
 		if dn.Name == s.Name {
 			continue
@@ -244,33 +332,24 @@ func (c *Cache) Push(st *store.Store, s *spec.Spec) (*Entry, error) {
 			ar.DepPrefixes = make(map[string]string)
 		}
 		ar.DepPrefixes[dn.Name] = depPrefix
-		sources[depPrefix] = depPrefix
+		sources = append(sources, depPrefix)
 	}
-	table := relocTable(sources) // identity mapping: we only want counts
+	table := relocate.Identity(sources...) // no rewriting: we only want counts
 
 	// Pack the prefix tree and record the relocation table.
-	err = st.FS.Walk(rec.Prefix, func(p string, isLink bool) error {
-		rel := strings.TrimPrefix(p, rec.Prefix+"/")
-		if isLink {
-			target, err := st.FS.Readlink(p)
-			if err != nil {
-				return err
-			}
-			ar.Files = append(ar.Files, archiveFile{Path: rel, Symlink: target})
-			return nil
-		}
-		data, err := st.FS.ReadFile(p)
-		if err != nil {
-			return err
-		}
-		ar.Files = append(ar.Files, archiveFile{Path: rel, Data: data})
-		if _, counts := relocateBytes(data, table); len(counts) > 0 {
-			ar.Relocations = append(ar.Relocations, archiveReloc{Path: rel, Occurrences: counts})
-		}
-		return nil
-	})
+	files, err := relocate.Snapshot(st.FS, rec.Prefix)
 	if err != nil {
 		return fail(KindIO, err)
+	}
+	for _, f := range files {
+		if f.Symlink != "" {
+			ar.Files = append(ar.Files, archiveFile{Path: f.Path, Symlink: f.Symlink})
+			continue
+		}
+		ar.Files = append(ar.Files, archiveFile{Path: f.Path, Data: f.Data})
+		if _, counts := table.Rewrite(f.Data); len(counts) > 0 {
+			ar.Relocations = append(ar.Relocations, archiveReloc{Path: f.Path, Occurrences: counts})
+		}
 	}
 
 	// Recorded compiler command lines, from the build log provenance.
@@ -283,15 +362,38 @@ func (c *Cache) Push(st *store.Store, s *spec.Spec) (*Entry, error) {
 		return fail(KindManifest, err)
 	}
 	sum := checksumOf(payload)
+
+	// The metadata document: the provenance claims (origin, splice
+	// lineage) the signature makes tamper-evident.
+	metaDoc := &Metadata{
+		Format:        archiveFormatVersion,
+		Package:       ar.Package,
+		Version:       ar.Version,
+		FullHash:      ar.FullHash,
+		Spec:          ar.Spec,
+		SpecJSON:      specJSON,
+		ArchiveSHA256: sum,
+		Origin:        string(rec.Origin),
+		SplicedFrom:   rec.SplicedFrom,
+		Lineage:       rec.Lineage,
+	}
+	metaBytes, err := EncodeMetadata(metaDoc)
+	if err != nil {
+		return fail(KindManifest, err)
+	}
+
 	if err := c.be.Put(archiveName(ar.FullHash), payload); err != nil {
 		return fail(KindIO, err)
 	}
 	if err := c.be.Put(checksumName(ar.FullHash), []byte(sum+"\n")); err != nil {
 		return fail(KindIO, err)
 	}
+	if err := c.be.Put(metaName(ar.FullHash), metaBytes); err != nil {
+		return fail(KindIO, err)
+	}
 	signed := false
 	if c.Signer != nil {
-		sig, err := c.Signer.Sign(sum)
+		sig, err := c.Signer.Sign(SignedMessage(sum, metaBytes))
 		if err != nil {
 			return fail(KindSignature, err)
 		}
@@ -312,7 +414,8 @@ func (c *Cache) Push(st *store.Store, s *spec.Spec) (*Entry, error) {
 	return &Entry{
 		Package: ar.Package, Version: ar.Version,
 		FullHash: ar.FullHash, Checksum: sum, Files: len(ar.Files),
-		Origin: ar.Spec, Signed: signed,
+		Origin: ar.Spec, SplicedFrom: rec.SplicedFrom, Lineage: rec.Lineage,
+		Signed: signed,
 	}, nil
 }
 
@@ -336,11 +439,12 @@ func (c *Cache) PushDAG(st *store.Store, root *spec.Spec) ([]*Entry, error) {
 // Pull installs a concrete spec from the cache into a store: it verifies
 // the archive checksum, rewrites every occurrence of the source store
 // root and dependency prefixes (and with them the embedded rpaths) for
-// the target store, and installs through store.InstallFrom — the same
-// singleflight, promotion, and provenance discipline as a source build.
-// Files land via temp + rename, so an I/O failure mid-unpack leaves the
-// partially written prefix to be rolled back by the store and the index
-// untouched. The spec's dependencies must already be installed.
+// the target store through the shared relocate engine, and installs
+// through store.InstallFrom — the same singleflight, promotion, and
+// provenance discipline as a source build. Files land via temp + rename,
+// so an I/O failure mid-unpack leaves the partially written prefix to be
+// rolled back by the store and the index untouched. The spec's
+// dependencies must already be installed.
 func (c *Cache) Pull(st *store.Store, s *spec.Spec, explicit bool) (*PullResult, error) {
 	return c.PullTxn(st, nil, s, explicit)
 }
@@ -379,10 +483,14 @@ func (c *Cache) PullTxn(st *store.Store, t *txn.Txn, s *spec.Spec, explicit bool
 	if got := checksumOf(payload); got != want {
 		return fail(KindChecksum, fmt.Errorf("archive checksum %s does not match recorded %s", got[:12], want))
 	}
-	// Trust gate: judge the detached signature before any archive byte
-	// is trusted. Enforce rejects; warn records the complaint on the
-	// result and proceeds.
-	warning, err := c.checkSignature("pull", s.String(), hash, want)
+	// Trust gate: judge the detached signature (over the checksum and the
+	// metadata digest) before any archive byte is trusted. Enforce
+	// rejects; warn records the complaint on the result and proceeds.
+	metaBytes, err := c.meta(hash)
+	if err != nil {
+		return fail(KindIO, err)
+	}
+	warning, err := c.checkSignature("pull", s.String(), hash, want, metaBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -397,6 +505,16 @@ func (c *Cache) PullTxn(st *store.Store, t *txn.Txn, s *spec.Spec, explicit bool
 	if ar.FullHash != hash || ar.Package != s.Name {
 		return fail(KindManifest, fmt.Errorf("archive is for %s/%s, want %s/%s",
 			ar.Package, ar.FullHash, s.Name, hash))
+	}
+	// Splice provenance rides the metadata document into the installed
+	// record, so a pulled spliced binary still says what it was rewired
+	// from.
+	meta := txn.RecordMeta{Explicit: explicit, Origin: string(store.OriginBinary)}
+	if metaBytes != nil {
+		if md, err := DecodeMetadata(metaBytes); err == nil && md.FullHash == hash {
+			meta.SplicedFrom = md.SplicedFrom
+			meta.Lineage = md.Lineage
+		}
 	}
 
 	// Build the relocation mapping: source store root, own prefix, and
@@ -424,66 +542,36 @@ func (c *Cache) PullTxn(st *store.Store, t *txn.Txn, s *spec.Spec, explicit bool
 		}
 		pairs[srcPrefix] = drec.Prefix
 	}
-	table := relocTable(pairs)
-	wantCounts := make(map[string]map[string]int, len(ar.Relocations))
-	for _, r := range ar.Relocations {
-		wantCounts[r.Path] = r.Occurrences
+	wantCounts := ar.WantCounts()
+	// Rpath sanity: after rewriting, no embedded rpath may still point
+	// into the source store (the isolation §3.5.2 bought).
+	forbid := ""
+	if ar.StoreRoot != st.Root {
+		forbid = ar.StoreRoot
 	}
+	opts := relocate.Options{
+		Table:      relocate.NewTable(pairs),
+		Want:       wantCounts,
+		ForbidRoot: forbid,
+	}
+
+	relFiles := ar.RelocFiles()
 
 	// Unpack through the store's install discipline, charging a private
 	// meter so the report's virtual time reflects the cached fast path.
 	meter := simfs.NewMeter()
+	opts.Meter = meter
 	prefixFS := st.FS.WithMeter(meter)
 	files := 0
-	rec, ran, err := st.InstallTxn(t, s, explicit, store.OriginBinary, func(prefix string) error {
-		made := map[string]bool{prefix: true}
-		for _, f := range ar.Files {
-			target := prefix + "/" + f.Path
-			dir := path.Dir(target)
-			if !made[dir] {
-				if err := prefixFS.MkdirAll(dir); err != nil {
-					return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
-				}
-				made[dir] = true
+	rec, ran, err := st.InstallMetaTxn(t, s, meta, func(prefix string) error {
+		n, err := relocate.Materialize(prefixFS, prefix, relFiles, opts)
+		files = n
+		if err != nil {
+			kind := KindIO
+			if relocate.IsRelocationError(err) {
+				kind = KindRelocation
 			}
-			if f.Symlink != "" {
-				if err := prefixFS.Symlink(relocateString(f.Symlink, table), target); err != nil {
-					return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
-				}
-				files++
-				continue
-			}
-			out, counts := relocateBytes(f.Data, table)
-			if want, recorded := wantCounts[f.Path]; recorded && !countsEqual(counts, want) {
-				return &Error{Op: "pull", Spec: s.String(), Kind: KindRelocation,
-					Err: fmt.Errorf("%s: relocation count mismatch (got %v, recorded %v)", f.Path, counts, want)}
-			}
-			if !recordedOrClean(wantCounts, f.Path, counts) {
-				return &Error{Op: "pull", Spec: s.String(), Kind: KindRelocation,
-					Err: fmt.Errorf("%s: unrecorded path occurrences %v", f.Path, counts)}
-			}
-			meter.Add("relocate", relocateFileCPU)
-			// Rpath sanity: after rewriting, no embedded rpath may still
-			// point into the source store (the isolation §3.5.2 bought).
-			if ar.StoreRoot != st.Root {
-				for _, rp := range buildenv.BinaryRPATHs(out) {
-					if strings.HasPrefix(rp, ar.StoreRoot+"/") || rp == ar.StoreRoot {
-						return &Error{Op: "pull", Spec: s.String(), Kind: KindRelocation,
-							Err: fmt.Errorf("%s: rpath %s still points into source store %s", f.Path, rp, ar.StoreRoot)}
-					}
-				}
-			}
-			// Temp + rename: a failure mid-write never leaves a torn file
-			// at the final path, and the store rolls the prefix back.
-			tmp := target + ".bctmp"
-			if err := prefixFS.WriteFile(tmp, out); err != nil {
-				return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
-			}
-			if err := prefixFS.Rename(tmp, target); err != nil {
-				_ = prefixFS.Remove(tmp)
-				return &Error{Op: "pull", Spec: s.String(), Kind: KindIO, Err: err}
-			}
-			files++
+			return &Error{Op: "pull", Spec: s.String(), Kind: kind, Err: err}
 		}
 		return nil
 	})
@@ -496,21 +584,6 @@ func (c *Cache) PullTxn(st *store.Store, t *txn.Txn, s *spec.Spec, explicit bool
 		return fail(KindIO, err)
 	}
 	return &PullResult{Record: rec, Ran: ran, Time: meter.Cost(), Files: files, Warning: warning}, nil
-}
-
-// recordedOrClean accepts a file whose occurrence counts are either
-// recorded in the relocation table or empty — occurrences the packer did
-// not record mean the archive and table disagree.
-func recordedOrClean(want map[string]map[string]int, path string, counts map[string]int) bool {
-	if _, recorded := want[path]; recorded {
-		return true
-	}
-	for _, v := range counts {
-		if v != 0 {
-			return false
-		}
-	}
-	return true
 }
 
 // List returns an Entry per cached archive, sorted by package, version,
@@ -543,13 +616,21 @@ func (c *Cache) List() ([]*Entry, error) {
 			FullHash: ar.FullHash, Checksum: sum, Files: len(ar.Files),
 			Origin: ar.Spec,
 		}
+		var metaBytes []byte
+		if mb, ok, _ := c.be.Get(metaName(hash)); ok {
+			metaBytes = mb
+			if md, err := DecodeMetadata(mb); err == nil {
+				e.SplicedFrom = md.SplicedFrom
+				e.Lineage = md.Lineage
+			}
+		}
 		if sigData, ok, _ := c.be.Get(sigName(hash)); ok {
 			e.Signed = true
 			if sig, err := DecodeSignature(sigData); err == nil {
 				e.SignedBy = sig.Key
 			}
 			if c.Verifier != nil && sum != "" {
-				e.Trusted = c.Verifier.VerifySignature(sum, sigData) == nil
+				e.Trusted = c.Verifier.VerifySignature(SignedMessage(sum, metaBytes), sigData) == nil
 			}
 		}
 		out = append(out, e)
@@ -566,11 +647,11 @@ func (c *Cache) List() ([]*Entry, error) {
 	return out, nil
 }
 
-// Delete removes an archive and its sidecars (checksum, signature) from
-// the backend. Missing objects are a no-op, so deleting an unknown hash
-// is harmless.
+// Delete removes an archive and its sidecars (checksum, metadata,
+// signature) from the backend. Missing objects are a no-op, so deleting
+// an unknown hash is harmless.
 func (c *Cache) Delete(hash string) error {
-	for _, name := range []string{archiveName(hash), checksumName(hash), sigName(hash)} {
+	for _, name := range []string{archiveName(hash), checksumName(hash), metaName(hash), sigName(hash)} {
 		if err := c.be.Delete(name); err != nil {
 			return &Error{Op: "delete", Spec: hash, Kind: KindIO, Err: err}
 		}
@@ -587,15 +668,15 @@ func (c *Cache) StageDelete(t *txn.Txn, hash string) bool {
 	if !ok {
 		return false
 	}
-	for _, name := range []string{archiveName(hash), checksumName(hash), sigName(hash)} {
+	for _, name := range []string{archiveName(hash), checksumName(hash), metaName(hash), sigName(hash)} {
 		d.StageDelete(t, name)
 	}
 	return true
 }
 
 // ArchiveUsage aggregates the backend's per-object access stamps into
-// one unit per cached archive: the archive, its checksum, and any
-// signature count together, under the most recent access of the three.
+// one unit per cached archive: the archive, its checksum, metadata, and
+// any signature count together, under the most recent access of the set.
 type ArchiveUsage struct {
 	FullHash string
 	Bytes    int64

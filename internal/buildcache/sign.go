@@ -41,19 +41,21 @@ func DecodeSignature(data []byte) (*Signature, error) {
 	return &s, nil
 }
 
-// Signer produces detached signatures at Push time. Sign returns
-// (nil, nil) when no signing identity is configured — the push proceeds
-// unsigned, which the reading side's trust policy then judges.
+// Signer produces detached signatures at Push time over a message
+// string (see SignedMessage: the archive checksum plus the metadata
+// digest). Sign returns (nil, nil) when no signing identity is
+// configured — the push proceeds unsigned, which the reading side's
+// trust policy then judges.
 type Signer interface {
-	Sign(checksum string) ([]byte, error)
+	Sign(message string) ([]byte, error)
 }
 
-// Verifier judges a detached signature against a trust set. A nil error
-// means the signature is valid and its key is trusted; anything else
-// (bad signature, unknown key, untrusted key) is the reason the archive
-// should not be trusted.
+// Verifier judges a detached signature over a message against a trust
+// set. A nil error means the signature is valid and its key is trusted;
+// anything else (bad signature, unknown key, untrusted key) is the
+// reason the archive should not be trusted.
 type Verifier interface {
-	VerifySignature(checksum string, sig []byte) error
+	VerifySignature(message string, sig []byte) error
 }
 
 // TrustPolicy gates what unsigned or untrusted archives may do on the
@@ -88,10 +90,12 @@ func ParseTrustPolicy(s string) (TrustPolicy, error) {
 }
 
 // checkSignature fetches and judges the detached signature for an
-// archive under the cache's policy. It returns a warning string under
-// TrustWarn and an *Error (KindSignature) under TrustEnforce; with
-// TrustOff it is free.
-func (c *Cache) checkSignature(op, spc, hash, checksum string) (string, error) {
+// archive under the cache's policy. The signed message covers the
+// checksum and, when a metadata document rides with the archive, its
+// digest — so tampered provenance fails exactly like tampered bytes. It
+// returns a warning string under TrustWarn and an *Error (KindSignature)
+// under TrustEnforce; with TrustOff it is free.
+func (c *Cache) checkSignature(op, spc, hash, checksum string, metaBytes []byte) (string, error) {
 	if c.Policy == TrustOff {
 		return "", nil
 	}
@@ -106,7 +110,7 @@ func (c *Cache) checkSignature(op, spc, hash, checksum string) (string, error) {
 	case c.Verifier == nil:
 		verr = fmt.Errorf("archive is signed but no keyring is configured to verify it")
 	default:
-		verr = c.Verifier.VerifySignature(checksum, sigData)
+		verr = c.Verifier.VerifySignature(SignedMessage(checksum, metaBytes), sigData)
 	}
 	if verr == nil {
 		return "", nil

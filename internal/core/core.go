@@ -29,6 +29,7 @@ import (
 	"repro/internal/repo"
 	"repro/internal/simfs"
 	"repro/internal/spec"
+	"repro/internal/splice"
 	"repro/internal/store"
 	"repro/internal/syntax"
 	"repro/internal/version"
@@ -232,25 +233,65 @@ const EnvRoot = env.DefaultRoot
 // directories are derived from the configured link rules, so the sweep
 // prunes dangling links left by earlier processes.
 func (s *Spack) GC() *lifecycle.GC {
-	dirs := make(map[string]bool)
-	for _, rule := range s.Config.LinkRules() {
-		if i := strings.LastIndexByte(rule.Template, '/'); i > 0 {
-			dirs[rule.Template[:i]] = true
-		}
-	}
-	viewDirs := make([]string, 0, len(dirs))
-	for d := range dirs {
-		viewDirs = append(viewDirs, d)
-	}
-	sort.Strings(viewDirs)
 	return &lifecycle.GC{
 		Store:    s.Store,
 		Modules:  s.Modules,
 		Views:    s.Views,
 		Cache:    s.BuildCache,
 		EnvRoots: []string{EnvRoot},
-		ViewDirs: viewDirs,
+		ViewDirs: s.viewDirs(),
 	}
+}
+
+// viewDirs derives the view directories from the configured link rules.
+func (s *Spack) viewDirs() []string {
+	dirs := make(map[string]bool)
+	for _, rule := range s.Config.LinkRules() {
+		if i := strings.LastIndexByte(rule.Template, '/'); i > 0 {
+			dirs[rule.Template[:i]] = true
+		}
+	}
+	out := make([]string, 0, len(dirs))
+	for d := range dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Splicer assembles the splice executor over this instance: cone
+// prefixes re-materialize from the binary cache (or the installed
+// prefix), and module files, view links, and environment lockfiles
+// under EnvRoot are carried in the same transaction.
+func (s *Spack) Splicer() *splice.Splicer {
+	return &splice.Splicer{
+		Store:    s.Store,
+		Cache:    s.BuildCache,
+		Modules:  s.Modules,
+		Views:    s.Views,
+		ViewDirs: s.viewDirs(),
+		EnvRoots: []string{EnvRoot},
+	}
+}
+
+// Splice rewires one installed configuration onto an already-installed
+// replacement dependency without rebuilding (`spack-go splice`). Both
+// expressions must resolve to exactly one installed record; target names
+// the dependency to replace (usually the replacement's package name, but
+// different when swapping providers, e.g. mpich → openmpi).
+func (s *Spack) Splice(rootExpr, target, replExpr string, dryRun bool) (*splice.Result, error) {
+	root, err := s.findOne(rootExpr)
+	if err != nil {
+		return nil, err
+	}
+	repl, err := s.findOne(replExpr)
+	if err != nil {
+		return nil, err
+	}
+	if target == "" {
+		target = repl.Spec.Name
+	}
+	return s.Splicer().Run(root.Spec, target, repl.Spec, dryRun)
 }
 
 // EnvHost exposes the instance's subsystems as an environment host, so

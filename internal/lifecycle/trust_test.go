@@ -393,7 +393,12 @@ func TestSignedCacheRoundTrip(t *testing.T) {
 		t.Fatalf("checksum missing: %v", err)
 	}
 	sum := strings.TrimSpace(string(sumData)) // signatures cover the trimmed checksum
-	rogueSig, err := rogue.Sign(sum)
+	metaBytes, ok, err := be.Get(hash + ".meta")
+	if err != nil || !ok {
+		t.Fatalf("metadata missing: %v", err)
+	}
+	message := buildcache.SignedMessage(sum, metaBytes)
+	rogueSig, err := rogue.Sign(message)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +410,7 @@ func TestSignedCacheRoundTrip(t *testing.T) {
 	}
 
 	// Restoring the legitimate signature restores the round trip.
-	goodSig, err := ringA.Sign(sum)
+	goodSig, err := ringA.Sign(message)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,5 +419,43 @@ func TestSignedCacheRoundTrip(t *testing.T) {
 	}
 	if err := pull(t); err != nil {
 		t.Fatalf("restored signature still rejected: %v", err)
+	}
+
+	// Tamper 3: edit the provenance metadata of a correctly signed
+	// archive. The archive bytes and checksum are untouched, but the
+	// signature covers the metadata digest, so enforce rejects — the
+	// lineage is tamper-evident.
+	md, err := buildcache.DecodeMetadata(metaBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md.Origin = "source"
+	md.SplicedFrom = "deadbeef" // forge a splice lineage
+	forged, err := buildcache.EncodeMetadata(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Put(hash+".meta", forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := pull(t); buildcache.ErrorKind(err) != buildcache.KindSignature {
+		t.Fatalf("forged metadata: pull error = %v, want a signature rejection", err)
+	}
+
+	// Tamper 4: delete the metadata outright. The signature covers its
+	// digest, so a stripped document is just as invalid.
+	if err := be.Delete(hash + ".meta"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pull(t); buildcache.ErrorKind(err) != buildcache.KindSignature {
+		t.Fatalf("stripped metadata: pull error = %v, want a signature rejection", err)
+	}
+
+	// Restoring the original metadata heals verification.
+	if err := be.Put(hash+".meta", metaBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := pull(t); err != nil {
+		t.Fatalf("restored metadata still rejected: %v", err)
 	}
 }

@@ -431,6 +431,36 @@ func (c *Client) Install(expr string) (*InstallResponse, error) {
 	return &out, nil
 }
 
+// Splice asks the daemon to rewire an installed configuration onto an
+// already-installed replacement dependency without rebuilding;
+// concurrent requests for the same rewiring coalesce server-side onto
+// one transaction.
+func (c *Client) Splice(req SpliceRequest) (*SpliceResponse, error) {
+	var out SpliceResponse
+	if err := c.post("/v1/splice", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Keys fetches the daemon's public signing keys (`buildcache keys
+// fetch`).
+func (c *Client) Keys() ([]KeyInfo, error) {
+	resp, err := c.client().Get(c.BaseURL + "/v1/keys")
+	if err != nil {
+		return nil, fmt.Errorf("service: keys: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: keys: server said %s", resp.Status)
+	}
+	var out []KeyInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // GC asks the daemon to run a garbage-collection sweep over its store
 // and mirror cache.
 func (c *Client) GC(dryRun bool) (*GCResponse, error) {

@@ -44,6 +44,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/sched"
 	"repro/internal/spec"
+	"repro/internal/splice"
 	"repro/internal/syntax"
 )
 
@@ -83,6 +84,19 @@ type Config struct {
 	// GC, when set, serves POST /v1/gc; nil assembles a sweep over the
 	// builder's store and the daemon's cache view with no extra roots.
 	GC *lifecycle.GC
+	// Splicer, when set, serves POST /v1/splice: rewiring an installed
+	// configuration onto a replacement dependency without rebuilding.
+	Splicer *splice.Splicer
+	// Keyring, when set, serves GET /v1/keys — the daemon's public
+	// signing keys, so clients can `buildcache keys fetch` them instead
+	// of copying hex out of band. Only public halves are ever served.
+	Keyring *lifecycle.Keyring
+	// MaintenanceInterval, when positive, runs scheduled self-maintenance
+	// in the background: roughly every interval (with jitter, so a fleet
+	// of daemons does not sweep in lockstep) the daemon garbage-collects
+	// its store and prunes the cache to its configured bounds. The loop
+	// stops before Shutdown returns.
+	MaintenanceInterval time.Duration
 }
 
 // Server is the daemon. Create with NewServer, mount as an
@@ -91,16 +105,23 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	hs      *http.Server
-	flights flightGroup
+	flights flightGroup[*InstallResponse]
+	splices flightGroup[*SpliceResponse]
 	stats   stats
 	sched   *sched.Scheduler
 	bc      *buildcache.Cache
 	reuse   *concretize.Concretizer
 	logMu   sync.Mutex
 	// pruneMu serializes the self-bounding cache sweeps triggered by
-	// archive uploads; gcMu serializes /v1/gc runs.
+	// archive uploads; gcMu serializes /v1/gc runs (and the maintenance
+	// loop's sweeps, so a drain never races a scheduled collection).
 	pruneMu sync.Mutex
 	gcMu    sync.Mutex
+	// maintStop/maintDone bracket the scheduled-maintenance goroutine;
+	// stopMaint closes maintStop exactly once.
+	maintStop chan struct{}
+	maintDone chan struct{}
+	stopMaint sync.Once
 }
 
 // NewServer assembles the daemon's routes around a configuration.
@@ -126,6 +147,8 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("PUT /v1/blobs/{name...}", s.handleBlobPut)
 	mux.HandleFunc("DELETE /v1/blobs/{name...}", s.handleBlobDelete)
 	mux.HandleFunc("POST /v1/gc", s.handleGC)
+	mux.HandleFunc("POST /v1/splice", s.handleSplice)
+	mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	mux.HandleFunc("POST /v1/concretize", s.handleConcretize)
 	mux.HandleFunc("POST /v1/install", s.handleInstall)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -172,13 +195,16 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.hs = &http.Server{Handler: s}
 	go func() { _ = s.hs.Serve(lis) }()
+	s.startMaintenance()
 	return lis.Addr().String(), nil
 }
 
-// Shutdown stops accepting connections and drains in-flight requests
-// until the context expires — coalesced installs finish delivering
-// their shared result before the daemon exits.
+// Shutdown stops the maintenance loop, then stops accepting connections
+// and drains in-flight requests until the context expires — coalesced
+// installs finish delivering their shared result before the daemon
+// exits.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopMaintenance()
 	if s.hs == nil {
 		return nil
 	}

@@ -2,40 +2,41 @@ package service
 
 import "sync"
 
-// flightGroup coalesces concurrent installs of the same full hash at
-// the request layer: the first caller becomes the leader and runs fn;
-// every caller arriving while the flight is live blocks on its outcome
-// and shares it (result and error alike). When the flight lands the key
-// is retired, so later requests re-probe the store — by then a fast
+// flightGroup coalesces concurrent requests for the same key at the
+// request layer: the first caller becomes the leader and runs fn; every
+// caller arriving while the flight is live blocks on its outcome and
+// shares it (result and error alike). When the flight lands the key is
+// retired, so later requests re-probe the store — by then a fast
 // already-installed lookup — instead of pinning a stale result.
 //
 // This sits above the store's own per-hash singleflight: the store
 // dedupes index insertions on one machine, the flightGroup dedupes the
-// whole concretize-and-build pipeline across N remote clients.
-type flightGroup struct {
+// whole request pipeline (concretize-and-build for installs, plan-and-
+// materialize for splices) across N remote clients.
+type flightGroup[T any] struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight[T]
 }
 
-type flight struct {
+type flight[T any] struct {
 	done chan struct{}
-	out  *InstallResponse
+	out  T
 	err  error
 }
 
 // do runs fn under the key's flight, reporting whether this call
 // coalesced onto a leader started by someone else.
-func (g *flightGroup) do(key string, fn func() (*InstallResponse, error)) (out *InstallResponse, coalesced bool, err error) {
+func (g *flightGroup[T]) do(key string, fn func() (T, error)) (out T, coalesced bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
-		g.m = make(map[string]*flight)
+		g.m = make(map[string]*flight[T])
 	}
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		<-f.done
 		return f.out, true, f.err
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[T]{done: make(chan struct{})}
 	g.m[key] = f
 	g.mu.Unlock()
 

@@ -1,0 +1,200 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// spliceDaemon wires a daemon whose machine has libdwarf^libelf@0.8.12
+// installed and archived, plus libelf@0.8.13 installed — everything a
+// splice needs server-side.
+func spliceDaemon(t *testing.T) (*core.Spack, *service.Client) {
+	t.Helper()
+	s := core.MustNew(core.WithJobs(4))
+	res, err := s.Install("libdwarf ^libelf@0.8.12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildCache.PushDAG(s.Store, res.Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Install("libelf@0.8.13"); err != nil {
+		t.Fatal(err)
+	}
+	srv := service.NewServer(service.Config{
+		Mirror:      s.Mirror,
+		Concretizer: s.Concretizer,
+		Builder:     s.Builder,
+		Splicer:     s.Splicer(),
+		Keyring:     s.Keyring,
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return s, service.NewClient(ts.URL)
+}
+
+func TestSpliceEndpoint(t *testing.T) {
+	s, c := spliceDaemon(t)
+
+	// Dry run: plan only, nothing installed.
+	before := len(s.Store.Select(nil))
+	plan, err := c.Splice(service.SpliceRequest{
+		Root: "libdwarf", Replacement: "libelf@0.8.13", DryRun: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.DryRun || plan.Installed != 0 {
+		t.Fatalf("dry run reported installs: %+v", plan)
+	}
+	if len(plan.Cone) != 1 || plan.Cone[0].Name != "libdwarf" || plan.Cone[0].Source != "archive" {
+		t.Fatalf("cone = %+v, want one libdwarf node from archive", plan.Cone)
+	}
+	if got := len(s.Store.Select(nil)); got != before {
+		t.Fatalf("dry run changed the store: %d -> %d records", before, got)
+	}
+
+	// Real run: one cone prefix materialized from the archive.
+	res, err := c.Splice(service.SpliceRequest{Root: "libdwarf", Replacement: "libelf@0.8.13"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Installed != 1 || res.FromArchive != 1 {
+		t.Fatalf("installed=%d from_archive=%d, want 1/1", res.Installed, res.FromArchive)
+	}
+	if res.OldHash != plan.OldHash || res.NewHash != plan.NewHash {
+		t.Fatalf("run hashes differ from plan: %+v vs %+v", res, plan)
+	}
+	var rec *store.Record
+	for _, r := range s.Store.Select(nil) {
+		if r.Spec.FullHash() == res.NewHash {
+			rec = r
+		}
+	}
+	if rec == nil {
+		t.Fatal("spliced record not in the store")
+	}
+	if store.RecordOrigin(rec) != store.OriginSpliced || rec.SplicedFrom != res.OldHash {
+		t.Fatalf("provenance = %s/%s, want spliced/%s",
+			store.RecordOrigin(rec), rec.SplicedFrom, res.OldHash)
+	}
+
+	// Replaying the same request is an idempotent no-op. (The bare name
+	// is ambiguous now that the spliced install coexists with the old
+	// one, so the re-splice pins the old root's libelf.)
+	res, err = c.Splice(service.SpliceRequest{Root: "libdwarf ^libelf@0.8.12", Replacement: "libelf@0.8.13"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Installed != 0 || res.Reused != 1 {
+		t.Fatalf("re-splice installed=%d reused=%d, want 0/1", res.Installed, res.Reused)
+	}
+
+	// An unsatisfiable request is the client's problem, not a 500.
+	if _, err := c.Splice(service.SpliceRequest{Root: "nothere", Replacement: "libelf@0.8.13"}); err == nil {
+		t.Fatal("splice of an uninstalled root succeeded")
+	} else if !strings.Contains(err.Error(), "422") {
+		t.Fatalf("error = %v, want a 422", err)
+	}
+}
+
+func TestKeysEndpoint(t *testing.T) {
+	s, c := spliceDaemon(t)
+	pub, err := s.Keyring.Generate("site-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0].Name != "site-a" || !keys[0].Trusted {
+		t.Fatalf("keys = %+v, want one trusted site-a entry", keys)
+	}
+	if keys[0].Public != hex.EncodeToString(pub) {
+		t.Fatalf("public = %s, want %x", keys[0].Public, pub)
+	}
+	// The wire format round-trips into another machine's registry.
+	other := core.MustNew()
+	raw, err := hex.DecodeString(keys[0].Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Keyring.Add(keys[0].Name, raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lockedBuffer is a log sink safe to share with the maintenance
+// goroutine.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestScheduledMaintenance(t *testing.T) {
+	s := core.MustNew()
+	if _, err := s.Install("libelf@0.8.12"); err != nil {
+		t.Fatal(err)
+	}
+	log := &lockedBuffer{}
+	srv := service.NewServer(service.Config{
+		Mirror:              s.Mirror,
+		Concretizer:         s.Concretizer,
+		Builder:             s.Builder,
+		Log:                 log,
+		GC:                  s.GC(),
+		MaintenanceInterval: 5 * time.Millisecond,
+	})
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(log.String(), "maintenance: gc") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no maintenance cycle ran; log:\n%s", log.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The loop is drained: no cycle fires after Shutdown returns.
+	quiesced := log.String()
+	time.Sleep(25 * time.Millisecond)
+	if got := log.String(); got != quiesced {
+		t.Fatalf("maintenance ran after shutdown:\n%s", got[len(quiesced):])
+	}
+	// The store's explicit install survived the sweeps (it is a root).
+	if recs := s.Store.Select(nil); len(recs) == 0 {
+		t.Fatal("maintenance gc reclaimed a live explicit install")
+	}
+	// Shutdown is idempotent even with the loop already stopped.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package splice_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/simfs"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// The crash sweep injects a fault at every successive filesystem
+// operation of a full splice run and proves the recovered site is always
+// exactly the pre- or the post-splice state — never in between: no
+// half-materialized prefix, no record without its prefix, no lockfile
+// pointing at a hash that is not installed. State is judged from a
+// reopened store (journal recovery included), the way the next process
+// would see the disk.
+
+var crashOps = []string{"write", "rename", "symlink", "remove", "mkdir"}
+
+// spliceSnapshot captures everything the pre-or-post guarantee covers:
+// the recovered store index plus every file (with a content digest — the
+// lockfile rewrite changes bytes, not names) and symlink under the
+// layers a splice touches.
+func spliceSnapshot(t *testing.T, fs *simfs.FS) string {
+	t.Helper()
+	st, err := store.Open(fs, storeRoot, store.SpackLayout{})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	if names, _ := fs.List(st.JournalDir()); len(names) != 0 {
+		t.Fatalf("journal not drained after recovery: %v", names)
+	}
+	var b strings.Builder
+	for _, r := range st.Select(nil) {
+		fmt.Fprintf(&b, "rec %s %s explicit=%v origin=%s from=%s lineage=%v\n",
+			r.Spec.FullHash(), r.Prefix, r.Explicit, store.RecordOrigin(r),
+			r.SplicedFrom, r.Lineage)
+	}
+	for _, dir := range []string{storeRoot, moduleRoot, viewRoot, envRoot} {
+		err := fs.Walk(dir, func(p string, isLink bool) error {
+			if strings.HasPrefix(p, storeRoot+"/.spack-db") {
+				return nil // shards and journal are the mechanism, not the state
+			}
+			if isLink {
+				tgt, _ := fs.Readlink(p)
+				fmt.Fprintf(&b, "lnk %s -> %s\n", p, tgt)
+			} else {
+				data, _ := fs.ReadFile(p)
+				sum := sha256.Sum256(data)
+				fmt.Fprintf(&b, "file %s %x\n", p, sum[:8])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", dir, err)
+		}
+	}
+	return b.String()
+}
+
+// swapFS points every layer of the machine at the fault-armed filesystem.
+func (m *machine) swapFS(fs *simfs.FS) {
+	m.FS = fs
+	m.Store.FS = fs
+	m.Modules.FS = fs
+	m.Views.FS = fs
+	if m.Backend != nil {
+		m.Backend.FS = fs
+	}
+}
+
+// TestSpliceCrashRecovery faults every filesystem operation of a splice
+// that rewires libdwarf onto a newer libelf — cone prefix, index record,
+// module file, view links, and environment lockfile in one transaction.
+func TestSpliceCrashRecovery(t *testing.T) {
+	type fixture struct {
+		m    *machine
+		root *spec.Spec
+		repl *spec.Spec
+	}
+	setup := func(t *testing.T, fs *simfs.FS) *fixture {
+		t.Helper()
+		m := newMachine(t, fs)
+		root := m.install(t, "libdwarf ^libelf@0.8.12")
+		if _, err := m.Cache.PushDAG(m.Store, root); err != nil {
+			t.Fatal(err)
+		}
+		repl := m.install(t, "libelf@0.8.13")
+		lockEnv(t, m, "dev", root)
+		return &fixture{m: m, root: root, repl: repl}
+	}
+	run := func(f *fixture) error {
+		_, err := f.m.splicer().Run(f.root, "libelf", f.repl, false)
+		return err
+	}
+
+	preFS := simfs.New(simfs.TempFS)
+	setup(t, preFS)
+	pre := spliceSnapshot(t, preFS)
+
+	postFS := simfs.New(simfs.TempFS)
+	fPost := setup(t, postFS)
+	if err := run(fPost); err != nil {
+		t.Fatal(err)
+	}
+	post := spliceSnapshot(t, postFS)
+	if pre == post {
+		t.Fatal("pre and post states are identical; the scenario tests nothing")
+	}
+
+	sawPre, sawPost := false, false
+	for _, op := range crashOps {
+		t.Run(op, func(t *testing.T) {
+			for n := 0; ; n++ {
+				if n > 5000 {
+					t.Fatal("fault sweep did not reach a clean run")
+				}
+				healthy := simfs.New(simfs.TempFS)
+				f := setup(t, healthy)
+
+				// The crashing process sees faults only from here on.
+				faulty := healthy.FailAfter(op, n)
+				f.m.swapFS(faulty)
+				err := run(f)
+				failed := err != nil
+
+				got := spliceSnapshot(t, healthy)
+				switch got {
+				case pre:
+					sawPre = true
+				case post:
+					sawPost = true
+				default:
+					t.Fatalf("%s fault at op %d: recovered state is neither pre nor post:\n--- got ---\n%s--- pre ---\n%s--- post ---\n%s",
+						op, n, got, pre, post)
+				}
+				if !failed {
+					if got != post {
+						t.Fatalf("%s at %d: run succeeded but state is not post", op, n)
+					}
+					break // fault budget exhausted without tripping: sweep done
+				}
+			}
+		})
+	}
+	if !sawPre || !sawPost {
+		t.Errorf("sweep saw pre=%v post=%v; want both outcomes", sawPre, sawPost)
+	}
+}

@@ -19,6 +19,10 @@ type Entry struct {
 	Prefix   string
 	Explicit bool
 	Origin   string
+	// SplicedFrom and Lineage are immutable after insert (like Spec), so
+	// the snapshot shares them.
+	SplicedFrom string
+	Lineage     []string
 }
 
 // Index is the seam between the store and its installation database: a
@@ -168,7 +172,8 @@ func (ix *MutexIndex) Snapshot() []Entry {
 	ix.mu.Lock()
 	out := make([]Entry, 0, len(ix.records))
 	for h, r := range ix.records {
-		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit, Origin: r.Origin})
+		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit,
+			Origin: r.Origin, SplicedFrom: r.SplicedFrom, Lineage: r.Lineage})
 	}
 	ix.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })

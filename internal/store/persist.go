@@ -42,9 +42,14 @@ type dbEntry struct {
 	SpecJSON json.RawMessage `json:"spec_json"`
 	Prefix   string          `json:"prefix"`
 	Explicit bool            `json:"explicit"`
-	// Origin distinguishes source builds from binary-cache pulls and
-	// externals; absent in databases written before origins were tracked.
+	// Origin distinguishes source builds from binary-cache pulls,
+	// externals and splices; absent in databases written before origins
+	// were tracked.
 	Origin string `json:"origin,omitempty"`
+	// SplicedFrom and Lineage persist splice provenance: the full hash
+	// this install was rewired from and the whole chain, oldest first.
+	SplicedFrom string   `json:"spliced_from,omitempty"`
+	Lineage     []string `json:"lineage,omitempty"`
 }
 
 // encodeEntries renders snapshot entries to the JSON database format
@@ -57,11 +62,13 @@ func encodeEntries(entries []Entry) ([]byte, error) {
 			return nil, err
 		}
 		out = append(out, dbEntry{
-			Spec:     e.Spec.String(),
-			SpecJSON: encoded,
-			Prefix:   e.Prefix,
-			Explicit: e.Explicit,
-			Origin:   e.Origin,
+			Spec:        e.Spec.String(),
+			SpecJSON:    encoded,
+			Prefix:      e.Prefix,
+			Explicit:    e.Explicit,
+			Origin:      e.Origin,
+			SplicedFrom: e.SplicedFrom,
+			Lineage:     e.Lineage,
 		})
 	}
 	return json.MarshalIndent(out, "", "  ")
@@ -79,7 +86,8 @@ func decodeEntries(data []byte) (map[string]*Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: bad spec in database (%q): %w", e.Spec, err)
 		}
-		records[s.FullHash()] = &Record{Spec: s, Prefix: e.Prefix, Explicit: e.Explicit, Origin: e.Origin}
+		records[s.FullHash()] = &Record{Spec: s, Prefix: e.Prefix, Explicit: e.Explicit,
+			Origin: e.Origin, SplicedFrom: e.SplicedFrom, Lineage: e.Lineage}
 	}
 	return records, nil
 }

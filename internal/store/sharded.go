@@ -185,7 +185,8 @@ func (ix *ShardedIndex) snapshotShard(i int) []Entry {
 	defer sh.mu.RUnlock()
 	out := make([]Entry, 0, len(sh.records))
 	for h, r := range sh.records {
-		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit, Origin: r.Origin})
+		out = append(out, Entry{Hash: h, Spec: r.Spec, Prefix: r.Prefix, Explicit: r.Explicit,
+			Origin: r.Origin, SplicedFrom: r.SplicedFrom, Lineage: r.Lineage})
 	}
 	return out
 }

@@ -145,6 +145,10 @@ const (
 	OriginSource   = "source"
 	OriginBinary   = "binary"
 	OriginExternal = "external"
+	// OriginSpliced marks installs produced by rewiring an existing
+	// install's binaries onto a replacement dependency — relocation, not
+	// compilation, produced the prefix.
+	OriginSpliced = "spliced"
 )
 
 // Record describes one installed configuration. The Explicit field is
@@ -156,11 +160,19 @@ type Record struct {
 	// Explicit marks installs the user asked for, as opposed to
 	// dependencies pulled in automatically.
 	Explicit bool
-	// Origin records the install path: OriginSource, OriginBinary, or
-	// OriginExternal. Empty in records loaded from pre-origin databases;
-	// readers treat empty as OriginSource (or OriginExternal for external
-	// specs).
+	// Origin records the install path: OriginSource, OriginBinary,
+	// OriginExternal, or OriginSpliced. Empty in records loaded from
+	// pre-origin databases; readers treat empty as OriginSource (or
+	// OriginExternal for external specs).
 	Origin string
+	// SplicedFrom is the full hash of the install this record was rewired
+	// from (OriginSpliced, or a binary pull of a spliced archive); empty
+	// for ordinary installs.
+	SplicedFrom string
+	// Lineage is the build-provenance chain, oldest first: every full
+	// hash this install was spliced from, transitively. A record spliced
+	// from an already-spliced install carries the whole history.
+	Lineage []string
 }
 
 // RecordOrigin normalizes a record's origin for display: records written

@@ -28,10 +28,10 @@ type applier struct {
 	sync bool
 }
 
-func (a applier) InsertRecord(hash string, specJSON []byte, prefix string, explicit bool, origin string) error {
+func (a applier) InsertRecord(hash string, specJSON []byte, prefix string, meta txn.RecordMeta) error {
 	if _, ok := a.st.index.Lookup(hash); ok {
 		// Replay over a live index (or a recovered record): converge.
-		if explicit {
+		if meta.Explicit {
 			a.st.index.Promote(hash)
 		}
 		return nil
@@ -40,7 +40,8 @@ func (a applier) InsertRecord(hash string, specJSON []byte, prefix string, expli
 	if err != nil {
 		return fmt.Errorf("store: corrupt journal record %s: %w", hash, err)
 	}
-	a.st.index.Insert(hash, &Record{Spec: s, Prefix: prefix, Explicit: explicit, Origin: origin})
+	a.st.index.Insert(hash, &Record{Spec: s, Prefix: prefix, Explicit: meta.Explicit,
+		Origin: meta.Origin, SplicedFrom: meta.SplicedFrom, Lineage: meta.Lineage})
 	return nil
 }
 
@@ -80,11 +81,18 @@ func (st *Store) Recover() (txn.RecoverStats, error) {
 // commit), so later work in the same transaction — dependency prefix
 // lookups, view computation — sees it; a rollback hook takes it back out.
 func (st *Store) InstallTxn(t *txn.Txn, s *spec.Spec, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
+	return st.InstallMetaTxn(t, s, txn.RecordMeta{Explicit: explicit, Origin: origin}, builder)
+}
+
+// InstallMetaTxn is InstallTxn carrying full record metadata — origin
+// plus splice provenance (spliced-from hash and lineage chain) — so a
+// spliced or re-pulled install records what it was rewired from.
+func (st *Store) InstallMetaTxn(t *txn.Txn, s *spec.Spec, meta txn.RecordMeta, builder func(prefix string) error) (*Record, bool, error) {
 	if !s.NodeConcrete() {
 		return nil, false, &InstallError{Spec: s.String(), Err: fmt.Errorf("spec is not concrete")}
 	}
 	hash := s.FullHash()
-	if r, ok := st.lookupPromote(hash, explicit); ok {
+	if r, ok := st.lookupPromote(hash, meta.Explicit); ok {
 		return r, false, nil
 	}
 
@@ -104,7 +112,7 @@ func (st *Store) InstallTxn(t *txn.Txn, s *spec.Spec, explicit bool, origin stri
 		if f.err != nil {
 			return nil, false, f.err
 		}
-		if explicit {
+		if meta.Explicit {
 			st.index.Promote(hash)
 		}
 		return f.rec, false, nil
@@ -113,7 +121,7 @@ func (st *Store) InstallTxn(t *txn.Txn, s *spec.Spec, explicit bool, origin stri
 	st.flights[hash] = f
 	st.flightMu.Unlock()
 
-	rec, ran, err := st.installLeader(t, s, hash, explicit, origin, builder)
+	rec, ran, err := st.installLeader(t, s, hash, meta, builder)
 	f.rec, f.err = rec, err
 	st.flightMu.Lock()
 	delete(st.flights, hash)
@@ -124,10 +132,10 @@ func (st *Store) InstallTxn(t *txn.Txn, s *spec.Spec, explicit bool, origin stri
 
 // installLeader performs the actual build + record staging for the single
 // flight leader of a hash.
-func (st *Store) installLeader(t *txn.Txn, s *spec.Spec, hash string, explicit bool, origin string, builder func(prefix string) error) (*Record, bool, error) {
+func (st *Store) installLeader(t *txn.Txn, s *spec.Spec, hash string, meta txn.RecordMeta, builder func(prefix string) error) (*Record, bool, error) {
 	// Re-check under the flight: a previous leader may have finished
 	// between our fast-path miss and flight registration.
-	if r, ok := st.lookupPromote(hash, explicit); ok {
+	if r, ok := st.lookupPromote(hash, meta.Explicit); ok {
 		return r, false, nil
 	}
 
@@ -149,7 +157,7 @@ func (st *Store) installLeader(t *txn.Txn, s *spec.Spec, hash string, explicit b
 	if s.External {
 		// Externals are recorded but never built or written (§4.4).
 		prefix = s.Path
-		origin = OriginExternal
+		meta.Origin = OriginExternal
 	} else {
 		ran = true
 		// Journal the prefix before its first byte exists, so a crash at
@@ -173,7 +181,8 @@ func (st *Store) installLeader(t *txn.Txn, s *spec.Spec, hash string, explicit b
 		}
 	}
 
-	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: explicit, Origin: origin}
+	r := &Record{Spec: s.Clone(), Prefix: prefix, Explicit: meta.Explicit,
+		Origin: meta.Origin, SplicedFrom: meta.SplicedFrom, Lineage: meta.Lineage}
 	if winner, inserted := st.index.Insert(hash, r); !inserted {
 		// A concurrent writer (e.g. Reindex) beat us to the hash; reuse its
 		// record. The winner owns the (identical) prefix, so do not roll
@@ -189,7 +198,7 @@ func (st *Store) installLeader(t *txn.Txn, s *spec.Spec, hash string, explicit b
 		st.index.Remove(hash)
 		return fail(err)
 	}
-	t.StageInsertRecord(hash, specJSON, prefix, explicit, origin)
+	t.StageInsertRecord(hash, specJSON, prefix, meta)
 
 	if auto {
 		if err := t.Commit(applier{st: st}); err != nil {

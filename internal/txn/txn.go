@@ -59,11 +59,13 @@ type Op struct {
 	Kind OpKind `json:"kind"`
 
 	// Record fields (insert-record / remove-record).
-	Hash     string          `json:"hash,omitempty"`
-	Spec     json.RawMessage `json:"spec,omitempty"`
-	Prefix   string          `json:"prefix,omitempty"`
-	Explicit bool            `json:"explicit,omitempty"`
-	Origin   string          `json:"origin,omitempty"`
+	Hash        string          `json:"hash,omitempty"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	Prefix      string          `json:"prefix,omitempty"`
+	Explicit    bool            `json:"explicit,omitempty"`
+	Origin      string          `json:"origin,omitempty"`
+	SplicedFrom string          `json:"spliced_from,omitempty"`
+	Lineage     []string        `json:"lineage,omitempty"`
 
 	// Filesystem fields (link / unlink / write-file / remove-file /
 	// remove-prefix uses Path too).
@@ -72,12 +74,26 @@ type Op struct {
 	Content []byte `json:"content,omitempty"`
 }
 
+// RecordMeta is the non-spec metadata of one store index record: how it
+// was installed (explicitly or as a dependency), where the bytes came
+// from, and — for spliced installs — what it was rewired from. It rides
+// the journal so recovery rebuilds records with their full provenance.
+type RecordMeta struct {
+	Explicit bool
+	Origin   string
+	// SplicedFrom is the full hash of the install this record was rewired
+	// from; empty for ordinary installs.
+	SplicedFrom string
+	// Lineage is the splice provenance chain, oldest first.
+	Lineage []string
+}
+
 // Applier applies record operations to the store index on behalf of the
 // transaction (the txn package knows nothing about spec decoding). Sync
 // persists the index after a successful apply; implementations for which
 // durability is the caller's business may make it a no-op.
 type Applier interface {
-	InsertRecord(hash string, specJSON []byte, prefix string, explicit bool, origin string) error
+	InsertRecord(hash string, specJSON []byte, prefix string, meta RecordMeta) error
 	RemoveRecord(hash string) error
 	Sync() error
 }
@@ -178,9 +194,10 @@ func (t *Txn) Stage(op Op) {
 }
 
 // StageInsertRecord stages a store index insertion.
-func (t *Txn) StageInsertRecord(hash string, specJSON []byte, prefix string, explicit bool, origin string) {
+func (t *Txn) StageInsertRecord(hash string, specJSON []byte, prefix string, meta RecordMeta) {
 	t.Stage(Op{Kind: OpInsertRecord, Hash: hash, Spec: specJSON,
-		Prefix: prefix, Explicit: explicit, Origin: origin})
+		Prefix: prefix, Explicit: meta.Explicit, Origin: meta.Origin,
+		SplicedFrom: meta.SplicedFrom, Lineage: meta.Lineage})
 }
 
 // StageRemoveRecord stages a store index removal.
@@ -330,7 +347,10 @@ func applyOp(fs *simfs.FS, ap Applier, op Op) error {
 		if ap == nil {
 			return fmt.Errorf("txn: %s op needs an applier", op.Kind)
 		}
-		return ap.InsertRecord(op.Hash, op.Spec, op.Prefix, op.Explicit, op.Origin)
+		return ap.InsertRecord(op.Hash, op.Spec, op.Prefix, RecordMeta{
+			Explicit: op.Explicit, Origin: op.Origin,
+			SplicedFrom: op.SplicedFrom, Lineage: op.Lineage,
+		})
 	case OpRemoveRecord:
 		if ap == nil {
 			return fmt.Errorf("txn: %s op needs an applier", op.Kind)

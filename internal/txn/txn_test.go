@@ -16,7 +16,7 @@ type memApplier struct {
 
 func newMemApplier() *memApplier { return &memApplier{records: map[string]string{}} }
 
-func (a *memApplier) InsertRecord(hash string, specJSON []byte, prefix string, explicit bool, origin string) error {
+func (a *memApplier) InsertRecord(hash string, specJSON []byte, prefix string, meta RecordMeta) error {
 	a.records[hash] = prefix
 	return nil
 }
@@ -56,7 +56,7 @@ func TestCommitAppliesOpsInOrder(t *testing.T) {
 	if err := fs.MkdirAll("/opt/pkg-1"); err != nil {
 		t.Fatal(err)
 	}
-	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", true, "source")
+	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", RecordMeta{Explicit: true, Origin: "source"})
 	tx.StageWriteFile("/share/dotkit/pkg-1", []byte("module"))
 	tx.StageLink("/view/pkg", "/opt/pkg-1")
 	committed := false
@@ -110,7 +110,7 @@ func TestRollbackRemovesCreatedPrefixes(t *testing.T) {
 	}
 	fs.MkdirAll("/opt/pkg-1")
 	fs.WriteFile("/opt/pkg-1/partial", []byte("partial"))
-	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", true, "source")
+	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", RecordMeta{Explicit: true, Origin: "source"})
 
 	var order []string
 	tx.OnRollback(func() { order = append(order, "first") })
@@ -134,7 +134,7 @@ func TestRollbackAfterCommitPointRefused(t *testing.T) {
 	ap := newMemApplier()
 	ap.failSync = true
 	tx := Begin(fs, journalDir)
-	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", false, "source")
+	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", RecordMeta{Origin: "source"})
 	err := tx.Commit(ap)
 	var ce *CommitError
 	if err == nil {
@@ -175,7 +175,7 @@ func TestRecoverRollsBackActiveJournal(t *testing.T) {
 	}
 	fs.MkdirAll("/opt/pkg-1")
 	fs.WriteFile("/opt/pkg-1/partial", []byte("partial"))
-	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", false, "source")
+	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", RecordMeta{Origin: "source"})
 	// Simulate a crash: the transaction is abandoned mid-flight.
 
 	ap := newMemApplier()
@@ -206,7 +206,7 @@ func TestRecoverReplaysCommittedJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	fs.MkdirAll("/opt/pkg-1")
-	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", true, "source")
+	tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", RecordMeta{Explicit: true, Origin: "source"})
 	tx.StageLink("/view/pkg", "/opt/pkg-1")
 	if err := tx.Commit(ap); err == nil {
 		t.Fatal("commit should have failed at sync")
@@ -269,7 +269,7 @@ func TestCommitFaultSweep(t *testing.T) {
 					if err := fs.WriteFile("/opt/pkg-1/payload", []byte("payload")); err != nil {
 						return err
 					}
-					tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", true, "source")
+					tx.StageInsertRecord("h1", []byte(`{}`), "/opt/pkg-1", RecordMeta{Explicit: true, Origin: "source"})
 					tx.StageWriteFile("/share/dotkit/pkg-1", []byte("module"))
 					tx.StageLink("/view/pkg", "/opt/pkg-1")
 					return tx.Commit(ap)
